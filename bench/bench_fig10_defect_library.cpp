@@ -1,0 +1,79 @@
+// E9 -- Fig. 10: generation of the defect library, plus the library
+// statistics that explain Fig. 11's shape.
+//
+//   "we used a Gaussian distribution to model the defect distribution in
+//    terms of the variation of capacitance values (in %).  A 3-delta point
+//    of 150% was chosen.  A total number of 1000 defects were generated
+//    for each bus."
+//
+// Prints the defective-wire histogram (why side lines get no coverage:
+// their nominal net coupling is too small for the distribution to push
+// them over Cth) and times library generation.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "sim/campaign.h"
+#include "util/table.h"
+
+using namespace xtest;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 20010618;
+
+void print_library_stats(soc::BusKind bus) {
+  const soc::SystemConfig cfg;
+  const soc::System sys(cfg);
+  const auto& nominal = bus == soc::BusKind::kAddress
+                            ? sys.nominal_address_network()
+                            : sys.nominal_data_network();
+  const auto lib = sim::make_defect_library(cfg, bus, 1000, kSeed);
+  const auto hist = lib.defective_wire_histogram(nominal);
+
+  std::printf("\n%s bus: 1000 defects from %zu candidates "
+              "(yield %.2f%%), Cth = %.1f fF\n",
+              soc::to_string(bus).c_str(), lib.attempts(),
+              100.0 * static_cast<double>(lib.size()) /
+                  static_cast<double>(lib.attempts()),
+              lib.config().cth_fF);
+
+  util::Table t({"wire", "nominal net C (fF)", "defective in library", ""});
+  std::size_t multi = 0;
+  for (unsigned i = 0; i < nominal.width(); ++i) {
+    t.add_row({std::to_string(i + 1),
+               util::Table::num(nominal.net_coupling(i), 1),
+               std::to_string(hist[i]),
+               bench::bar(static_cast<double>(hist[i]) / 250.0)});
+  }
+  for (const auto& d : lib.defects())
+    multi += d.defective_wires(nominal, lib.config().cth_fF).size() > 1;
+  std::printf("%s", t.render().c_str());
+  std::printf("defects touching more than one wire: %zu/1000 (the overlap "
+              "that lets 47 placed tests cover all defects)\n", multi);
+}
+
+void BM_LibraryGeneration(benchmark::State& state) {
+  const soc::SystemConfig cfg;
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = kSeed;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::make_defect_library(
+        cfg, soc::BusKind::kAddress, count, seed++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_LibraryGeneration)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("E9: defect library generation",
+                "Fig. 10 (Gaussian perturbation, 3-sigma = 150%, Cth gate)");
+  print_library_stats(soc::BusKind::kAddress);
+  print_library_stats(soc::BusKind::kData);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// E6 -- Section 4.3's scaling claim:
+//
+//   "For a CPU-memory system with N interconnects, the number of MA faults
+//    is 4N.  Thus, the size of the test program is proportional to N.
+//    This corresponds to the size of the memory required for storing the
+//    test program, the tester time ... as well as the test application
+//    time."
+//
+// The bus widths of the testbed are architectural (12/8), so the sweep
+// parameter is the number of interconnects *under test*: lines 1..k of
+// each bus.  Program bytes, response cells and executed cycles must grow
+// linearly in the number of MA tests.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "sbst/generator.h"
+#include "sim/verify.h"
+#include "util/table.h"
+
+using namespace xtest;
+
+namespace {
+
+void print_scaling(soc::BusKind bus) {
+  const unsigned width =
+      bus == soc::BusKind::kAddress ? cpu::kAddrBits : cpu::kDataBits;
+  util::Table t({"lines under test", "MA tests placed", "program bytes",
+                 "cycles", "bytes per test"});
+  for (unsigned k = 2; k <= width; k += 2) {
+    std::vector<xtalk::MafFault> faults;
+    for (const auto& f :
+         xtalk::enumerate_mafs(width, bus == soc::BusKind::kData))
+      if (f.victim < k) faults.push_back(f);
+    sbst::GeneratorConfig cfg;
+    cfg.include_address_bus = bus == soc::BusKind::kAddress;
+    cfg.include_data_bus = bus == soc::BusKind::kData;
+    if (bus == soc::BusKind::kAddress)
+      cfg.address_faults = faults;
+    else
+      cfg.data_faults = faults;
+
+    const auto sessions = sbst::TestProgramGenerator::generate_sessions(cfg);
+    std::size_t tests = 0, bytes = 0;
+    std::uint64_t cycles = 0;
+    for (const auto& s : sessions) {
+      if (s.program.tests.empty()) continue;
+      tests += s.program.tests.size();
+      bytes += s.program.program_bytes();
+      cycles += sim::verify_program(s.program).gold.cycles;
+    }
+    t.add_row({std::to_string(k), std::to_string(tests),
+               std::to_string(bytes), std::to_string(cycles),
+               tests ? util::Table::num(static_cast<double>(bytes) /
+                                        static_cast<double>(tests), 1)
+                     : "-"});
+  }
+  std::printf("\n%s bus:\n%s",
+              bus == soc::BusKind::kAddress ? "address" : "data",
+              t.render().c_str());
+}
+
+void BM_GenerationVsLineCount(benchmark::State& state) {
+  const unsigned k = static_cast<unsigned>(state.range(0));
+  std::vector<xtalk::MafFault> faults;
+  for (const auto& f : xtalk::enumerate_mafs(cpu::kAddrBits, false))
+    if (f.victim < k) faults.push_back(f);
+  sbst::GeneratorConfig cfg;
+  cfg.include_data_bus = false;
+  cfg.address_faults = faults;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sbst::TestProgramGenerator(cfg).generate());
+}
+BENCHMARK(BM_GenerationVsLineCount)->Arg(2)->Arg(6)->Arg(12);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("E6: test program size scaling",
+                "Section 4.3 (program size and test time proportional to N)");
+  print_scaling(soc::BusKind::kAddress);
+  print_scaling(soc::BusKind::kData);
+  std::printf("\nExpected: bytes and cycles grow ~linearly with the number "
+              "of MA tests; bytes-per-test roughly constant.\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

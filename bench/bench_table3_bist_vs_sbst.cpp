@@ -1,0 +1,110 @@
+// E7 -- Section 1's motivating comparison: hardware BIST vs software-based
+// self-test.
+//
+//   "Built-in self-test, while eliminating the need for a high-speed
+//    tester, may lead to excessive test overhead as well as overly
+//    aggressive testing."
+//
+// Three aspects on equal footing:
+//   1. coverage over the same defect library,
+//   2. over-testing (defects only detectable by functionally-impossible
+//      patterns -> unnecessary yield loss), on a full and on a partially
+//      reachable address map,
+//   3. area overhead (gate-count model) vs SBST's zero hardware cost.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "hwbist/area_model.h"
+#include "hwbist/bist.h"
+#include "hwbist/overtest.h"
+#include "sim/campaign.h"
+#include "util/table.h"
+
+using namespace xtest;
+
+namespace {
+
+constexpr std::size_t kLibrarySize = 500;
+constexpr std::uint64_t kSeed = 20010618;
+
+void print_coverage_and_overtest() {
+  const soc::SystemConfig cfg;
+  const auto lib = sim::make_defect_library(cfg, soc::BusKind::kAddress,
+                                            kLibrarySize, kSeed);
+
+  util::Table t({"address map", "BIST detects", "SBST detects",
+                 "over-test only", "over-test rate"});
+  for (const cpu::Addr limit : {cpu::Addr(cpu::kMemWords), cpu::Addr(0xC00),
+                                cpu::Addr(0x800)}) {
+    sbst::GeneratorConfig gen;
+    gen.usable_limit = limit;
+    const hwbist::OverTestResult r =
+        hwbist::analyze_overtest(cfg, soc::BusKind::kAddress, lib, gen);
+    char label[32];
+    std::snprintf(label, sizeof label, "%.0f%% reachable",
+                  100.0 * limit / cpu::kMemWords);
+    t.add_row({label,
+               std::to_string(r.bist_detected) + "/" +
+                   std::to_string(r.library_size),
+               std::to_string(r.functional_detected) + "/" +
+                   std::to_string(r.library_size),
+               std::to_string(r.overtest_only),
+               util::Table::pct(r.overtest_fraction())});
+  }
+  std::printf("\nCoverage and over-testing (address bus, %zu defects):\n%s",
+              kLibrarySize, t.render().c_str());
+  std::printf("\nExpected: with the full map SBST matches BIST (no over-"
+              "testing); constraining the functional address space leaves "
+              "BIST rejecting chips whose defects can never corrupt real "
+              "operation.\n");
+}
+
+void print_area_model() {
+  util::Table t({"bus", "width", "BIST gates", "vs 50k-gate SoC",
+                 "vs 5M-gate SoC", "SBST gates"});
+  const struct {
+    const char* name;
+    unsigned width;
+    bool bidir;
+  } rows[] = {{"address", 12, false},
+              {"data", 8, true},
+              {"both buses", 20, true}};
+  for (const auto& r : rows) {
+    hwbist::BistAreaModel m{.bus_width = r.width, .bidirectional = r.bidir};
+    t.add_row({r.name, std::to_string(r.width),
+               util::Table::num(m.total_gates(), 0),
+               util::Table::pct(m.overhead_fraction(50'000), 2),
+               util::Table::pct(m.overhead_fraction(5'000'000), 4), "0"});
+  }
+  std::printf("\nArea overhead (structural gate-count model):\n%s",
+              t.render().c_str());
+  std::printf("\nSBST costs no gates; its costs are program memory (see E3) "
+              "and tester load time.\n");
+}
+
+void BM_BistLibraryRun(benchmark::State& state) {
+  const soc::SystemConfig cfg;
+  const soc::System sys(cfg);
+  const auto lib =
+      sim::make_defect_library(cfg, soc::BusKind::kAddress, 100, kSeed);
+  const hwbist::HardwareBist bist(12, false);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(bist.run_library(
+        sys.nominal_address_network(), sys.address_model(), lib));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lib.size()));
+}
+BENCHMARK(BM_BistLibraryRun);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("E7: hardware BIST vs software-based self-test",
+                "Section 1 (over-testing and area-overhead motivation)");
+  print_coverage_and_overtest();
+  print_area_model();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,139 @@
+// E10 -- Section 5's closing observation about the unapplied tests:
+//
+//   "Since the MA tests are necessary for detecting all detectable
+//    defects, in theory, some of the defects can only be detected by the
+//    missing tests.  However, using our defect library, the defect
+//    coverage of the test program is 100% ... This is because a large
+//    overlap exists among the defect sets detected by different MA tests.
+//    Of all the defects detectable by one MA test, only a tiny fraction
+//    cannot be detected by any other MA tests."
+//
+// Quantifies that overlap: per MA test, the fraction of its detected
+// defects that no other MA test detects (the "unique" fraction), and the
+// library-wide impact of the never-placed tests.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "hwbist/bist.h"
+#include "sim/campaign.h"
+#include "util/table.h"
+
+using namespace xtest;
+
+namespace {
+
+constexpr std::size_t kLibrarySize = 1000;
+constexpr std::uint64_t kSeed = 20010618;
+
+void print_overlap() {
+  const soc::SystemConfig cfg;
+  const soc::System sys(cfg);
+  const auto lib =
+      sim::make_defect_library(cfg, soc::BusKind::kAddress, kLibrarySize, kSeed);
+  const auto& nominal = sys.nominal_address_network();
+  const auto& model = sys.address_model();
+  const auto faults = xtalk::enumerate_mafs(cpu::kAddrBits, false);
+
+  // Detection matrix: per MA test, per defect.
+  std::vector<std::vector<bool>> det(faults.size(),
+                                     std::vector<bool>(lib.size(), false));
+  for (std::size_t d = 0; d < lib.size(); ++d) {
+    const xtalk::RcNetwork net = lib[d].apply(nominal);
+    for (std::size_t f = 0; f < faults.size(); ++f)
+      det[f][d] = model.corrupts(net, xtalk::ma_test(cpu::kAddrBits,
+                                                     faults[f]));
+  }
+
+  // Unique fraction per test.
+  double worst_unique = 0.0;
+  std::size_t total_detected = 0, total_unique = 0;
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    std::size_t mine = 0, unique = 0;
+    for (std::size_t d = 0; d < lib.size(); ++d) {
+      if (!det[f][d]) continue;
+      ++mine;
+      bool other = false;
+      for (std::size_t g = 0; g < faults.size() && !other; ++g)
+        other = g != f && det[g][d];
+      unique += !other;
+    }
+    total_detected += mine;
+    total_unique += unique;
+    if (mine)
+      worst_unique = std::max(
+          worst_unique, static_cast<double>(unique) / static_cast<double>(mine));
+  }
+  std::printf("\nOverlap among the 48 address-bus MA tests over %zu "
+              "defects:\n", lib.size());
+  std::printf("  detections summed over tests: %zu;  unique-to-one-test: "
+              "%zu (%.2f%%)\n",
+              total_detected, total_unique,
+              total_detected ? 100.0 * static_cast<double>(total_unique) /
+                                   static_cast<double>(total_detected)
+                             : 0.0);
+  std::printf("  worst per-test unique fraction: %.2f%% "
+              "(paper: 'only a tiny fraction')\n", 100.0 * worst_unique);
+
+  // Impact of the never-placed tests.
+  const auto sessions =
+      sbst::TestProgramGenerator::generate_sessions(sbst::GeneratorConfig{});
+  std::set<std::string> placed;
+  for (const auto& s : sessions)
+    for (const auto& t : s.program.tests)
+      if (t.bus == soc::BusKind::kAddress) placed.insert(t.fault.label());
+
+  util::Table t({"never-placed test", "defects it detects",
+                 "detectable only by it"});
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    if (placed.count(faults[f].label())) continue;
+    std::size_t mine = 0, only = 0;
+    for (std::size_t d = 0; d < lib.size(); ++d) {
+      if (!det[f][d]) continue;
+      ++mine;
+      bool covered = false;
+      for (std::size_t g = 0; g < faults.size() && !covered; ++g)
+        covered = g != f && placed.count(faults[g].label()) && det[g][d];
+      only += !covered;
+    }
+    t.add_row({faults[f].label(), std::to_string(mine),
+               std::to_string(only)});
+  }
+  std::printf("\n%s", t.render().c_str());
+  std::printf("\nExpected: the missing tests' defects are (almost) all "
+              "covered by neighbours' tests -> 100%% program coverage "
+              "despite the conflicts.\n");
+}
+
+void BM_DetectionMatrix(benchmark::State& state) {
+  const soc::SystemConfig cfg;
+  const soc::System sys(cfg);
+  const auto lib =
+      sim::make_defect_library(cfg, soc::BusKind::kAddress, 100, kSeed);
+  const auto faults = xtalk::enumerate_mafs(cpu::kAddrBits, false);
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (const auto& defect : lib.defects()) {
+      const xtalk::RcNetwork net = defect.apply(sys.nominal_address_network());
+      for (const auto& f : faults)
+        hits += sys.address_model().corrupts(net,
+                                             xtalk::ma_test(cpu::kAddrBits, f));
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lib.size() *
+                                                    faults.size()));
+}
+BENCHMARK(BM_DetectionMatrix);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("E10: missing tests and MA-test overlap",
+                "Section 5 (tiny unique-detection fraction)");
+  print_overlap();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench binary reproduces one table/figure of the paper: it prints
+// the reproduction through util::Table first, then runs google-benchmark
+// timings for the underlying kernel so performance regressions in the
+// simulator itself are visible.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace xtest::bench {
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Simple horizontal ASCII bar for figure-like output.
+inline std::string bar(double fraction, int width = 40) {
+  const int n = static_cast<int>(fraction * width + 0.5);
+  std::string s(static_cast<std::size_t>(n), '#');
+  s.resize(static_cast<std::size_t>(width), ' ');
+  return s;
+}
+
+}  // namespace xtest::bench

@@ -1,0 +1,110 @@
+// Testing CPU-to-peripheral interconnect via memory-mapped I/O.
+//
+// Section 3: "since the cores in a SoC are often addressable by the CPU
+// via memory-mapped I/O, the same test strategy can be extended to test
+// address/data busses between any CPU-core pair."  This example maps a
+// register-file core at page 14 and hand-writes MA-pair applications to
+// the data bus towards the core, the way Section 4 writes them for the
+// memory -- including the Section 3.2 caveat about cores whose registers
+// cannot hold arbitrary values (a ROM core).
+//
+//   $ ./examples/mmio_peripheral
+
+#include <cstdio>
+#include <string>
+
+#include "cpu/assembler.h"
+#include "soc/system.h"
+#include "xtalk/maf.h"
+
+using namespace xtest;
+
+namespace {
+
+/// Builds a program applying the cpu->core MA pair (v1, v2) of `fault` to
+/// the data bus through a STA into the peripheral window, then reading it
+/// back into a response cell.
+std::string core_write_test(const xtalk::MafFault& fault) {
+  const xtalk::VectorPair p = xtalk::ma_test(8, fault);
+  const unsigned v1 = static_cast<unsigned>(p.v1.bits());
+  const unsigned v2 = static_cast<unsigned>(p.v2.bits());
+  std::string src;
+  src += "        .org 0x020\n";
+  src += "        lda src\n";                                 // ACC = v2
+  src += "        sta 14:" + std::to_string(v1) + "\n";       // pair applied
+  src += "        lda 14:" + std::to_string(v1) + "\n";       // read back
+  src += "        sta resp\n";
+  src += "        hlt\n";
+  src += "        .org 0x200\nresp:   .res 1\n";
+  src += "        .org 0x210\nsrc:    .byte " + std::to_string(v2) + "\n";
+  return src;
+}
+
+void demo_register_core() {
+  std::printf("--- register-file core at page 14 ---\n");
+  for (xtalk::MafType type : xtalk::kAllMafTypes) {
+    const xtalk::MafFault fault{2, type, xtalk::BusDirection::kCpuToCore};
+    const cpu::AsmResult prog = cpu::assemble(core_write_test(fault));
+
+    soc::System sys;
+    soc::RegisterFileDevice dev(256);
+    sys.attach_mmio(0xE00, 256, &dev);
+
+    sys.load_and_reset(prog.image, prog.entry);
+    sys.run(1000);
+    const std::uint8_t pass = sys.memory().read(0x200);
+
+    sys.set_forced_maf(soc::ForcedMaf{soc::BusKind::kData, fault});
+    sys.load_and_reset(prog.image, prog.entry);
+    sys.run(1000);
+    const std::uint8_t fail = sys.memory().read(0x200);
+
+    std::printf("  %-14s pass resp=0x%02x  faulty resp=0x%02x  -> %s\n",
+                fault.label().c_str(), pass, fail,
+                pass != fail ? "DETECTED" : "escaped");
+  }
+}
+
+void demo_rom_core() {
+  // Section 3.2: "v2 may correspond to ... read-only locations".  Writes
+  // towards a ROM core still toggle the data bus (the pair is applied!),
+  // but the response must be collected from the bus-level effect on a
+  // different observation path -- here we read the ROM back and observe
+  // the *read* direction instead.
+  std::printf("\n--- ROM core: writes ignored, read direction tested ---\n");
+  const cpu::AsmResult prog = cpu::assemble(R"(
+        .org 0x020
+        lda 14:0x00    ; offset byte 0x00 = v1; ROM returns v2
+        sta resp
+        hlt
+        .org 0x200
+resp:   .res 1
+  )");
+  soc::System sys;
+  soc::RomDevice rom({0xFE});  // v2 of gp@1, fixed by the core's contents
+  sys.attach_mmio(0xE00, 256, &rom);
+
+  sys.load_and_reset(prog.image, prog.entry);
+  sys.run(1000);
+  const std::uint8_t pass = sys.memory().read(0x200);
+
+  const xtalk::MafFault fault{0, xtalk::MafType::kPositiveGlitch,
+                              xtalk::BusDirection::kCoreToCpu};
+  sys.set_forced_maf(soc::ForcedMaf{soc::BusKind::kData, fault});
+  sys.load_and_reset(prog.image, prog.entry);
+  sys.run(1000);
+  const std::uint8_t fail = sys.memory().read(0x200);
+  std::printf("  %-14s pass resp=0x%02x  faulty resp=0x%02x  -> %s\n",
+              fault.label().c_str(), pass, fail,
+              pass != fail ? "DETECTED" : "escaped");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("CPU <-> peripheral-core interconnect testing via "
+              "memory-mapped I/O\n\n");
+  demo_register_core();
+  demo_rom_core();
+  return 0;
+}

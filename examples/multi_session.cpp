@@ -1,0 +1,62 @@
+// Multi-session conflict resolution (Section 5).
+//
+//   "Some of the tests cannot be applied due to address conflicts -- i.e.,
+//    multiple tests compete for the same instruction address.  This
+//    problem can be solved by separating conflicting tests into multiple
+//    test programs, which can be executed in different sessions."
+//
+// Shows which address-bus MA tests land in which session, which placement
+// scheme realised each, and what (if anything) can never be placed.
+//
+//   $ ./examples/multi_session
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sbst/generator.h"
+#include "sim/verify.h"
+#include "util/table.h"
+
+using namespace xtest;
+
+int main() {
+  sbst::GeneratorConfig cfg;
+  cfg.include_data_bus = false;  // focus on the conflict-prone address bus
+  const auto sessions = sbst::TestProgramGenerator::generate_sessions(cfg);
+
+  // Per-fault session map.
+  util::Table t({"MA test", "session", "scheme", "group", "effective"});
+  for (std::size_t s = 0; s < sessions.size(); ++s) {
+    const auto& r = sessions[s];
+    if (r.program.tests.empty()) continue;
+    const sim::VerificationResult ver = sim::verify_program(r.program);
+    for (std::size_t i = 0; i < r.program.tests.size(); ++i) {
+      const auto& test = r.program.tests[i];
+      const bool eff =
+          std::find(ver.ineffective.begin(), ver.ineffective.end(), i) ==
+          ver.ineffective.end();
+      t.add_row({test.fault.label(), std::to_string(s),
+                 sbst::to_string(test.scheme),
+                 test.group >= 0 ? std::to_string(test.group) : "-",
+                 eff ? "yes" : "NO"});
+    }
+  }
+  std::printf("%s", t.render().c_str());
+
+  std::size_t placed = 0;
+  for (const auto& s : sessions) placed += s.program.tests.size();
+  std::printf("\n%zu/48 address-bus MA tests placed across %zu sessions "
+              "(paper: 41/48)\n",
+              placed, sessions.size());
+  for (const auto& u : sessions.back().unplaced)
+    std::printf("never placeable: %s (%s)\n", u.fault.label().c_str(),
+                u.reason.c_str());
+
+  // Show why multi-session helps: session 0 alone vs the union.
+  std::printf("\nsession 0 alone applies %zu tests; the remaining %zu "
+              "require fresh address space because their instruction "
+              "placements collide with already-placed fragments.\n",
+              sessions[0].program.tests.size(),
+              placed - sessions[0].program.tests.size());
+  return 0;
+}

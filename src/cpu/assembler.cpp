@@ -1,0 +1,302 @@
+#include "cpu/assembler.h"
+
+#include <cctype>
+#include <cstdio>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace xtest::cpu {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw AsmError("line " + std::to_string(line) + ": " + msg);
+}
+
+std::string strip(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::optional<long> parse_number(const std::string& t) {
+  if (t.empty()) return std::nullopt;
+  std::size_t pos = 0;
+  int base = 10;
+  std::string body = t;
+  if (t.size() > 2 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X')) {
+    base = 16;
+    body = t.substr(2);
+  } else if (t.size() > 2 && t[0] == '0' && (t[1] == 'b' || t[1] == 'B')) {
+    base = 2;
+    body = t.substr(2);
+  }
+  try {
+    long v = std::stol(body, &pos, base);
+    if (pos != body.size()) return std::nullopt;
+    return v;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+/// One source statement after label stripping.
+struct Statement {
+  int line = 0;
+  std::string label;     // may be empty
+  std::string op;        // mnemonic or directive, may be empty
+  std::string operands;  // raw operand text
+};
+
+std::vector<Statement> parse_lines(const std::string& source) {
+  std::vector<Statement> out;
+  std::istringstream is(source);
+  std::string raw;
+  int line = 0;
+  while (std::getline(is, raw)) {
+    ++line;
+    const std::size_t sc = raw.find(';');
+    if (sc != std::string::npos) raw.resize(sc);
+    std::string s = strip(raw);
+    if (s.empty()) continue;
+    Statement st;
+    st.line = line;
+    const std::size_t colon = s.find(':');
+    // A ':' introduces a label only if everything before it is an
+    // identifier; "sta 15:0xef" has ':' inside the operand.
+    if (colon != std::string::npos) {
+      std::string maybe = strip(s.substr(0, colon));
+      bool ident = !maybe.empty() && is_ident_start(maybe[0]);
+      for (char c : maybe) ident = ident && is_ident_char(c);
+      if (ident) {
+        st.label = maybe;
+        s = strip(s.substr(colon + 1));
+      }
+    }
+    if (!s.empty()) {
+      const std::size_t sp = s.find_first_of(" \t");
+      if (sp == std::string::npos) {
+        st.op = s;
+      } else {
+        st.op = s.substr(0, sp);
+        st.operands = strip(s.substr(sp + 1));
+      }
+    }
+    if (!st.label.empty() || !st.op.empty()) out.push_back(std::move(st));
+  }
+  return out;
+}
+
+/// Evaluates an operand expression: number | page:offset | label[+/-number].
+class Evaluator {
+ public:
+  explicit Evaluator(const std::map<std::string, Addr>* symbols)
+      : symbols_(symbols) {}
+
+  /// Returns value; in pass 1 (symbols_ == nullptr) unresolved labels
+  /// evaluate to 0.
+  long eval(const std::string& expr, int line) const {
+    std::string t = strip(expr);
+    if (t.empty()) fail(line, "missing operand");
+    // page:offset
+    const std::size_t colon = t.find(':');
+    if (colon != std::string::npos) {
+      auto p = parse_number(strip(t.substr(0, colon)));
+      auto o = parse_number(strip(t.substr(colon + 1)));
+      if (!p || !o) fail(line, "bad page:offset operand '" + t + "'");
+      if (*p < 0 || *p > 15) fail(line, "page out of range in '" + t + "'");
+      if (*o < 0 || *o > 255) fail(line, "offset out of range in '" + t + "'");
+      return make_addr(static_cast<std::uint8_t>(*p),
+                       static_cast<std::uint8_t>(*o));
+    }
+    // label +/- number
+    if (is_ident_start(t[0])) {
+      std::size_t i = 1;
+      while (i < t.size() && is_ident_char(t[i])) ++i;
+      const std::string name = t.substr(0, i);
+      std::string rest = strip(t.substr(i));
+      long base = 0;
+      if (symbols_) {
+        auto it = symbols_->find(name);
+        if (it == symbols_->end()) fail(line, "unknown label '" + name + "'");
+        base = it->second;
+      }
+      if (rest.empty()) return base;
+      if (rest[0] != '+' && rest[0] != '-')
+        fail(line, "bad operand '" + t + "'");
+      const char sign = rest[0];
+      auto n = parse_number(strip(rest.substr(1)));
+      if (!n) fail(line, "bad operand '" + t + "'");
+      return sign == '+' ? base + *n : base - *n;
+    }
+    auto n = parse_number(t);
+    if (!n) fail(line, "bad operand '" + t + "'");
+    return *n;
+  }
+
+ private:
+  const std::map<std::string, Addr>* symbols_;  // null during pass 1
+};
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t c = s.find(',', start);
+    if (c == std::string::npos) {
+      out.push_back(strip(s.substr(start)));
+      break;
+    }
+    out.push_back(strip(s.substr(start, c - start)));
+    start = c + 1;
+  }
+  return out;
+}
+
+/// Size in bytes of a statement's emission (0 for pure labels).
+std::size_t statement_size(const Statement& st) {
+  if (st.op.empty()) return 0;
+  if (st.op == ".org") return 0;
+  if (st.op == ".byte") return split_commas(st.operands).size();
+  if (st.op == ".res") {
+    auto n = parse_number(strip(st.operands));
+    if (!n || *n < 0) fail(st.line, ".res needs a non-negative count");
+    return static_cast<std::size_t>(*n);
+  }
+  auto info = parse_mnemonic(st.op);
+  if (!info) fail(st.line, "unknown mnemonic '" + st.op + "'");
+  return info->kind == Decoded::Kind::kSingle ? 1 : 2;
+}
+
+}  // namespace
+
+AsmResult assemble(const std::string& source) {
+  const std::vector<Statement> stmts = parse_lines(source);
+  AsmResult result;
+
+  // Pass 1: location counting and symbol collection.
+  {
+    Evaluator ev(nullptr);
+    long lc = 0;
+    for (const Statement& st : stmts) {
+      if (!st.label.empty()) {
+        if (result.symbols.count(st.label))
+          fail(st.line, "duplicate label '" + st.label + "'");
+        result.symbols[st.label] = wrap(static_cast<unsigned>(lc));
+      }
+      if (st.op == ".org") {
+        lc = ev.eval(st.operands, st.line);
+        if (lc < 0 || lc >= static_cast<long>(kMemWords))
+          fail(st.line, ".org out of range");
+        continue;
+      }
+      lc += static_cast<long>(statement_size(st));
+      if (lc > static_cast<long>(kMemWords))
+        fail(st.line, "assembly overflows 4K memory");
+    }
+  }
+
+  // Pass 2: emission.
+  Evaluator ev(&result.symbols);
+  long lc = 0;
+  bool entry_set = false;
+  for (const Statement& st : stmts) {
+    if (st.op.empty()) continue;
+    if (st.op == ".org") {
+      lc = ev.eval(st.operands, st.line);
+      continue;
+    }
+    if (st.op == ".byte") {
+      for (const std::string& b : split_commas(st.operands)) {
+        long v = ev.eval(b, st.line);
+        if (v < -128 || v > 255) fail(st.line, "byte out of range");
+        result.image.set(wrap(static_cast<unsigned>(lc++)),
+                         static_cast<std::uint8_t>(v & 0xFF));
+      }
+      continue;
+    }
+    if (st.op == ".res") {
+      long n = *parse_number(strip(st.operands));
+      for (long i = 0; i < n; ++i)
+        result.image.set(wrap(static_cast<unsigned>(lc++)), 0);
+      continue;
+    }
+    const auto info = *parse_mnemonic(st.op);
+    const Addr here = wrap(static_cast<unsigned>(lc));
+    if (!entry_set) {
+      result.entry = here;
+      entry_set = true;
+    }
+    switch (info.kind) {
+      case Decoded::Kind::kMemRef: {
+        long v = ev.eval(st.operands, st.line);
+        if (v < 0 || v >= static_cast<long>(kMemWords))
+          fail(st.line, "address operand out of range");
+        const auto enc = encode_memref(info.opcode, static_cast<Addr>(v));
+        result.image.set(here, enc[0]);
+        result.image.set(wrap(lc + 1u), enc[1]);
+        lc += 2;
+        break;
+      }
+      case Decoded::Kind::kBranch: {
+        long v = ev.eval(st.operands, st.line);
+        if (v < 0 || v >= static_cast<long>(kMemWords))
+          fail(st.line, "branch target out of range");
+        // Branch targets resolve within the branch's own page.
+        if (v > 0xFF && page_of(static_cast<Addr>(v)) != page_of(here))
+          fail(st.line, "branch target not in the branch's page");
+        const auto enc =
+            encode_branch(info.cond_mask, offset_of(static_cast<Addr>(v)));
+        result.image.set(here, enc[0]);
+        result.image.set(wrap(lc + 1u), enc[1]);
+        lc += 2;
+        break;
+      }
+      case Decoded::Kind::kSingle:
+        result.image.set(here, encode_single(info.single));
+        lc += 1;
+        break;
+      case Decoded::Kind::kIllegal:
+        fail(st.line, "unknown mnemonic");
+    }
+  }
+  return result;
+}
+
+std::string disassemble_image(const MemoryImage& image) {
+  std::ostringstream os;
+  for (std::size_t a = 0; a < kMemWords;) {
+    if (!image.defined(static_cast<Addr>(a))) {
+      ++a;
+      continue;
+    }
+    const std::uint8_t b1 = image.at(static_cast<Addr>(a));
+    const bool two = is_two_byte(b1) && a + 1 < kMemWords &&
+                     image.defined(static_cast<Addr>(a + 1));
+    const std::uint8_t b2 = two ? image.at(static_cast<Addr>(a + 1)) : 0;
+    char head[32];
+    if (two) {
+      std::snprintf(head, sizeof head, "0x%03zx: %02x %02x   ", a, b1, b2);
+    } else {
+      std::snprintf(head, sizeof head, "0x%03zx: %02x      ", a, b1);
+    }
+    os << head << disassemble(b1, b2) << '\n';
+    a += two ? 2 : 1;
+  }
+  return os.str();
+}
+
+}  // namespace xtest::cpu

@@ -1,0 +1,57 @@
+// Two-pass assembler for the PARWAN-style ISA.
+//
+// Used by the examples and tests to write hand-crafted bus-exercising
+// programs the way the paper's authors wrote theirs (Section 4), and by the
+// quickstart to stay readable.  The SBST generator emits machine code
+// directly (its placements are address-constrained), but its output can be
+// round-tripped through the disassembler.
+//
+// Syntax (one statement per line, ';' starts a comment):
+//
+//   start:  cla                 ; labels end with ':'
+//           lda 0x3ff           ; memory-reference, 12-bit operand
+//           add data+1          ; label arithmetic
+//           sta 15:0xef         ; page:offset operand form (paper notation)
+//           bz  done            ; branch target must lie in the same page
+//           jmp start
+//   done:   hlt
+//           .org 0x300          ; set location counter
+//   data:   .byte 0x01, 2, 0b11 ; literal bytes
+//           .res 4              ; reserve 4 zero bytes
+//
+// Numeric literals: 0x hex, 0b binary, decimal.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "cpu/isa.h"
+#include "cpu/memory_image.h"
+
+namespace xtest::cpu {
+
+/// Assembly failure; message contains the 1-based source line.
+class AsmError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct AsmResult {
+  MemoryImage image;
+  /// Label name -> address.
+  std::map<std::string, Addr> symbols;
+  /// Address of the first instruction assembled (or 0 if none).
+  Addr entry = 0;
+};
+
+/// Assembles `source`; throws AsmError on any syntax or range problem.
+AsmResult assemble(const std::string& source);
+
+/// Disassembles the defined ranges of an image into listing lines
+/// ("0x010: 2f 07   add 0xf07").  Purely for diagnostics.
+std::string disassemble_image(const MemoryImage& image);
+
+}  // namespace xtest::cpu

@@ -1,0 +1,186 @@
+#include "cpu/cpu.h"
+
+namespace xtest::cpu {
+
+void Cpu::reset(Addr entry) {
+  pc_ = wrap(entry);
+  acc_ = 0;
+  flags_ = Flags{};
+  reason_ = HaltReason::kRunning;
+  cycles_ = 0;
+}
+
+std::uint8_t Cpu::bus_read(Addr a) {
+  ++cycles_;
+  return port_.read(wrap(a));
+}
+
+void Cpu::bus_write(Addr a, std::uint8_t d) {
+  ++cycles_;
+  port_.write(wrap(a), d);
+}
+
+void Cpu::internal() {
+  ++cycles_;
+  port_.internal_cycle();
+}
+
+void Cpu::set_zn(std::uint8_t value) {
+  flags_.z = value == 0;
+  flags_.n = (value & 0x80) != 0;
+}
+
+void Cpu::step() {
+  if (halted()) return;
+
+  const Addr instr_addr = pc_;
+  const std::uint8_t b1 = bus_read(pc_);
+  pc_ = wrap(pc_ + 1u);
+  internal();  // decode
+
+  const Decoded d = decode(b1);
+  if (d.kind == Decoded::Kind::kIllegal) {
+    reason_ = HaltReason::kIllegalOpcode;
+    return;
+  }
+
+  std::uint8_t b2 = 0;
+  if (d.two_bytes()) {
+    b2 = bus_read(pc_);
+    pc_ = wrap(pc_ + 1u);
+  }
+
+  switch (d.kind) {
+    case Decoded::Kind::kMemRef:
+      exec_memref(d, b2);
+      internal();  // execute/write-back
+      break;
+    case Decoded::Kind::kBranch:
+      if (d.cond_mask & flags_.mask())
+        pc_ = make_addr(page_of(instr_addr), b2);
+      internal();
+      break;
+    case Decoded::Kind::kSingle:
+      exec_single(d.single);
+      internal();
+      break;
+    case Decoded::Kind::kIllegal:
+      break;  // unreachable
+  }
+}
+
+void Cpu::exec_memref(const Decoded& d, std::uint8_t offset_byte) {
+  const Addr ax = make_addr(d.page, offset_byte);
+  switch (d.opcode) {
+    case Opcode::kLda: {
+      acc_ = bus_read(ax);
+      set_zn(acc_);
+      break;
+    }
+    case Opcode::kAnd: {
+      acc_ &= bus_read(ax);
+      set_zn(acc_);
+      break;
+    }
+    case Opcode::kAdd: {
+      const std::uint8_t m = bus_read(ax);
+      const unsigned r = static_cast<unsigned>(acc_) + m;
+      flags_.c = r > 0xFF;
+      flags_.v = (~(acc_ ^ m) & (acc_ ^ r) & 0x80) != 0;
+      acc_ = static_cast<std::uint8_t>(r);
+      set_zn(acc_);
+      break;
+    }
+    case Opcode::kSub: {
+      const std::uint8_t m = bus_read(ax);
+      const unsigned r = static_cast<unsigned>(acc_) - m;
+      flags_.c = acc_ >= m;  // no borrow
+      flags_.v = ((acc_ ^ m) & (acc_ ^ r) & 0x80) != 0;
+      acc_ = static_cast<std::uint8_t>(r);
+      set_zn(acc_);
+      break;
+    }
+    case Opcode::kOra: {
+      acc_ |= bus_read(ax);
+      set_zn(acc_);
+      break;
+    }
+    case Opcode::kXra: {
+      acc_ ^= bus_read(ax);
+      set_zn(acc_);
+      break;
+    }
+    case Opcode::kSta:
+      bus_write(ax, acc_);
+      break;
+    case Opcode::kJmp:
+      pc_ = ax;
+      break;
+    case Opcode::kJsr:
+      // PARWAN convention: return offset stored at the target, execution
+      // continues at target+1; JMI through the target returns.
+      bus_write(ax, offset_of(pc_));
+      pc_ = wrap(ax + 1u);
+      break;
+    case Opcode::kJmi: {
+      const std::uint8_t t = bus_read(ax);
+      pc_ = make_addr(page_of(ax), t);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Cpu::exec_single(SingleOp op) {
+  switch (op) {
+    case SingleOp::kNop:
+      break;
+    case SingleOp::kCla:
+      acc_ = 0;
+      set_zn(acc_);
+      break;
+    case SingleOp::kCma:
+      acc_ = static_cast<std::uint8_t>(~acc_);
+      set_zn(acc_);
+      break;
+    case SingleOp::kCmc:
+      flags_.c = !flags_.c;
+      break;
+    case SingleOp::kStc:
+      flags_.c = true;
+      break;
+    case SingleOp::kAsl: {
+      flags_.c = (acc_ & 0x80) != 0;
+      const std::uint8_t r = static_cast<std::uint8_t>(acc_ << 1);
+      flags_.v = ((acc_ ^ r) & 0x80) != 0;
+      acc_ = r;
+      set_zn(acc_);
+      break;
+    }
+    case SingleOp::kAsr: {
+      flags_.c = (acc_ & 0x01) != 0;
+      acc_ = static_cast<std::uint8_t>((acc_ >> 1) | (acc_ & 0x80));
+      set_zn(acc_);
+      break;
+    }
+    case SingleOp::kInc: {
+      const unsigned r = static_cast<unsigned>(acc_) + 1u;
+      flags_.c = r > 0xFF;
+      flags_.v = acc_ == 0x7F;
+      acc_ = static_cast<std::uint8_t>(r);
+      set_zn(acc_);
+      break;
+    }
+    case SingleOp::kHlt:
+      reason_ = HaltReason::kHltInstruction;
+      break;
+  }
+}
+
+bool Cpu::run(std::uint64_t max_cycles) {
+  while (!halted() && cycles_ < max_cycles) step();
+  return halted();
+}
+
+}  // namespace xtest::cpu

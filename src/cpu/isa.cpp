@@ -1,0 +1,114 @@
+#include "cpu/isa.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace xtest::cpu {
+
+Decoded decode(std::uint8_t byte1) {
+  Decoded d;
+  const unsigned hi = byte1 >> 4;
+  const unsigned lo = byte1 & 0xF;
+  if (hi <= 0x9) {
+    d.kind = Decoded::Kind::kMemRef;
+    d.opcode = static_cast<Opcode>(hi);
+    d.page = static_cast<std::uint8_t>(lo);
+  } else if (hi == 0xE) {
+    d.kind = Decoded::Kind::kBranch;
+    d.cond_mask = static_cast<std::uint8_t>(lo);
+  } else if (hi == 0xF && lo <= static_cast<unsigned>(SingleOp::kHlt)) {
+    d.kind = Decoded::Kind::kSingle;
+    d.single = static_cast<SingleOp>(lo);
+  } else {
+    d.kind = Decoded::Kind::kIllegal;
+  }
+  return d;
+}
+
+bool is_two_byte(std::uint8_t byte1) {
+  return decode(byte1).two_bytes();
+}
+
+namespace {
+
+constexpr const char* kMemRefNames[] = {"lda", "and", "add", "sub", "ora",
+                                        "xra", "sta", "jmp", "jsr", "jmi"};
+constexpr const char* kSingleNames[] = {"nop", "cla", "cma", "cmc", "stc",
+                                        "asl", "asr", "inc", "hlt"};
+
+std::string branch_name(std::uint8_t mask) {
+  switch (mask) {
+    case kCondV: return "bv";
+    case kCondC: return "bc";
+    case kCondZ: return "bz";
+    case kCondN: return "bn";
+    default: {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "br#%x", mask);
+      return buf;
+    }
+  }
+}
+
+}  // namespace
+
+std::string mnemonic(const Decoded& d) {
+  switch (d.kind) {
+    case Decoded::Kind::kMemRef:
+      return kMemRefNames[static_cast<unsigned>(d.opcode)];
+    case Decoded::Kind::kBranch:
+      return branch_name(d.cond_mask);
+    case Decoded::Kind::kSingle:
+      return kSingleNames[static_cast<unsigned>(d.single)];
+    case Decoded::Kind::kIllegal:
+      return "ill";
+  }
+  return "ill";
+}
+
+std::optional<MnemonicInfo> parse_mnemonic(const std::string& name) {
+  std::string n = name;
+  std::transform(n.begin(), n.end(), n.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  for (unsigned i = 0; i < 10; ++i) {
+    if (n == kMemRefNames[i])
+      return MnemonicInfo{Decoded::Kind::kMemRef, static_cast<Opcode>(i), 0,
+                          SingleOp::kNop};
+  }
+  for (unsigned i = 0; i <= static_cast<unsigned>(SingleOp::kHlt); ++i) {
+    if (n == kSingleNames[i])
+      return MnemonicInfo{Decoded::Kind::kSingle, Opcode::kLda, 0,
+                          static_cast<SingleOp>(i)};
+  }
+  const std::pair<const char*, std::uint8_t> branches[] = {
+      {"bv", kCondV}, {"bc", kCondC}, {"bz", kCondZ}, {"bn", kCondN}};
+  for (const auto& [bn, mask] : branches) {
+    if (n == bn)
+      return MnemonicInfo{Decoded::Kind::kBranch, Opcode::kLda, mask,
+                          SingleOp::kNop};
+  }
+  return std::nullopt;
+}
+
+std::string disassemble(std::uint8_t byte1, std::uint8_t byte2) {
+  const Decoded d = decode(byte1);
+  char buf[32];
+  switch (d.kind) {
+    case Decoded::Kind::kMemRef:
+      std::snprintf(buf, sizeof buf, "%s 0x%03x", mnemonic(d).c_str(),
+                    make_addr(d.page, byte2));
+      return buf;
+    case Decoded::Kind::kBranch:
+      std::snprintf(buf, sizeof buf, "%s 0x%02x", mnemonic(d).c_str(), byte2);
+      return buf;
+    case Decoded::Kind::kSingle:
+      return mnemonic(d);
+    case Decoded::Kind::kIllegal:
+      std::snprintf(buf, sizeof buf, "ill 0x%02x", byte1);
+      return buf;
+  }
+  return "ill";
+}
+
+}  // namespace xtest::cpu

@@ -1,0 +1,140 @@
+// Instruction set of the embedded processor core.
+//
+// The paper's testbed CPU is an 8-bit accumulator-based multi-cycle core
+// with 23 instructions and a 12-bit address space (Navabi's PARWAN-class
+// processor).  We implement a PARWAN-style ISA with exactly 23 instructions:
+//
+//   memory-reference, 2 bytes, [oooo pppp][ffffffff] = opcode, page, offset:
+//     LDA AND ADD SUB ORA XRA STA JMP JSR JMI            (10)
+//   branch, 2 bytes, [1110 nzcv][ffffffff], target = current page : offset:
+//     BV BC BZ BN                                        (4)
+//   single byte, [1111 ssss]:
+//     NOP CLA CMA CMC STC ASL ASR INC HLT                (9)
+//
+// The LDA layout matches Fig. 4 of the paper exactly: first byte = opcode
+// nibble + page number (top 4 address bits), second byte = 8-bit offset.
+// Opcode nibbles 0xA-0xD and single-op selectors 9-15 are illegal; fetching
+// one halts the core with HaltReason::kIllegalOpcode, which is how a
+// crosstalk-corrupted opcode fetch becomes observable.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace xtest::cpu {
+
+/// 12-bit physical address (stored in 16 bits, always masked).
+using Addr = std::uint16_t;
+
+inline constexpr unsigned kAddrBits = 12;
+inline constexpr unsigned kDataBits = 8;
+inline constexpr std::size_t kMemWords = 1u << kAddrBits;  // 4K
+inline constexpr Addr kAddrMask = kMemWords - 1;
+
+constexpr Addr wrap(unsigned a) { return static_cast<Addr>(a & kAddrMask); }
+constexpr std::uint8_t page_of(Addr a) {
+  return static_cast<std::uint8_t>((a >> 8) & 0xF);
+}
+constexpr std::uint8_t offset_of(Addr a) {
+  return static_cast<std::uint8_t>(a & 0xFF);
+}
+constexpr Addr make_addr(std::uint8_t page, std::uint8_t offset) {
+  return static_cast<Addr>(((page & 0xF) << 8) | offset);
+}
+
+/// Memory-reference opcode nibbles.
+enum class Opcode : std::uint8_t {
+  kLda = 0x0,
+  kAnd = 0x1,
+  kAdd = 0x2,
+  kSub = 0x3,
+  kOra = 0x4,
+  kXra = 0x5,
+  kSta = 0x6,
+  kJmp = 0x7,
+  kJsr = 0x8,
+  kJmi = 0x9,
+  // 0xA..0xD illegal
+  kBranch = 0xE,
+  kSingle = 0xF,
+};
+
+/// Selectors for single-byte instructions (low nibble under opcode 0xF).
+enum class SingleOp : std::uint8_t {
+  kNop = 0x0,
+  kCla = 0x1,
+  kCma = 0x2,
+  kCmc = 0x3,
+  kStc = 0x4,
+  kAsl = 0x5,
+  kAsr = 0x6,
+  kInc = 0x7,
+  kHlt = 0x8,
+};
+
+/// Branch-condition mask bits (low nibble under opcode 0xE).  A branch is
+/// taken when (mask & flags) != 0.
+inline constexpr std::uint8_t kCondV = 0x1;
+inline constexpr std::uint8_t kCondC = 0x2;
+inline constexpr std::uint8_t kCondZ = 0x4;
+inline constexpr std::uint8_t kCondN = 0x8;
+
+/// Encoding helpers.
+constexpr std::uint8_t memref_byte1(Opcode op, Addr target) {
+  return static_cast<std::uint8_t>((static_cast<unsigned>(op) << 4) |
+                                   page_of(target));
+}
+constexpr std::array<std::uint8_t, 2> encode_memref(Opcode op, Addr target) {
+  return {memref_byte1(op, target), offset_of(target)};
+}
+constexpr std::array<std::uint8_t, 2> encode_branch(std::uint8_t cond_mask,
+                                                    std::uint8_t offset) {
+  return {static_cast<std::uint8_t>(0xE0 | (cond_mask & 0xF)), offset};
+}
+constexpr std::uint8_t encode_single(SingleOp op) {
+  return static_cast<std::uint8_t>(0xF0 | static_cast<unsigned>(op));
+}
+
+/// A decoded instruction.
+struct Decoded {
+  enum class Kind { kMemRef, kBranch, kSingle, kIllegal };
+
+  Kind kind = Kind::kIllegal;
+  Opcode opcode = Opcode::kLda;   // kMemRef
+  std::uint8_t page = 0;          // kMemRef: page nibble of byte 1
+  std::uint8_t cond_mask = 0;     // kBranch
+  SingleOp single = SingleOp::kNop;  // kSingle
+
+  /// Instructions with kind kMemRef or kBranch occupy two bytes.
+  bool two_bytes() const { return kind == Kind::kMemRef || kind == Kind::kBranch; }
+};
+
+/// Decode the first byte of an instruction.
+Decoded decode(std::uint8_t byte1);
+
+/// Whether `byte1` starts a two-byte instruction.
+bool is_two_byte(std::uint8_t byte1);
+
+/// Mnemonic for reports/disassembly ("lda", "bz", "cla", ...; "ill" for
+/// illegal encodings).
+std::string mnemonic(const Decoded& d);
+
+/// Parse a mnemonic.  Returns nullopt for unknown names.
+struct MnemonicInfo {
+  Decoded::Kind kind;
+  Opcode opcode;          // kMemRef
+  std::uint8_t cond_mask; // kBranch
+  SingleOp single;        // kSingle
+};
+std::optional<MnemonicInfo> parse_mnemonic(const std::string& name);
+
+/// Disassemble one instruction; `byte2` is ignored for single-byte forms.
+std::string disassemble(std::uint8_t byte1, std::uint8_t byte2);
+
+/// Total number of architected instructions (the paper's "23 instructions").
+inline constexpr int kInstructionCount = 23;
+
+}  // namespace xtest::cpu

@@ -1,0 +1,45 @@
+// A 4K memory image with per-byte "defined" tracking.
+//
+// Test-program generation needs to distinguish bytes that are part of the
+// program (code, operand cells, response cells) from untouched memory; the
+// allocator and the assembler both produce images, and the SoC memory loads
+// them (undefined bytes default to zero, like a tester writing a full 4K).
+
+#pragma once
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+
+#include "cpu/isa.h"
+
+namespace xtest::cpu {
+
+class MemoryImage {
+ public:
+  MemoryImage() { bytes_.fill(0); }
+
+  std::uint8_t at(Addr a) const { return bytes_[a & kAddrMask]; }
+  bool defined(Addr a) const { return defined_[a & kAddrMask]; }
+
+  void set(Addr a, std::uint8_t v) {
+    bytes_[a & kAddrMask] = v;
+    defined_[a & kAddrMask] = true;
+  }
+
+  std::size_t defined_count() const { return defined_.count(); }
+
+  /// Overlays `other`'s defined bytes onto this image.
+  void merge(const MemoryImage& other) {
+    for (std::size_t a = 0; a < kMemWords; ++a)
+      if (other.defined_[a]) set(static_cast<Addr>(a), other.bytes_[a]);
+  }
+
+  const std::array<std::uint8_t, kMemWords>& raw() const { return bytes_; }
+
+ private:
+  std::array<std::uint8_t, kMemWords> bytes_;
+  std::bitset<kMemWords> defined_;
+};
+
+}  // namespace xtest::cpu

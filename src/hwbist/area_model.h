@@ -1,0 +1,58 @@
+// Area-overhead model for the hardware-BIST baseline.
+//
+// The paper's motivation: "for small systems, the amount of relative area
+// overhead may be unacceptable" while SBST has "no area or delay
+// overhead".  This parametric gate-count model makes that comparison
+// concrete.  Structural assumptions (documented, deliberately simple):
+//
+//   pattern generator per bus:
+//     victim counter            ceil(log2 N) flip-flops
+//     fault-type FSM            2 flip-flops
+//     vector register           N flip-flops
+//     victim decode + muxing    ~4 gates per wire
+//   error detector per bus:
+//     expected-vector XORs      N gates
+//     OR reduction tree         N - 1 gates
+//     sticky fail flag          1 flip-flop
+//   controller (shared)         ~30 gates
+//
+// with a flip-flop costed at `gates_per_ff` NAND-equivalents.  SBST costs
+// zero gates; its costs are memory footprint and tester time, reported by
+// the generator instead.
+
+#pragma once
+
+#include <cmath>
+
+namespace xtest::hwbist {
+
+struct BistAreaModel {
+  unsigned bus_width = 8;
+  bool bidirectional = false;  ///< bidirectional buses need both-end logic
+  double gates_per_ff = 6.0;
+
+  double generator_gates() const {
+    const double counter = std::ceil(std::log2(std::max(2u, bus_width)));
+    const double ffs = counter + 2.0 + bus_width;
+    return ffs * gates_per_ff + 4.0 * bus_width;
+  }
+
+  double detector_gates() const {
+    return static_cast<double>(bus_width) + (bus_width - 1) + gates_per_ff;
+  }
+
+  double controller_gates() const { return 30.0; }
+
+  double total_gates() const {
+    const double ends = bidirectional ? 2.0 : 1.0;
+    return ends * (generator_gates() + detector_gates()) +
+           controller_gates();
+  }
+
+  /// Relative overhead against an SoC of `soc_gates` NAND-equivalents.
+  double overhead_fraction(double soc_gates) const {
+    return total_gates() / soc_gates;
+  }
+};
+
+}  // namespace xtest::hwbist

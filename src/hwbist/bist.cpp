@@ -1,0 +1,29 @@
+#include "hwbist/bist.h"
+
+namespace xtest::hwbist {
+
+bool HardwareBist::pattern_fails(const xtalk::RcNetwork& net,
+                                 const xtalk::CrosstalkErrorModel& model,
+                                 const xtalk::MafFault& f) const {
+  const xtalk::VectorPair pair = xtalk::ma_test(width_, f);
+  return model.corrupts(net, pair);
+}
+
+bool HardwareBist::detects(const xtalk::RcNetwork& net,
+                           const xtalk::CrosstalkErrorModel& model) const {
+  for (const xtalk::MafFault& f : faults_)
+    if (pattern_fails(net, model, f)) return true;
+  return false;
+}
+
+std::vector<bool> HardwareBist::run_library(
+    const xtalk::RcNetwork& nominal, const xtalk::CrosstalkErrorModel& model,
+    const xtalk::DefectLibrary& library) const {
+  std::vector<bool> out;
+  out.reserve(library.size());
+  for (const xtalk::Defect& d : library.defects())
+    out.push_back(detects(d.apply(nominal), model));
+  return out;
+}
+
+}  // namespace xtest::hwbist

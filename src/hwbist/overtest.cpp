@@ -1,0 +1,44 @@
+#include "hwbist/overtest.h"
+
+#include "sim/campaign.h"
+
+namespace xtest::hwbist {
+
+OverTestResult analyze_overtest(const soc::SystemConfig& system_config,
+                                soc::BusKind bus,
+                                const xtalk::DefectLibrary& library,
+                                const sbst::GeneratorConfig& generator_config,
+                                int max_sessions) {
+  const soc::System system(system_config);
+  const bool bidirectional = bus == soc::BusKind::kData;
+  const unsigned width =
+      bus == soc::BusKind::kAddress ? cpu::kAddrBits : cpu::kDataBits;
+  const HardwareBist bist(width, bidirectional);
+  const xtalk::RcNetwork& nominal = bus == soc::BusKind::kAddress
+                                        ? system.nominal_address_network()
+                                        : system.nominal_data_network();
+  const xtalk::CrosstalkErrorModel& model = bus == soc::BusKind::kAddress
+                                                ? system.address_model()
+                                                : system.data_model();
+  const std::vector<bool> by_bist = bist.run_library(nominal, model, library);
+
+  sbst::GeneratorConfig gen = generator_config;
+  gen.include_address_bus = bus == soc::BusKind::kAddress;
+  gen.include_data_bus = bus == soc::BusKind::kData;
+  const std::vector<sbst::GenerationResult> sessions =
+      sbst::TestProgramGenerator::generate_sessions(gen, max_sessions);
+  const std::vector<bool> by_sbst = sim::run_detection_sessions(
+      system_config, sessions, bus, library);
+
+  OverTestResult r;
+  r.library_size = library.size();
+  for (std::size_t i = 0; i < library.size(); ++i) {
+    r.bist_detected += by_bist[i];
+    r.functional_detected += by_sbst[i];
+    r.overtest_only += by_bist[i] && !by_sbst[i];
+    r.functional_only += by_sbst[i] && !by_bist[i];
+  }
+  return r;
+}
+
+}  // namespace xtest::hwbist

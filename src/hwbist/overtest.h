@@ -1,0 +1,53 @@
+// Over-testing analysis: BIST vs software-based self-test.
+//
+// Hardware BIST applies every MA pair in a dedicated test mode, including
+// pairs that can never occur in the normal operational mode of the system.
+// The paper (Section 1): "crosstalk cases that cannot be excited in the
+// normal operational mode do not affect the correct functionality of the
+// system.  Thus, the rejection of a chip due to a failure response in
+// these cases causes unnecessary yield loss."
+//
+// Here the functional-mode oracle is the multi-session SBST program set:
+// a defect detectable by BIST but by no functionally-applicable test is an
+// over-test rejection (yield loss on a functionally healthy chip).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hwbist/bist.h"
+#include "sbst/generator.h"
+#include "soc/system.h"
+#include "xtalk/defect.h"
+
+namespace xtest::hwbist {
+
+struct OverTestResult {
+  std::size_t library_size = 0;
+  std::size_t bist_detected = 0;
+  std::size_t functional_detected = 0;
+  /// Detected by BIST but functionally benign: over-tested chips.
+  std::size_t overtest_only = 0;
+  /// Detected functionally but missed by BIST (should be 0: BIST applies
+  /// the complete MA set).
+  std::size_t functional_only = 0;
+
+  double overtest_fraction() const {
+    return bist_detected == 0
+               ? 0.0
+               : static_cast<double>(overtest_only) /
+                     static_cast<double>(bist_detected);
+  }
+};
+
+/// Compares BIST and multi-session SBST detection over one bus's library.
+/// `generator_config` controls the functional side (e.g. usable_limit
+/// models a partially reachable address map, where over-testing appears).
+OverTestResult analyze_overtest(const soc::SystemConfig& system_config,
+                                soc::BusKind bus,
+                                const xtalk::DefectLibrary& library,
+                                const sbst::GeneratorConfig& generator_config,
+                                int max_sessions = 6);
+
+}  // namespace xtest::hwbist

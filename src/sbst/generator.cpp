@@ -1,0 +1,662 @@
+#include "sbst/generator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "cpu/isa.h"
+#include "sbst/layout.h"
+
+namespace xtest::sbst {
+
+namespace {
+
+using cpu::Addr;
+using cpu::make_addr;
+using cpu::offset_of;
+using cpu::page_of;
+using cpu::wrap;
+using xtalk::BusDirection;
+using xtalk::MafFault;
+using xtalk::VectorPair;
+
+std::uint8_t memref_b1(cpu::Opcode op, std::uint8_t page) {
+  return static_cast<std::uint8_t>((static_cast<unsigned>(op) << 4) |
+                                   (page & 0xF));
+}
+
+/// A byte value different from every entry of `avoid`.
+std::uint8_t pick_differing(std::initializer_list<std::uint8_t> avoid) {
+  for (unsigned v = 0; v < 256; ++v) {
+    bool ok = true;
+    for (std::uint8_t a : avoid) ok = ok && (v != a);
+    if (ok) return static_cast<std::uint8_t>(v);
+  }
+  return 0;  // unreachable: |avoid| < 256
+}
+
+class Builder {
+ public:
+  explicit Builder(const GeneratorConfig& config)
+      : config_(config), alloc_(config.usable_limit) {}
+
+  GenerationResult build() {
+    collect_faults();
+    add_protected_zones();
+    place_entry();
+    for (const MafFault& f : addr_faults_) place_address_test(f);
+    for (const MafFault& f : data_read_faults_) place_data_read_test(f);
+    close_group();
+    for (const MafFault& f : data_write_faults_) place_data_write_test(f);
+    finish();
+    return std::move(result_);
+  }
+
+ private:
+  static constexpr Addr kNoJmp = 0xFFFF;
+
+  struct Piece {
+    Addr start;
+    Addr jmp_b1;  // address of the JMP's first byte, kNoJmp if none
+  };
+
+  // ---- fault selection ---------------------------------------------------
+
+  static void apply_order(std::vector<MafFault>& faults,
+                          PlacementOrder order) {
+    switch (order) {
+      case PlacementOrder::kVictimMajor:
+        break;
+      case PlacementOrder::kDelaysFirst:
+        std::stable_sort(faults.begin(), faults.end(),
+                         [](const MafFault& a, const MafFault& b) {
+                           return xtalk::is_glitch(a.type) <
+                                  xtalk::is_glitch(b.type);
+                         });
+        break;
+      case PlacementOrder::kGlitchesFirst:
+        std::stable_sort(faults.begin(), faults.end(),
+                         [](const MafFault& a, const MafFault& b) {
+                           return xtalk::is_glitch(a.type) >
+                                  xtalk::is_glitch(b.type);
+                         });
+        break;
+      case PlacementOrder::kCenterOut: {
+        const auto dist = [](const MafFault& f) {
+          const int c = cpu::kAddrBits / 2;
+          const int d = static_cast<int>(f.victim) - c;
+          return d < 0 ? -d : d;
+        };
+        std::stable_sort(faults.begin(), faults.end(),
+                         [&](const MafFault& a, const MafFault& b) {
+                           return dist(a) < dist(b);
+                         });
+        break;
+      }
+    }
+  }
+
+  void collect_faults() {
+    if (config_.include_address_bus) {
+      addr_faults_ = config_.address_faults.value_or(
+          xtalk::enumerate_mafs(cpu::kAddrBits, /*bidirectional=*/false));
+      apply_order(addr_faults_, config_.order);
+    }
+    if (config_.include_data_bus) {
+      std::vector<MafFault> data = config_.data_faults.value_or(
+          xtalk::enumerate_mafs(cpu::kDataBits, config_.data_both_directions));
+      if (!config_.data_faults && !config_.data_both_directions) {
+        // The default single-direction selection is the read direction
+        // (the paper's primary data-bus construction, Section 4.1).
+        for (MafFault& f : data) f.direction = BusDirection::kCoreToCpu;
+      }
+      for (const MafFault& f : data) {
+        // core->cpu pairs ride a read; cpu->core pairs ride a write.
+        if (f.direction == BusDirection::kCoreToCpu)
+          data_read_faults_.push_back(f);
+        else
+          data_write_faults_.push_back(f);
+      }
+    }
+  }
+
+  void add_protected_zones() {
+    for (const MafFault& f : addr_faults_) {
+      const VectorPair pair = xtalk::ma_test(cpu::kAddrBits, f);
+      const Addr v1 = static_cast<Addr>(pair.v1.bits());
+      const Addr v2 = static_cast<Addr>(pair.v2.bits());
+      const Addr v2p =
+          static_cast<Addr>(xtalk::faulty_v2(f, pair).bits());
+      if (xtalk::is_glitch(f.type)) {
+        alloc_.add_protected_zone(wrap(v2 - 2u), wrap(v2 + 3u));
+        alloc_.add_protected_zone(v1, v1);
+      } else {
+        alloc_.add_protected_zone(wrap(v1 - 1u), wrap(v1 + 2u));
+        alloc_.add_protected_zone(v2, v2);
+      }
+      alloc_.add_protected_zone(v2p, v2p);
+    }
+  }
+
+  // ---- piece / chain management -------------------------------------------
+
+  /// Places floating code `bytes` followed by a patchable JMP.
+  bool place_floating(const std::vector<std::uint8_t>& bytes, bool with_jmp) {
+    const std::size_t len = bytes.size() + (with_jmp ? 2 : 0);
+    const auto start = alloc_.find_free_run(len);
+    if (!start) return false;
+    LayoutAllocator::Txn txn(alloc_);
+    Addr a = *start;
+    for (std::uint8_t b : bytes) txn.set_code(a++, b);
+    Addr jmp = kNoJmp;
+    if (with_jmp) {
+      jmp = a;
+      txn.set_patch(a);
+      txn.set_patch(wrap(a + 1u));
+    }
+    if (!txn.ok()) return false;
+    txn.commit();
+    pieces_.push_back({*start, jmp});
+    return true;
+  }
+
+  void place_entry() {
+    const bool ok =
+        place_floating({cpu::encode_single(cpu::SingleOp::kCla)}, true);
+    assert(ok && "empty 4K cannot fail to host the entry piece");
+    (void)ok;
+  }
+
+  void finish() {
+    const bool ok = place_floating({cpu::encode_single(cpu::SingleOp::kHlt)},
+                                   false);
+    assert(ok && "no room left for HLT");
+    (void)ok;
+    // Patch the JMP chain: every piece jumps to the next one.
+    for (std::size_t i = 0; i + 1 < pieces_.size(); ++i) {
+      if (pieces_[i].jmp_b1 == kNoJmp) continue;
+      const Addr target = pieces_[i + 1].start;
+      alloc_.patch(pieces_[i].jmp_b1,
+                   memref_b1(cpu::Opcode::kJmp, page_of(target)));
+      alloc_.patch(wrap(pieces_[i].jmp_b1 + 1u), offset_of(target));
+    }
+    result_.program.image = alloc_.image();
+    result_.program.entry = pieces_.front().start;
+  }
+
+  // ---- response groups -----------------------------------------------------
+
+  bool open_group() {
+    const auto cell = alloc_.find_free_cell();
+    if (!cell) return false;
+    LayoutAllocator::Txn txn(alloc_);
+    txn.claim_response(*cell);
+    if (!txn.ok()) return false;
+    txn.commit();
+    group_id_ = next_group_++;
+    group_resp_ = *cell;
+    group_fill_ = 0;
+    group_resp_index_ = result_.program.response_cells.size();
+    result_.program.response_cells.push_back(*cell);
+    result_.program.response_watermarks.push_back(0);  // set at close
+    return true;
+  }
+
+  bool group_open() const { return group_id_ >= 0; }
+
+  /// Stores the group signature and re-clears the accumulator.
+  void close_group() {
+    if (!group_open()) return;
+    const bool ok = place_floating(
+        {memref_b1(cpu::Opcode::kSta, page_of(group_resp_)),
+         offset_of(group_resp_), cpu::encode_single(cpu::SingleOp::kCla)},
+        true);
+    assert(ok && "glue placement failed: memory exhausted");
+    (void)ok;
+    result_.program.response_watermarks[group_resp_index_] =
+        result_.program.tests.size();
+    group_id_ = -1;
+  }
+
+  /// Ensures an open group with room; returns the one-hot pass value slot.
+  /// `force_initial` demands a fresh group (glitch fragments rely on
+  /// ACC == 0 when their first instruction executes).
+  std::optional<std::uint8_t> group_slot(bool force_initial) {
+    if (group_open() &&
+        (force_initial || group_fill_ >= static_cast<int>(config_.group_size)))
+      close_group();
+    if (!group_open() && !open_group()) return std::nullopt;
+    return static_cast<std::uint8_t>(1u << group_fill_);
+  }
+
+  void record_test(soc::BusKind bus, const MafFault& f, const VectorPair& p,
+                   Scheme scheme, std::uint8_t pass, Addr response_cell) {
+    result_.program.tests.push_back(
+        {bus, f, p, scheme, group_id_, response_cell, pass});
+  }
+
+  void record_unplaced(soc::BusKind bus, const MafFault& f,
+                       std::string reason) {
+    result_.unplaced.push_back({bus, f, std::move(reason)});
+  }
+
+  // ---- txn-aware free-cell searches ---------------------------------------
+
+  /// Free-cell searches are transaction-aware and take an explicit
+  /// exclusion range for fragment bytes that are known but not yet staged.
+  static bool in_range(Addr a, Addr ex_start, std::size_t ex_len) {
+    for (std::size_t k = 0; k < ex_len; ++k)
+      if (a == wrap(ex_start + static_cast<unsigned>(k))) return true;
+    return false;
+  }
+
+  std::optional<Addr> free_cell_with_offset(const LayoutAllocator::Txn& txn,
+                                            std::uint8_t offset,
+                                            Addr ex_start = 0,
+                                            std::size_t ex_len = 0) const {
+    for (int pass = 0; pass < 2; ++pass) {
+      for (unsigned page = 0; page < 16; ++page) {
+        const Addr a = make_addr(static_cast<std::uint8_t>(page), offset);
+        if (txn.use(a) != CellUse::kFree) continue;
+        if (in_range(a, ex_start, ex_len)) continue;
+        if (pass == 0 && alloc_.is_protected(a)) continue;
+        return a;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Addr> free_cell(const LayoutAllocator::Txn& txn,
+                                Addr ex_start = 0,
+                                std::size_t ex_len = 0) const {
+    for (int pass = 0; pass < 2; ++pass) {
+      for (unsigned a = 0; a < cpu::kMemWords; ++a) {
+        if (txn.use(static_cast<Addr>(a)) != CellUse::kFree) continue;
+        if (in_range(static_cast<Addr>(a), ex_start, ex_len)) continue;
+        if (pass == 0 && alloc_.is_protected(static_cast<Addr>(a))) continue;
+        return static_cast<Addr>(a);
+      }
+    }
+    return std::nullopt;
+  }
+
+  // ---- address-bus fragments ----------------------------------------------
+
+  void place_address_test(const MafFault& f) {
+    if (xtalk::is_glitch(f.type))
+      place_addr_glitch(f);
+    else
+      place_addr_delay(f);
+  }
+
+  /// Distinguishing requirement shared by the compact JMP schemes: the
+  /// byte the memory returns for the corrupted address v2' must differ
+  /// from the patched JMP's first byte at v2.  A JMP first byte is always
+  /// 0x7p, so any value with a different high nibble is safe; a fresh cell
+  /// is claimed with 0xFF (illegal opcode -> the faulty run halts).
+  bool require_divergent_fetch(LayoutAllocator::Txn& txn, Addr v2p) {
+    switch (txn.use(v2p)) {
+      case CellUse::kFree:
+        return txn.require_operand(v2p, 0xFF);
+      case CellUse::kCode:
+      case CellUse::kOperand:
+        return (txn.value(v2p) >> 4) !=
+               static_cast<unsigned>(cpu::Opcode::kJmp);
+      default:
+        return false;
+    }
+  }
+
+  /// One-instruction scheme (Sec. 4.2.1): ADD at v1-1 accessing v2; the
+  /// transition fetch2(v1) -> operand(v2) is the MA pair.  Falls back to
+  /// the compact scheme where the chaining JMP at v1-1 *is* the accessing
+  /// instruction (fetch2(v1) -> target fetch(v2)) and only a 2-byte landing
+  /// pad at v2 is needed -- essential for the densely clustered one-hot /
+  /// inverted-one-hot placements near the ends of the address space.
+  void place_addr_delay(const MafFault& f) {
+    const VectorPair pair = xtalk::ma_test(cpu::kAddrBits, f);
+    const Addr v1 = static_cast<Addr>(pair.v1.bits());
+    const Addr v2 = static_cast<Addr>(pair.v2.bits());
+    const Addr v2p = static_cast<Addr>(xtalk::faulty_v2(f, pair).bits());
+
+    // --- primary: ADD scheme with accumulated one-hot response ---
+    {
+      const auto slot = group_slot(/*force_initial=*/false);
+      if (!slot) {
+        record_unplaced(soc::BusKind::kAddress, f,
+                        "no room for response cell");
+        return;
+      }
+      LayoutAllocator::Txn txn(alloc_);
+      const Addr at = wrap(v1 - 1u);
+      txn.set_code(at, memref_b1(cpu::Opcode::kAdd, page_of(v2)));
+      txn.set_code(v1, offset_of(v2));
+      const Addr jmp = wrap(v1 + 1u);
+      txn.set_patch(jmp);
+      txn.set_patch(wrap(jmp + 1u));
+      // Pass cell: a fresh cell gets the one-hot slot value; an existing
+      // constant is accepted as-is (the gold run defines the signature).
+      std::uint8_t pass = *slot;
+      if (txn.use(v2) == CellUse::kFree) {
+        txn.require_operand(v2, pass);
+      } else if (txn.use(v2) == CellUse::kOperand ||
+                 txn.use(v2) == CellUse::kCode) {
+        pass = txn.value(v2);
+      } else {
+        txn.require_operand(v2, pass);  // fails: patch/response/forbidden
+      }
+      // Fail cell: the operand a delayed access reads must differ.
+      txn.require_differs(v2p, pass, pick_differing({pass}));
+      if (txn.ok()) {
+        txn.commit();
+        pieces_.push_back({at, jmp});
+        ++group_fill_;
+        record_test(soc::BusKind::kAddress, f, pair, Scheme::kAddrDelay, pass,
+                    group_resp_);
+        return;
+      }
+    }
+
+    // --- fallback 1: the chain JMP is the test instruction ---
+    {
+      LayoutAllocator::Txn txn(alloc_);
+      const Addr at = wrap(v1 - 1u);
+      txn.set_code(at, memref_b1(cpu::Opcode::kJmp, page_of(v2)));
+      txn.set_code(v1, offset_of(v2));
+      // Landing pad: the patched JMP to the next piece lives at v2.
+      txn.set_patch(v2);
+      txn.set_patch(wrap(v2 + 1u));
+      if (require_divergent_fetch(txn, v2p) && txn.ok()) {
+        txn.commit();
+        pieces_.push_back({at, v2});
+        record_test(soc::BusKind::kAddress, f, pair, Scheme::kAddrDelayJmp, 0,
+                    0);
+        return;
+      }
+    }
+
+    // --- fallback 2: two-instruction realisation in the other region ---
+    // (like the glitch scheme: AND v1 at v2-2, landing pad at v2; the
+    // operand access v1 -> fetch v2 is the same MA transition.  The AND
+    // garbles the accumulator, so the open group is flushed first.)
+    {
+      close_group();
+      LayoutAllocator::Txn txn(alloc_);
+      const Addr i1 = wrap(v2 - 2u);
+      txn.set_code(i1, memref_b1(cpu::Opcode::kAnd, page_of(v1)));
+      txn.set_code(wrap(v2 - 1u), offset_of(v1));
+      if (txn.use(v1) == CellUse::kFree) txn.require_operand(v1, 0);
+      txn.set_patch(v2);
+      txn.set_patch(wrap(v2 + 1u));
+      if (!require_divergent_fetch(txn, v2p) || !txn.ok()) {
+        record_unplaced(soc::BusKind::kAddress, f, "address conflict");
+        return;
+      }
+      txn.commit();
+      pieces_.push_back({i1, v2});
+      record_test(soc::BusKind::kAddress, f, pair, Scheme::kAddrDelayJmp, 0,
+                  0);
+    }
+  }
+
+  /// Two-instruction scheme: instruction 1 at v2-2 accesses v1 (AND keeps
+  /// ACC = 0), instruction 2 at v2; the inter-instruction transition
+  /// operand(v1) -> fetch1(v2) is the MA pair.  A glitched fetch reads the
+  /// byte at v2' instead of instruction 2's first byte.
+  void place_addr_glitch(const MafFault& f) {
+    const VectorPair pair = xtalk::ma_test(cpu::kAddrBits, f);
+    const Addr v1 = static_cast<Addr>(pair.v1.bits());
+    const Addr v2 = static_cast<Addr>(pair.v2.bits());
+    const Addr v2p = static_cast<Addr>(xtalk::faulty_v2(f, pair).bits());
+
+    // --- primary: AND + ADD scheme with accumulated response ---
+    {
+      const auto slot = group_slot(/*force_initial=*/true);
+      if (!slot) {
+        record_unplaced(soc::BusKind::kAddress, f,
+                        "no room for response cell");
+        return;
+      }
+      const std::uint8_t pass = *slot;
+
+      LayoutAllocator::Txn txn(alloc_);
+      // Instruction 1: AND v1 (ACC is 0 at group start, so any operand
+      // value keeps it 0).
+      const Addr i1 = wrap(v2 - 2u);
+      txn.set_code(i1, memref_b1(cpu::Opcode::kAnd, page_of(v1)));
+      txn.set_code(wrap(v2 - 1u), offset_of(v1));
+      // v1's cell only needs to be readable; claim it when free so later
+      // placements cannot turn it into something unexpected.
+      if (txn.use(v1) == CellUse::kFree) txn.require_operand(v1, 0);
+      // Instruction 2: ADD p:F with a fresh operand cell holding the pass
+      // value.  Exclude instruction 2's own four bytes, not yet staged.
+      const auto opcell = free_cell(txn, v2, 4);
+      if (!opcell) {
+        record_unplaced(soc::BusKind::kAddress, f, "memory exhausted");
+        return;
+      }
+      txn.set_code(v2, memref_b1(cpu::Opcode::kAdd, page_of(*opcell)));
+      txn.set_code(wrap(v2 + 1u), offset_of(*opcell));
+      txn.require_operand(*opcell, pass);
+      const Addr jmp = wrap(v2 + 2u);
+      txn.set_patch(jmp);
+      txn.set_patch(wrap(jmp + 1u));
+
+      // Distinguishing requirements on the corrupted fetch target.
+      const std::uint8_t b_v2 = memref_b1(cpu::Opcode::kAdd, page_of(*opcell));
+      std::uint8_t b_v2p = 0;
+      // Prefer an illegal opcode in a fresh cell: guaranteed divergence.
+      txn.require_differs(v2p, b_v2, 0xFF, &b_v2p);
+      if (txn.ok()) {
+        const cpu::Decoded dec = cpu::decode(b_v2p);
+        if (dec.kind == cpu::Decoded::Kind::kMemRef &&
+            dec.opcode != cpu::Opcode::kSta &&
+            dec.opcode != cpu::Opcode::kJmp &&
+            dec.opcode != cpu::Opcode::kJsr &&
+            dec.opcode != cpu::Opcode::kJmi) {
+          // The corrupted instruction becomes <op> q:F; its result must not
+          // coincide with the pass accumulator value (pass, since the group
+          // just opened with ACC = 0).
+          const Addr divergent = make_addr(dec.page, offset_of(*opcell));
+          const std::uint8_t neg = static_cast<std::uint8_t>(256u - pass);
+          txn.require_differs(divergent, pass, pick_differing({pass, neg}));
+          txn.require_differs(divergent, neg, pick_differing({pass, neg}));
+        }
+      }
+      if (txn.ok()) {
+        txn.commit();
+        pieces_.push_back({i1, jmp});
+        ++group_fill_;
+        record_test(soc::BusKind::kAddress, f, pair, Scheme::kAddrGlitch,
+                    pass, group_resp_);
+        return;
+      }
+    }
+
+    // --- fallback: AND v1, then the landing-pad JMP at v2 is fetched ---
+    // (instruction 1's operand access v1 -> instruction 2's fetch v2 is
+    // still the MA transition; detection is by control divergence.)
+    {
+      LayoutAllocator::Txn txn(alloc_);
+      const Addr i1 = wrap(v2 - 2u);
+      txn.set_code(i1, memref_b1(cpu::Opcode::kAnd, page_of(v1)));
+      txn.set_code(wrap(v2 - 1u), offset_of(v1));
+      if (txn.use(v1) == CellUse::kFree) txn.require_operand(v1, 0);
+      txn.set_patch(v2);
+      txn.set_patch(wrap(v2 + 1u));
+      if (!require_divergent_fetch(txn, v2p) || !txn.ok()) {
+        record_unplaced(soc::BusKind::kAddress, f, "address conflict");
+        return;
+      }
+      txn.commit();
+      pieces_.push_back({i1, v2});
+      record_test(soc::BusKind::kAddress, f, pair, Scheme::kAddrGlitchJmp, 0,
+                  0);
+    }
+  }
+
+  // ---- data-bus fragments ---------------------------------------------------
+
+  /// ADD p:v1 reading an operand cell that contains v2 (Fig. 4/8).
+  void place_data_read_test(const MafFault& f) {
+    const VectorPair pair = xtalk::ma_test(cpu::kDataBits, f);
+    const std::uint8_t v1 = static_cast<std::uint8_t>(pair.v1.bits());
+    const std::uint8_t v2 = static_cast<std::uint8_t>(pair.v2.bits());
+
+    const auto slot = group_slot(/*force_initial=*/false);
+    if (!slot) {
+      record_unplaced(soc::BusKind::kData, f, "no room for response cell");
+      return;
+    }
+    (void)*slot;  // data reads contribute v2 itself, as in the paper
+
+    const auto run = alloc_.find_free_run(4);
+    if (!run) {
+      record_unplaced(soc::BusKind::kData, f, "memory exhausted");
+      return;
+    }
+    LayoutAllocator::Txn txn(alloc_);
+    const auto opcell = free_cell_with_offset(txn, v1, *run, 4);
+    if (!opcell) {
+      record_unplaced(soc::BusKind::kData, f, "no cell with required offset");
+      return;
+    }
+    txn.set_code(*run, memref_b1(cpu::Opcode::kAdd, page_of(*opcell)));
+    txn.set_code(wrap(*run + 1u), v1);
+    const Addr jmp = wrap(*run + 2u);
+    txn.set_patch(jmp);
+    txn.set_patch(wrap(jmp + 1u));
+    txn.require_operand(*opcell, v2);
+    if (!txn.ok()) {
+      record_unplaced(soc::BusKind::kData, f, "placement conflict");
+      return;
+    }
+    txn.commit();
+    if (alloc_.use(*opcell) == CellUse::kOperand)
+      read_opcells_.push_back(*opcell);
+    pieces_.push_back({*run, jmp});
+    ++group_fill_;
+    record_test(soc::BusKind::kData, f, pair, Scheme::kDataRead, v2,
+                group_resp_);
+  }
+
+  /// LDA v2-cell; STA q:v1 drives ACC = v2 onto the data bus towards the
+  /// memory; the written target cell is the response (Section 3.1).
+  void place_data_write_test(const MafFault& f) {
+    const VectorPair pair = xtalk::ma_test(cpu::kDataBits, f);
+    const std::uint8_t v1 = static_cast<std::uint8_t>(pair.v1.bits());
+    const std::uint8_t v2 = static_cast<std::uint8_t>(pair.v2.bits());
+
+    const auto run = alloc_.find_free_run(6);
+    if (!run) {
+      record_unplaced(soc::BusKind::kData, f, "memory exhausted");
+      return;
+    }
+    LayoutAllocator::Txn txn(alloc_);
+    const auto src = free_cell(txn, *run, 6);
+    if (!src) {
+      record_unplaced(soc::BusKind::kData, f, "memory exhausted");
+      return;
+    }
+    txn.require_operand(*src, v2);
+    // Target cell (q, v1): a fresh cell, or -- since write tests execute
+    // last -- a data-read operand cell whose value has already been
+    // consumed and may safely be overwritten.
+    auto tgt = free_cell_with_offset(txn, v1, *run, 6);
+    if (!tgt) {
+      for (Addr cand : read_opcells_) {
+        if (offset_of(cand) == v1 && txn.use(cand) == CellUse::kOperand &&
+            cand != *src) {
+          tgt = cand;
+          break;
+        }
+      }
+    }
+    if (!tgt) {
+      record_unplaced(soc::BusKind::kData, f, "no cell with required offset");
+      return;
+    }
+    txn.claim_response_overwrite(*tgt);
+    txn.set_code(*run, memref_b1(cpu::Opcode::kLda, page_of(*src)));
+    txn.set_code(wrap(*run + 1u), offset_of(*src));
+    txn.set_code(wrap(*run + 2u), memref_b1(cpu::Opcode::kSta, page_of(*tgt)));
+    txn.set_code(wrap(*run + 3u), v1);
+    const Addr jmp = wrap(*run + 4u);
+    txn.set_patch(jmp);
+    txn.set_patch(wrap(jmp + 1u));
+    if (!txn.ok()) {
+      record_unplaced(soc::BusKind::kData, f, "placement conflict");
+      return;
+    }
+    txn.commit();
+    pieces_.push_back({*run, jmp});
+    result_.program.tests.push_back({soc::BusKind::kData, f, pair,
+                                     Scheme::kDataWrite, -1, *tgt, v2});
+    result_.program.response_cells.push_back(*tgt);
+    result_.program.response_watermarks.push_back(
+        result_.program.tests.size());
+  }
+
+  const GeneratorConfig& config_;
+  LayoutAllocator alloc_;
+  std::vector<Piece> pieces_;
+  GenerationResult result_;
+
+  std::vector<MafFault> addr_faults_;
+  std::vector<MafFault> data_read_faults_;
+  std::vector<MafFault> data_write_faults_;
+  /// Operand cells claimed by data-read tests; their values are consumed
+  /// before the write phase and may be overwritten as write targets.
+  std::vector<Addr> read_opcells_;
+
+  int next_group_ = 0;
+  int group_id_ = -1;
+  int group_fill_ = 0;
+  Addr group_resp_ = 0;
+  std::size_t group_resp_index_ = 0;
+};
+
+}  // namespace
+
+std::size_t GenerationResult::placed_count(soc::BusKind bus) const {
+  std::size_t n = 0;
+  for (const auto& t : program.tests)
+    if (t.bus == bus) ++n;
+  return n;
+}
+
+std::size_t GenerationResult::unplaced_count(soc::BusKind bus) const {
+  std::size_t n = 0;
+  for (const auto& t : unplaced)
+    if (t.bus == bus) ++n;
+  return n;
+}
+
+GenerationResult TestProgramGenerator::generate() const {
+  Builder builder(config_);
+  return builder.build();
+}
+
+std::vector<GenerationResult> TestProgramGenerator::generate_sessions(
+    GeneratorConfig config, int max_sessions) {
+  std::vector<GenerationResult> sessions;
+  for (int s = 0; s < max_sessions; ++s) {
+    TestProgramGenerator gen(config);
+    GenerationResult res = gen.generate();
+    const std::size_t unplaced = res.unplaced.size();
+    const bool progress = !res.program.tests.empty();
+    sessions.push_back(std::move(res));
+    if (unplaced == 0 || !progress) break;
+    // Retry only what is still missing.
+    std::vector<xtalk::MafFault> addr, data;
+    for (const UnplacedTest& u : sessions.back().unplaced) {
+      (u.bus == soc::BusKind::kAddress ? addr : data).push_back(u.fault);
+    }
+    config.address_faults = std::move(addr);
+    config.data_faults = std::move(data);
+    config.include_address_bus = !config.address_faults->empty();
+    config.include_data_bus = !config.data_faults->empty();
+  }
+  return sessions;
+}
+
+}  // namespace xtest::sbst

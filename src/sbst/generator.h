@@ -1,0 +1,85 @@
+// Self-test program generator (Sections 3-4 of the paper).
+//
+// Produces a program for the PARWAN-style CPU-memory system that applies MA
+// vector pairs to the address and data buses in normal functional mode:
+//
+//  * data bus, core->cpu (kDataRead): an ADD whose offset byte is v1 reads
+//    an operand cell containing v2 -- the M[Ai+1] -> M[Ax] transition of
+//    Fig. 4/5.  Responses compact by accumulation exactly as in Fig. 8.
+//  * data bus, cpu->core (kDataWrite): LDA loads v2, then a STA whose
+//    offset byte is v1 drives ACC = v2 onto the bus; the written target
+//    cell is itself the response (Section 3.1).
+//  * address bus, delay faults (kAddrDelay): the accessing instruction is
+//    placed at v1-1 so its operand fetch produces the Ai+1 -> Ax = v1 -> v2
+//    transition (Section 4.2.1).
+//  * address bus, glitch faults (kAddrGlitch): the two-instruction scheme
+//    of Section 4.2.2 -- instruction 1 at v2-2 accesses v1, instruction 2
+//    at v2, so the inter-instruction transition Ax -> Ai+2 applies (v1, v2)
+//    without the shared-start-vector address conflict.
+//
+// Fragments are chained with JMPs; each compaction group is CLA-opened and
+// closed by storing the accumulator into a response cell (Section 4.3).
+// Tests whose placement constraints collide with already-placed bytes are
+// reported unplaced -- the paper's "address conflicts" (41/48 address
+// tests in its single session) -- and `generate_sessions` re-attempts them
+// in fresh programs, the paper's proposed multi-session resolution.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sbst/program.h"
+
+namespace xtest::sbst {
+
+/// Order in which address-bus MAFs are attempted.  Placement is greedy,
+/// so the order decides who wins the contested cells near the one-hot /
+/// inverted-one-hot clusters (ablation experiment E15).
+enum class PlacementOrder : std::uint8_t {
+  kVictimMajor,    ///< per victim: gp, gn, dr, df (enumeration order)
+  kDelaysFirst,    ///< all dr/df, then all gp/gn
+  kGlitchesFirst,  ///< all gp/gn, then all dr/df
+  kCenterOut,      ///< victims from the bus center outwards
+};
+
+struct GeneratorConfig {
+  bool include_address_bus = true;
+  bool include_data_bus = true;
+  PlacementOrder order = PlacementOrder::kVictimMajor;
+  /// Apply data-bus tests in both directions (the paper's 64 = 8*4*2).
+  bool data_both_directions = true;
+  /// Tests per response-compaction group (the signature is one byte, and
+  /// one-hot pass values need group_size <= 8).
+  unsigned group_size = 8;
+  /// Functionally usable address space: cells at/above are untouchable
+  /// (models partially populated memory maps; used by the over-testing
+  /// experiment).
+  cpu::Addr usable_limit = cpu::kMemWords;
+  /// Restrict to specific faults (used for per-line attribution programs
+  /// and multi-session retries).  Unset = all faults of the bus.
+  std::optional<std::vector<xtalk::MafFault>> address_faults;
+  std::optional<std::vector<xtalk::MafFault>> data_faults;
+};
+
+class TestProgramGenerator {
+ public:
+  explicit TestProgramGenerator(GeneratorConfig config = {})
+      : config_(std::move(config)) {}
+
+  const GeneratorConfig& config() const { return config_; }
+
+  /// Builds one self-test program (one tester session).
+  GenerationResult generate() const;
+
+  /// Multi-session splitting (Section 5): keeps generating programs for
+  /// the still-unplaced tests until all are placed, progress stops, or
+  /// `max_sessions` is reached.
+  static std::vector<GenerationResult> generate_sessions(
+      GeneratorConfig config, int max_sessions = 6);
+
+ private:
+  GeneratorConfig config_;
+};
+
+}  // namespace xtest::sbst

@@ -1,0 +1,177 @@
+#include "sbst/layout.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace xtest::sbst {
+
+LayoutAllocator::LayoutAllocator(cpu::Addr usable_limit)
+    : use_(cpu::kMemWords, CellUse::kFree), value_(cpu::kMemWords, 0) {
+  for (std::size_t a = usable_limit; a < cpu::kMemWords; ++a)
+    use_[a] = CellUse::kForbidden;
+}
+
+void LayoutAllocator::add_protected_zone(cpu::Addr first, cpu::Addr last) {
+  zones_.insert({first, last});
+}
+
+bool LayoutAllocator::in_protected_zone(cpu::Addr a) const {
+  for (const auto& [lo, hi] : zones_)
+    if (a >= lo && a <= hi) return true;
+  return false;
+}
+
+std::optional<cpu::Addr> LayoutAllocator::scan_free_run(
+    std::size_t len, bool avoid_protected) const {
+  std::size_t run = 0;
+  for (std::size_t a = 0; a < cpu::kMemWords; ++a) {
+    const bool usable =
+        use_[a] == CellUse::kFree &&
+        (!avoid_protected || !in_protected_zone(static_cast<cpu::Addr>(a)));
+    run = usable ? run + 1 : 0;
+    if (run >= len) return static_cast<cpu::Addr>(a + 1 - len);
+  }
+  return std::nullopt;
+}
+
+std::optional<cpu::Addr> LayoutAllocator::find_free_run(
+    std::size_t len) const {
+  if (auto a = scan_free_run(len, /*avoid_protected=*/true)) return a;
+  return scan_free_run(len, /*avoid_protected=*/false);
+}
+
+std::optional<cpu::Addr> LayoutAllocator::find_free_cell_with_offset(
+    std::uint8_t offset) const {
+  for (int pass = 0; pass < 2; ++pass) {
+    for (unsigned page = 0; page < 16; ++page) {
+      const cpu::Addr a =
+          cpu::make_addr(static_cast<std::uint8_t>(page), offset);
+      if (use_[a] != CellUse::kFree) continue;
+      if (pass == 0 && in_protected_zone(a)) continue;
+      return a;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<cpu::Addr> LayoutAllocator::find_free_cell() const {
+  return find_free_run(1);
+}
+
+bool LayoutAllocator::Txn::stage(cpu::Addr a, CellUse u, std::uint8_t v) {
+  a = cpu::wrap(a);
+  staged_[a] = {u, v};
+  return true;
+}
+
+CellUse LayoutAllocator::Txn::use(cpu::Addr a) const {
+  a = cpu::wrap(a);
+  auto it = staged_.find(a);
+  return it != staged_.end() ? it->second.use : alloc_.use(a);
+}
+
+std::uint8_t LayoutAllocator::Txn::value(cpu::Addr a) const {
+  a = cpu::wrap(a);
+  auto it = staged_.find(a);
+  return it != staged_.end() ? it->second.value : alloc_.value(a);
+}
+
+bool LayoutAllocator::Txn::set_code(cpu::Addr a, std::uint8_t v) {
+  if (use(a) != CellUse::kFree) return ok_ = false;
+  return stage(a, CellUse::kCode, v);
+}
+
+bool LayoutAllocator::Txn::set_patch(cpu::Addr a) {
+  if (use(a) != CellUse::kFree) return ok_ = false;
+  return stage(a, CellUse::kPatch, 0);
+}
+
+bool LayoutAllocator::Txn::require_operand(cpu::Addr a, std::uint8_t v) {
+  switch (use(a)) {
+    case CellUse::kFree:
+      return stage(a, CellUse::kOperand, v);
+    case CellUse::kOperand:
+    case CellUse::kCode:
+      if (value(a) == v) return true;
+      return ok_ = false;
+    default:
+      return ok_ = false;
+  }
+}
+
+bool LayoutAllocator::Txn::require_differs(cpu::Addr a, std::uint8_t avoid,
+                                           std::uint8_t preferred,
+                                           std::uint8_t* out) {
+  switch (use(a)) {
+    case CellUse::kFree:
+      assert(preferred != avoid);
+      if (out != nullptr) *out = preferred;
+      return stage(a, CellUse::kOperand, preferred);
+    case CellUse::kOperand:
+    case CellUse::kCode:
+      if (value(a) != avoid) {
+        if (out != nullptr) *out = value(a);
+        return true;
+      }
+      return ok_ = false;
+    default:
+      // kPatch: value unknown at this point; kResponse: run-time value
+      // unknown; kForbidden: unusable.  All conservative failures.
+      return ok_ = false;
+  }
+}
+
+bool LayoutAllocator::Txn::claim_response(cpu::Addr a) {
+  if (use(a) != CellUse::kFree) return ok_ = false;
+  return stage(a, CellUse::kResponse, 0);
+}
+
+bool LayoutAllocator::Txn::claim_response_overwrite(cpu::Addr a) {
+  const CellUse u = use(a);
+  if (u != CellUse::kFree && u != CellUse::kOperand) return ok_ = false;
+  // Keep the current value: an operand constant is still loaded with the
+  // image and consumed by earlier-executing code; only the run-time store
+  // turns the cell into a response.
+  return stage(a, CellUse::kResponse, value(a));
+}
+
+void LayoutAllocator::Txn::commit() {
+  assert(ok_ && !committed_);
+  committed_ = true;
+  for (const auto& [a, cell] : staged_) {
+    // Cells accepted as "already holds the right value" are not staged;
+    // everything staged is a claim (possibly an operand->response
+    // overwrite from claim_response_overwrite).
+    if (cell.use == CellUse::kPatch) ++alloc_.unpatched_;
+    alloc_.use_[a] = cell.use;
+    alloc_.value_[a] = cell.value;
+  }
+}
+
+void LayoutAllocator::patch(cpu::Addr a, std::uint8_t v) {
+  a = cpu::wrap(a);
+  if (use_[a] != CellUse::kPatch)
+    throw std::logic_error("patch() on a non-patch cell");
+  use_[a] = CellUse::kCode;
+  value_[a] = v;
+  --unpatched_;
+}
+
+std::size_t LayoutAllocator::used_bytes() const {
+  std::size_t n = 0;
+  for (CellUse u : use_)
+    if (u != CellUse::kFree && u != CellUse::kForbidden) ++n;
+  return n;
+}
+
+cpu::MemoryImage LayoutAllocator::image() const {
+  if (unpatched_ != 0)
+    throw std::logic_error("image() with unpatched JMP bytes");
+  cpu::MemoryImage img;
+  for (std::size_t a = 0; a < cpu::kMemWords; ++a)
+    if (use_[a] != CellUse::kFree && use_[a] != CellUse::kForbidden)
+      img.set(static_cast<cpu::Addr>(a), value_[a]);
+  return img;
+}
+
+}  // namespace xtest::sbst

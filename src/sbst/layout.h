@@ -1,0 +1,137 @@
+// Memory-layout allocator for self-test program construction.
+//
+// Address-bus tests dictate *where* instructions must live (Section 4.2:
+// the instruction providing transition v1 -> v2 must sit at v1-1, or at
+// v2-2 for the two-instruction glitch scheme), so building the test program
+// is a constrained placement problem over the 4K space.  The allocator
+// tracks a use and a value for every byte, supports transactional placement
+// (a fragment either fully places or leaves no trace -- a failed fragment
+// is exactly the paper's "address conflict" that makes a test unapplicable
+// in this session), patchable code bytes for forward JMP chaining, and a
+// soft "protected zone" set so relocatable code avoids addresses that
+// later fixed fragments will need.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cpu/isa.h"
+#include "cpu/memory_image.h"
+
+namespace xtest::sbst {
+
+enum class CellUse : std::uint8_t {
+  kFree,
+  kCode,      ///< instruction byte, value final
+  kPatch,     ///< instruction byte patched later (JMP target bytes)
+  kOperand,   ///< data constant read by the program
+  kResponse,  ///< written at run time, compared against the gold run
+  kForbidden, ///< outside the functionally usable address space
+};
+
+class LayoutAllocator {
+ public:
+  /// Cells at or above `usable_limit` are forbidden (models systems where
+  /// part of the address space is not functionally reachable).
+  explicit LayoutAllocator(cpu::Addr usable_limit = cpu::kMemWords);
+
+  CellUse use(cpu::Addr a) const { return use_[a & cpu::kAddrMask]; }
+  std::uint8_t value(cpu::Addr a) const { return value_[a & cpu::kAddrMask]; }
+  bool is_free(cpu::Addr a) const { return use(a) == CellUse::kFree; }
+
+  /// Addresses relocatable code should avoid when possible.
+  void add_protected_zone(cpu::Addr first, cpu::Addr last);
+
+  /// Whether `a` lies in a protected zone.
+  bool is_protected(cpu::Addr a) const { return in_protected_zone(a); }
+
+  /// First-fit search for `len` consecutive free bytes.  Prefers runs that
+  /// do not intersect protected zones; falls back to any free run.  Does
+  /// not wrap past 0xFFF.
+  std::optional<cpu::Addr> find_free_run(std::size_t len) const;
+
+  /// A free cell whose low byte (page-offset) equals `offset`, i.e. an
+  /// address of the form page:offset for some page.  Prefers unprotected.
+  std::optional<cpu::Addr> find_free_cell_with_offset(
+      std::uint8_t offset) const;
+
+  /// Any free cell (prefers unprotected).
+  std::optional<cpu::Addr> find_free_cell() const;
+
+  /// Transactional placement: stage operations, then commit or drop.
+  /// Staged cells are visible to further staging within the same
+  /// transaction (a fragment may reference its own bytes).
+  class Txn {
+   public:
+    explicit Txn(LayoutAllocator& alloc) : alloc_(alloc) {}
+
+    bool ok() const { return ok_; }
+
+    /// Place a final code byte.
+    bool set_code(cpu::Addr a, std::uint8_t v);
+    /// Place a code byte whose value is patched later.
+    bool set_patch(cpu::Addr a);
+    /// Demand that the cell holds `v`: claims a free cell, or accepts an
+    /// existing kOperand/kCode cell that already holds exactly `v`.
+    bool require_operand(cpu::Addr a, std::uint8_t v);
+    /// Demand that the cell's final value differs from `avoid`: claims a
+    /// free cell with `preferred` (must differ from `avoid`), or accepts an
+    /// occupied non-patch cell whose value differs.  Returns the resulting
+    /// value via `out` when non-null.
+    bool require_differs(cpu::Addr a, std::uint8_t avoid,
+                         std::uint8_t preferred, std::uint8_t* out = nullptr);
+    /// Claim a run-time-written response cell.
+    bool claim_response(cpu::Addr a);
+    /// Claim a response cell, allowing reuse of an existing kOperand cell
+    /// whose stored value has already been consumed by earlier-executing
+    /// code (the caller guarantees the execution-order argument).
+    bool claim_response_overwrite(cpu::Addr a);
+
+    /// Effective use/value seen through this transaction.
+    CellUse use(cpu::Addr a) const;
+    std::uint8_t value(cpu::Addr a) const;
+
+    void commit();
+
+   private:
+    struct Staged {
+      CellUse use;
+      std::uint8_t value;
+    };
+    bool stage(cpu::Addr a, CellUse u, std::uint8_t v);
+
+    LayoutAllocator& alloc_;
+    std::map<cpu::Addr, Staged> staged_;
+    bool ok_ = true;
+    bool committed_ = false;
+  };
+
+  /// Patch a kPatch cell with its final value (turns it into kCode).
+  void patch(cpu::Addr a, std::uint8_t v);
+
+  /// Number of non-free, non-forbidden cells.
+  std::size_t used_bytes() const;
+
+  /// The resulting memory image (all non-free cells defined; kPatch cells
+  /// must all have been patched).
+  cpu::MemoryImage image() const;
+
+ private:
+  friend class Txn;
+
+  bool in_protected_zone(cpu::Addr a) const;
+  std::optional<cpu::Addr> scan_free_run(std::size_t len,
+                                         bool avoid_protected) const;
+
+  std::vector<CellUse> use_;
+  std::vector<std::uint8_t> value_;
+  std::set<std::pair<cpu::Addr, cpu::Addr>> zones_;
+  std::size_t unpatched_ = 0;
+};
+
+}  // namespace xtest::sbst

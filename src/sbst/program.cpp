@@ -1,0 +1,17 @@
+#include "sbst/program.h"
+
+namespace xtest::sbst {
+
+std::string to_string(Scheme s) {
+  switch (s) {
+    case Scheme::kAddrDelay: return "addr-delay";
+    case Scheme::kAddrGlitch: return "addr-glitch";
+    case Scheme::kAddrDelayJmp: return "addr-delay-jmp";
+    case Scheme::kAddrGlitchJmp: return "addr-glitch-jmp";
+    case Scheme::kDataRead: return "data-read";
+    case Scheme::kDataWrite: return "data-write";
+  }
+  return "?";
+}
+
+}  // namespace xtest::sbst

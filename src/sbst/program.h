@@ -1,0 +1,75 @@
+// Self-test program representation.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/memory_image.h"
+#include "soc/bus.h"
+#include "xtalk/maf.h"
+
+namespace xtest::sbst {
+
+/// How a test was realised in the program.
+enum class Scheme : std::uint8_t {
+  kAddrDelay,   ///< 1-instruction scheme, transition Ai+1 -> Ax (Sec. 4.2.1)
+  kAddrGlitch,  ///< 2-instruction scheme, transition Ax -> Ai' (Sec. 4.2.2)
+  /// Compact fallbacks for densely clustered placements: the chaining JMP
+  /// itself applies the pair (its byte-2 fetch at v1 is followed by the
+  /// instruction fetch at the jump target v2), and detection is by control
+  /// divergence rather than an accumulated value.
+  kAddrDelayJmp,
+  kAddrGlitchJmp,
+  kDataRead,    ///< data bus core->cpu, transition M[Ai+1] -> M[Ax] (Sec. 4.1)
+  kDataWrite,   ///< data bus cpu->core, transition M[Ai+1] -> ACC (Sec. 3.1)
+};
+
+std::string to_string(Scheme s);
+
+/// One MA test realised in the program.
+struct PlannedTest {
+  soc::BusKind bus = soc::BusKind::kAddress;
+  xtalk::MafFault fault;
+  xtalk::VectorPair pair;   ///< the applied MA vector pair
+  Scheme scheme = Scheme::kAddrDelay;
+  int group = -1;           ///< response-compaction group
+  cpu::Addr response_cell = 0;
+  std::uint8_t pass_value = 0;  ///< this test's contribution to the group
+                                ///< signature (diagnostic; gold run is the
+                                ///< authoritative expected response)
+};
+
+/// A test that could not be realised.
+struct UnplacedTest {
+  soc::BusKind bus = soc::BusKind::kAddress;
+  xtalk::MafFault fault;
+  std::string reason;
+};
+
+struct TestProgram {
+  cpu::MemoryImage image;
+  cpu::Addr entry = 0;
+  /// Planned tests in execution order.
+  std::vector<PlannedTest> tests;
+  /// All cells an external tester unloads and compares: group signature
+  /// cells plus data-bus write-target cells, in a fixed order.
+  std::vector<cpu::Addr> response_cells;
+  /// Per response cell: how many tests (prefix of `tests`) have executed
+  /// by the time the cell is written.  Lets diagnosis bracket where a
+  /// truncated run derailed.
+  std::vector<std::size_t> response_watermarks;
+
+  std::size_t program_bytes() const { return image.defined_count(); }
+};
+
+struct GenerationResult {
+  TestProgram program;
+  std::vector<UnplacedTest> unplaced;
+
+  std::size_t placed_count(soc::BusKind bus) const;
+  std::size_t unplaced_count(soc::BusKind bus) const;
+};
+
+}  // namespace xtest::sbst

@@ -1,0 +1,140 @@
+#include "sim/campaign.h"
+
+#include <stdexcept>
+
+namespace xtest::sim {
+
+namespace {
+
+const xtalk::RcNetwork& nominal_net(const soc::System& system,
+                                    soc::BusKind bus) {
+  switch (bus) {
+    case soc::BusKind::kAddress: return system.nominal_address_network();
+    case soc::BusKind::kData: return system.nominal_data_network();
+    case soc::BusKind::kControl: return system.nominal_control_network();
+  }
+  return system.nominal_address_network();
+}
+
+void apply_defect(soc::System& system, soc::BusKind bus,
+                  const xtalk::Defect& defect) {
+  const xtalk::RcNetwork net = defect.apply(nominal_net(system, bus));
+  switch (bus) {
+    case soc::BusKind::kAddress: system.set_address_network(net); break;
+    case soc::BusKind::kData: system.set_data_network(net); break;
+    case soc::BusKind::kControl: system.set_control_network(net); break;
+  }
+}
+
+}  // namespace
+
+xtalk::DefectLibrary make_defect_library(const soc::SystemConfig& config,
+                                         soc::BusKind bus, std::size_t count,
+                                         std::uint64_t seed,
+                                         double sigma_pct) {
+  const soc::System system(config);
+  xtalk::DefectConfig dc;
+  dc.sigma_pct = sigma_pct;
+  switch (bus) {
+    case soc::BusKind::kAddress: dc.cth_fF = system.address_cth(); break;
+    case soc::BusKind::kData: dc.cth_fF = system.data_cth(); break;
+    case soc::BusKind::kControl: dc.cth_fF = system.control_cth(); break;
+  }
+  dc.count = count;
+  dc.seed = seed;
+  return xtalk::DefectLibrary::generate(nominal_net(system, bus), dc);
+}
+
+std::vector<bool> run_detection(const soc::SystemConfig& config,
+                                const sbst::TestProgram& program,
+                                soc::BusKind bus,
+                                const xtalk::DefectLibrary& library,
+                                std::uint64_t cycle_factor) {
+  soc::System system(config);
+  const ResponseSnapshot gold = run_and_capture(system, program, 1'000'000);
+  if (!gold.completed)
+    throw std::runtime_error("gold run did not complete; bad program");
+  const std::uint64_t budget = gold.cycles * cycle_factor + 1000;
+
+  std::vector<bool> detected;
+  detected.reserve(library.size());
+  for (const xtalk::Defect& d : library.defects()) {
+    apply_defect(system, bus, d);
+    const ResponseSnapshot snap = run_and_capture(system, program, budget);
+    detected.push_back(!snap.matches(gold));
+    system.clear_defects();
+  }
+  return detected;
+}
+
+std::vector<bool> run_detection_sessions(
+    const soc::SystemConfig& config,
+    const std::vector<sbst::GenerationResult>& sessions, soc::BusKind bus,
+    const xtalk::DefectLibrary& library, std::uint64_t cycle_factor) {
+  std::vector<bool> any(library.size(), false);
+  for (const sbst::GenerationResult& s : sessions) {
+    if (s.program.tests.empty()) continue;
+    const std::vector<bool> det =
+        run_detection(config, s.program, bus, library, cycle_factor);
+    for (std::size_t i = 0; i < any.size(); ++i)
+      any[i] = any[i] || det[i];
+  }
+  return any;
+}
+
+PerLineCoverage per_line_coverage(const soc::SystemConfig& config,
+                                  soc::BusKind bus,
+                                  const xtalk::DefectLibrary& library,
+                                  const sbst::GeneratorConfig& base_config,
+                                  std::uint64_t cycle_factor) {
+  const soc::System probe(config);
+  const unsigned width = nominal_net(probe, bus).width();
+  PerLineCoverage out;
+  out.library_size = library.size();
+  out.individual.resize(width, 0.0);
+  out.cumulative.resize(width, 0.0);
+  out.tests_placed.resize(width, 0);
+
+  std::vector<bool> cum(library.size(), false);
+  for (unsigned line = 0; line < width; ++line) {
+    // The MA tests for interconnect `line`: all MAF types, both directions
+    // for the data bus.
+    std::vector<xtalk::MafFault> faults;
+    const bool bidir =
+        bus == soc::BusKind::kData && base_config.data_both_directions;
+    for (const xtalk::MafFault& f :
+         xtalk::enumerate_mafs(width, bidir))
+      if (f.victim == line) faults.push_back(f);
+
+    sbst::GeneratorConfig cfg = base_config;
+    cfg.include_address_bus = bus == soc::BusKind::kAddress;
+    cfg.include_data_bus = bus == soc::BusKind::kData;
+    if (bus == soc::BusKind::kAddress)
+      cfg.address_faults = faults;
+    else
+      cfg.data_faults = faults;
+
+    // Multi-session realisation of this line's MA tests, so conflicts
+    // between the line's own four schemes do not hide any of them.
+    const std::vector<sbst::GenerationResult> minis =
+        sbst::TestProgramGenerator::generate_sessions(cfg);
+    for (const auto& s : minis) out.tests_placed[line] += s.program.tests.size();
+    const std::vector<bool> det = run_detection_sessions(
+        config, minis, bus, library, cycle_factor);
+    out.individual[line] = coverage(det);
+    for (std::size_t i = 0; i < cum.size(); ++i) cum[i] = cum[i] || det[i];
+    out.cumulative[line] = coverage(cum);
+  }
+
+  // The complete program set over all lines (multi-session, Section 5).
+  sbst::GeneratorConfig full = base_config;
+  full.include_address_bus = bus == soc::BusKind::kAddress;
+  full.include_data_bus = bus == soc::BusKind::kData;
+  const std::vector<sbst::GenerationResult> all =
+      sbst::TestProgramGenerator::generate_sessions(full);
+  out.overall = coverage(
+      run_detection_sessions(config, all, bus, library, cycle_factor));
+  return out;
+}
+
+}  // namespace xtest::sim

@@ -1,0 +1,72 @@
+// Defect-simulation campaigns (Fig. 9 of the paper).
+//
+// A campaign takes a defect library for one bus, applies each defect to the
+// system, executes a self-test program at speed, and compares the
+// tester-visible responses against the gold run.  Because the *whole*
+// program executes under the defect, fault masking and incidental
+// activations are accounted for, exactly as the paper argues.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sbst/generator.h"
+#include "sbst/program.h"
+#include "sim/signature.h"
+#include "soc/system.h"
+#include "xtalk/defect.h"
+
+namespace xtest::sim {
+
+/// Builds the paper's defect library for one of the system's buses:
+/// Gaussian perturbation with `sigma_pct`, acceptance at the system's
+/// calibrated Cth for that bus.
+xtalk::DefectLibrary make_defect_library(const soc::SystemConfig& config,
+                                         soc::BusKind bus, std::size_t count,
+                                         std::uint64_t seed,
+                                         double sigma_pct = 50.0);
+
+/// Runs `program` under every defect of `library` applied to `bus`.
+/// Returns one detected/undetected flag per defect.
+std::vector<bool> run_detection(const soc::SystemConfig& config,
+                                const sbst::TestProgram& program,
+                                soc::BusKind bus,
+                                const xtalk::DefectLibrary& library,
+                                std::uint64_t cycle_factor = 16);
+
+/// Detection by a *set* of programs (multi-session): a defect is detected
+/// when any session detects it.
+std::vector<bool> run_detection_sessions(
+    const soc::SystemConfig& config,
+    const std::vector<sbst::GenerationResult>& sessions, soc::BusKind bus,
+    const xtalk::DefectLibrary& library, std::uint64_t cycle_factor = 16);
+
+/// Fig. 11: individual and cumulative defect coverage of the MA tests for
+/// each interconnect of a bus.  "The MA test for interconnect i" is the
+/// mini-program applying line i's MAF set (4 per direction); individual
+/// coverage is its detection rate over the library, cumulative is the
+/// union over lines 1..i, `overall` is the full single-session program.
+struct PerLineCoverage {
+  std::vector<double> individual;
+  std::vector<double> cumulative;
+  /// Number of line-i MA tests actually placed (0 placed => 0 coverage).
+  std::vector<std::size_t> tests_placed;
+  double overall = 0.0;
+  std::size_t library_size = 0;
+};
+
+PerLineCoverage per_line_coverage(const soc::SystemConfig& config,
+                                  soc::BusKind bus,
+                                  const xtalk::DefectLibrary& library,
+                                  const sbst::GeneratorConfig& base_config,
+                                  std::uint64_t cycle_factor = 16);
+
+inline double coverage(const std::vector<bool>& detected) {
+  if (detected.empty()) return 0.0;
+  std::size_t n = 0;
+  for (bool d : detected) n += d;
+  return static_cast<double>(n) / static_cast<double>(detected.size());
+}
+
+}  // namespace xtest::sim

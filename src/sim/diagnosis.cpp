@@ -1,0 +1,102 @@
+#include "sim/diagnosis.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace xtest::sim {
+
+namespace {
+
+std::string hex_byte(std::uint8_t b) {
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "0x%02x", b);
+  return buf;
+}
+
+std::uint8_t value_at(const ResponseSnapshot& s, std::size_t k) {
+  return k < s.values.size() ? s.values[k] : 0;
+}
+
+}  // namespace
+
+std::vector<DiagnosisCandidate> diagnose(const sbst::TestProgram& program,
+                                         const ResponseSnapshot& gold,
+                                         const ResponseSnapshot& observed) {
+  std::vector<DiagnosisCandidate> out;
+  if (observed.matches(gold)) return out;
+
+  const std::size_t cells = program.response_cells.size();
+  const bool have_marks = program.response_watermarks.size() == cells;
+
+  // For a truncated run, only the *earliest* broken response carries
+  // information: later cells were simply never written.  Matching cells
+  // give no lower bound -- a derailed CPU executing wild code can rewrite
+  // earlier response cells with accidentally matching values -- so the
+  // window is [0, hi) with hi at the earliest unwritten group.
+  std::size_t hi = program.tests.size();
+  if (!observed.completed && have_marks) {
+    for (std::size_t k = 0; k < cells; ++k) {
+      if (value_at(gold, k) != value_at(observed, k))
+        hi = std::min(hi, program.response_watermarks[k]);
+    }
+  }
+
+  for (std::size_t k = 0; k < cells; ++k) {
+    const std::uint8_t g = value_at(gold, k);
+    const std::uint8_t o = value_at(observed, k);
+    if (g == o) continue;
+    // Skip uninformative post-truncation cells.
+    if (!observed.completed && have_marks &&
+        program.response_watermarks[k] > hi)
+      continue;
+    const std::uint8_t flipped = static_cast<std::uint8_t>(g ^ o);
+    const cpu::Addr cell = program.response_cells[k];
+
+    for (std::size_t i = 0; i < program.tests.size(); ++i) {
+      const sbst::PlannedTest& t = program.tests[i];
+      if (t.response_cell != cell) continue;
+      if (t.scheme == sbst::Scheme::kDataWrite) {
+        out.push_back({i, t.fault,
+                       "write target " + hex_byte(o) + " != expected " +
+                           hex_byte(g)});
+      } else if (t.pass_value != 0 && (flipped & t.pass_value) != 0) {
+        out.push_back({i, t.fault,
+                       "group signature bit " + hex_byte(t.pass_value) +
+                           " flipped (" + hex_byte(g) + " -> " + hex_byte(o) +
+                           ")"});
+      }
+    }
+  }
+
+  if (!observed.completed) {
+    // Control divergence: the compact JMP-scheme tests detect by derailing
+    // execution; implicate the ones inside the truncation window.
+    for (std::size_t i = 0; i < hi; ++i) {
+      const sbst::PlannedTest& t = program.tests[i];
+      if (t.scheme == sbst::Scheme::kAddrDelayJmp ||
+          t.scheme == sbst::Scheme::kAddrGlitchJmp) {
+        out.push_back({i, t.fault,
+                       "program did not complete (control-divergence "
+                       "scheme in the truncation window)"});
+      }
+    }
+  }
+
+  // A mismatch with no attributable candidate still deserves a record:
+  // blame every test sharing the first mismatching cell.
+  if (out.empty()) {
+    for (std::size_t k = 0; k < cells; ++k) {
+      const std::uint8_t g = value_at(gold, k);
+      const std::uint8_t o = value_at(observed, k);
+      if (g == o) continue;
+      for (std::size_t i = 0; i < program.tests.size(); ++i)
+        if (program.tests[i].response_cell == program.response_cells[k])
+          out.push_back({i, program.tests[i].fault,
+                         "response cell mismatch without one-hot signature"});
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace xtest::sim

@@ -1,0 +1,37 @@
+// Diagnosis from compacted test responses.
+//
+// Section 4.3: "If all tests pass ... the final test response is 11111111.
+// Otherwise, at least one bit in the test response vector is 0.  The
+// position of the '0' bit tells which test failed."  This module inverts a
+// faulty response snapshot back to candidate failing MA tests:
+//
+//  * a differing group-signature byte implicates the group's tests whose
+//    one-hot pass value overlaps the flipped bits;
+//  * a differing data-bus write target implicates its write test directly;
+//  * an incomplete run (or a run whose early responses are missing)
+//    implicates the control-divergence tests (the compact JMP schemes)
+//    executed near the truncation point.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sbst/program.h"
+#include "sim/signature.h"
+
+namespace xtest::sim {
+
+struct DiagnosisCandidate {
+  std::size_t test_index;  ///< into TestProgram::tests
+  xtalk::MafFault fault;
+  std::string evidence;    ///< human-readable justification
+};
+
+/// Candidate failing tests explaining `observed` against `gold`.
+/// Empty when the responses match (no fault to diagnose).
+std::vector<DiagnosisCandidate> diagnose(const sbst::TestProgram& program,
+                                         const ResponseSnapshot& gold,
+                                         const ResponseSnapshot& observed);
+
+}  // namespace xtest::sim

@@ -1,0 +1,94 @@
+#include "sim/serialize.h"
+
+#include <cstdio>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace xtest::sim {
+
+std::string image_to_text(const cpu::MemoryImage& image) {
+  std::ostringstream os;
+  for (std::size_t a = 0; a < cpu::kMemWords; ++a) {
+    if (!image.defined(static_cast<cpu::Addr>(a))) continue;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%03zx: %02x\n", a,
+                  image.at(static_cast<cpu::Addr>(a)));
+    os << buf;
+  }
+  return os.str();
+}
+
+cpu::MemoryImage image_from_text(const std::string& text) {
+  cpu::MemoryImage image;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    unsigned addr = 0, byte = 0;
+    if (std::sscanf(line.c_str(), "0x%x: %x", &addr, &byte) != 2 ||
+        addr >= cpu::kMemWords || byte > 0xFF)
+      throw std::runtime_error("image_from_text: bad line '" + line + "'");
+    image.set(static_cast<cpu::Addr>(addr),
+              static_cast<std::uint8_t>(byte));
+  }
+  return image;
+}
+
+std::string library_to_csv(const xtalk::DefectLibrary& library,
+                           unsigned width) {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << width << ',' << library.config().sigma_pct << ','
+     << library.config().cth_fF << ',' << library.size() << ','
+     << library.config().seed << '\n';
+  for (const xtalk::Defect& d : library.defects()) {
+    bool first = true;
+    for (unsigned i = 0; i < width; ++i)
+      for (unsigned j = i + 1; j < width; ++j) {
+        if (!first) os << ',';
+        os << d.factor(i, j);
+        first = false;
+      }
+    os << '\n';
+  }
+  return os.str();
+}
+
+LoadedLibrary library_from_csv(const std::string& csv) {
+  std::istringstream is(csv);
+  std::string line;
+  if (!std::getline(is, line))
+    throw std::runtime_error("library_from_csv: empty input");
+
+  LoadedLibrary out;
+  unsigned width = 0;
+  std::size_t count = 0;
+  {
+    std::istringstream hs(line);
+    char comma;
+    if (!(hs >> width >> comma >> out.config.sigma_pct >> comma >>
+          out.config.cth_fF >> comma >> count >> comma >> out.config.seed))
+      throw std::runtime_error("library_from_csv: bad header");
+    out.config.count = count;
+  }
+  const std::size_t npairs =
+      static_cast<std::size_t>(width) * (width - 1) / 2;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::vector<double> factors;
+    factors.reserve(npairs);
+    std::istringstream ls(line);
+    std::string cell;
+    while (std::getline(ls, cell, ',')) factors.push_back(std::stod(cell));
+    if (factors.size() != npairs)
+      throw std::runtime_error("library_from_csv: bad row width");
+    out.defects.emplace_back(width, std::move(factors));
+  }
+  if (out.defects.size() != count)
+    throw std::runtime_error("library_from_csv: row count mismatch");
+  return out;
+}
+
+}  // namespace xtest::sim

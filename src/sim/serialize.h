@@ -1,0 +1,37 @@
+// Text serialisation for reproducibility artefacts.
+//
+// Campaigns are deterministic given a seed, but real tester flows archive
+// the exact program image and defect library that produced a result.
+// These formats are plain text, diffable, and round-trip exactly:
+//
+//   memory image:   "<addr-hex>: <byte-hex>" per defined byte
+//   defect library: header line, then one CSV row of factors per defect
+
+#pragma once
+
+#include <string>
+
+#include "cpu/memory_image.h"
+#include "xtalk/defect.h"
+
+namespace xtest::sim {
+
+/// Image -> text ("0x010: 2f\n...").  Only defined bytes are emitted.
+std::string image_to_text(const cpu::MemoryImage& image);
+
+/// Text -> image.  Throws std::runtime_error on malformed input.
+cpu::MemoryImage image_from_text(const std::string& text);
+
+/// Library -> CSV ("width,sigma_pct,cth_fF,count,seed" header then one
+/// factor row per defect).
+std::string library_to_csv(const xtalk::DefectLibrary& library,
+                           unsigned width);
+
+/// CSV -> defects (the config line is restored into the returned pair).
+struct LoadedLibrary {
+  xtalk::DefectConfig config;
+  std::vector<xtalk::Defect> defects;
+};
+LoadedLibrary library_from_csv(const std::string& csv);
+
+}  // namespace xtest::sim

@@ -1,0 +1,21 @@
+#include "sim/signature.h"
+
+namespace xtest::sim {
+
+ResponseSnapshot run_and_capture(soc::System& system,
+                                 const sbst::TestProgram& program,
+                                 std::uint64_t max_cycles) {
+  system.load_and_reset(program.image, program.entry);
+  const soc::RunResult rr = system.run(max_cycles);
+  ResponseSnapshot snap;
+  snap.completed =
+      rr.halted && rr.reason == cpu::HaltReason::kHltInstruction;
+  snap.reason = rr.reason;
+  snap.cycles = rr.cycles;
+  snap.values.reserve(program.response_cells.size());
+  for (cpu::Addr a : program.response_cells)
+    snap.values.push_back(system.memory().read(a));
+  return snap;
+}
+
+}  // namespace xtest::sim

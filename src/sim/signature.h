@@ -1,0 +1,41 @@
+// Test-response capture.
+//
+// After a self-test run the external tester unloads the program's response
+// cells and compares them with the expected (gold) values; it also notices
+// when the chip fails to signal completion within the test-time budget.
+// A ResponseSnapshot is exactly what the tester sees.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/cpu.h"
+#include "sbst/program.h"
+#include "soc/system.h"
+
+namespace xtest::sim {
+
+struct ResponseSnapshot {
+  /// Response bytes, parallel to TestProgram::response_cells.
+  std::vector<std::uint8_t> values;
+  /// Whether the program reached HLT within the cycle budget.
+  bool completed = false;
+
+  /// Not part of detection (a tester only sees responses + timeout):
+  cpu::HaltReason reason = cpu::HaltReason::kRunning;
+  std::uint64_t cycles = 0;
+
+  /// Detection = any response byte differs or completion status differs.
+  bool matches(const ResponseSnapshot& o) const {
+    return completed == o.completed && values == o.values;
+  }
+};
+
+/// Loads the program, runs it (at most `max_cycles`), and captures the
+/// responses from memory.
+ResponseSnapshot run_and_capture(soc::System& system,
+                                 const sbst::TestProgram& program,
+                                 std::uint64_t max_cycles);
+
+}  // namespace xtest::sim

@@ -1,0 +1,25 @@
+#include "sim/verify.h"
+
+namespace xtest::sim {
+
+VerificationResult verify_program(const sbst::TestProgram& program,
+                                  const soc::SystemConfig& config,
+                                  std::uint64_t cycle_factor) {
+  soc::System system(config);
+  VerificationResult result;
+  // Generous first budget: the gold run must complete on its own.
+  result.gold = run_and_capture(system, program, 1'000'000);
+  result.max_cycles = result.gold.cycles * cycle_factor + 1000;
+
+  for (std::size_t i = 0; i < program.tests.size(); ++i) {
+    const sbst::PlannedTest& t = program.tests[i];
+    system.set_forced_maf(soc::ForcedMaf{t.bus, t.fault});
+    const ResponseSnapshot snap =
+        run_and_capture(system, program, result.max_cycles);
+    if (snap.matches(result.gold)) result.ineffective.push_back(i);
+    system.set_forced_maf(std::nullopt);
+  }
+  return result;
+}
+
+}  // namespace xtest::sim

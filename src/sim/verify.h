@@ -1,0 +1,41 @@
+// Functional verification of generated test programs.
+//
+// The generator's placement rules are structural; some accepted placements
+// could still be unobservable in corner cases (e.g. a corrupted fetch that
+// happens to converge to the pass behaviour).  Verification closes the
+// loop: for every planned test, the program runs against an *ideal* forced
+// MAF -- a defect excited exactly and only by that test's MA transition --
+// and the test is effective iff the tester-visible response diverges from
+// the gold run.  This mirrors the paper's own validation philosophy
+// ("experimental results show that a self-test program ... is able to
+// achieve its projected defect coverage") and also certifies that response
+// compaction does not alias the fault away.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sbst/program.h"
+#include "sim/signature.h"
+#include "soc/system.h"
+
+namespace xtest::sim {
+
+struct VerificationResult {
+  ResponseSnapshot gold;
+  std::uint64_t max_cycles = 0;
+  /// Indices into program.tests whose forced fault was NOT observed.
+  std::vector<std::size_t> ineffective;
+
+  bool all_effective() const { return ineffective.empty(); }
+};
+
+/// Verifies every planned test of `program` on a fresh system built from
+/// `config`.  The cycle budget is gold cycles * `cycle_factor` (a hung
+/// faulty run counts as detected -- the tester times out).
+VerificationResult verify_program(const sbst::TestProgram& program,
+                                  const soc::SystemConfig& config = {},
+                                  std::uint64_t cycle_factor = 16);
+
+}  // namespace xtest::sim

@@ -1,0 +1,27 @@
+#include "soc/bus.h"
+
+#include <cassert>
+
+namespace xtest::soc {
+
+std::string to_string(BusKind k) {
+  switch (k) {
+    case BusKind::kAddress: return "addr";
+    case BusKind::kData: return "data";
+    case BusKind::kControl: return "ctrl";
+  }
+  return "?";
+}
+
+util::BusWord TristateBus::transfer(util::BusWord word,
+                                    const xtalk::RcNetwork* net,
+                                    const xtalk::CrosstalkErrorModel* model) {
+  assert(word.width() == width_);
+  const xtalk::VectorPair pair{held_, word};
+  util::BusWord received = word;
+  if (net != nullptr && model != nullptr) received = model->receive(*net, pair);
+  held_ = word;
+  return received;
+}
+
+}  // namespace xtest::soc

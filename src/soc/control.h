@@ -1,0 +1,53 @@
+// Control-bus modelling.
+//
+// The paper (Section 3): "The testing of interconnects between the CPU and
+// non-memory cores and the testing of control busses are subjects of
+// future study."  This module implements that future study for the
+// CPU-memory system: a three-wire control bus
+//
+//   wire 0  RD   memory drives the data bus
+//   wire 1  WR   memory captures the data bus
+//   wire 2  CS   chip select, asserted on every transaction
+//
+// carried through the same tri-state/crosstalk machinery as the address
+// and data buses.  Corrupted control words have architectural effects:
+// a glitched WR during a read performs a destructive spurious write, a
+// dropped WR loses a store, a dropped RD leaves the CPU sampling the
+// floating (held) data bus.
+//
+// The punchline the experiments quantify: the only control words the
+// system ever drives are READ and WRITE, so *no* control-bus MAF is fully
+// excitable in functional mode -- software-based self-test can only catch
+// control-bus defects through partial excitation, while hardware BIST's
+// full MA set over-tests. This is precisely why the paper defers control
+// buses.
+
+#pragma once
+
+#include "util/bitvec.h"
+
+namespace xtest::soc {
+
+inline constexpr unsigned kControlBits = 3;
+inline constexpr unsigned kCtrlRd = 0;
+inline constexpr unsigned kCtrlWr = 1;
+inline constexpr unsigned kCtrlCs = 2;
+
+/// The control word the CPU drives for a transaction.
+inline util::BusWord control_word(bool write) {
+  return util::BusWord(kControlBits,
+                       (write ? (1u << kCtrlWr) : (1u << kCtrlRd)) |
+                           (1u << kCtrlCs));
+}
+
+/// Decoded view of a (possibly corrupted) received control word.
+struct ControlView {
+  bool rd = false;
+  bool wr = false;
+  bool cs = false;
+
+  explicit ControlView(util::BusWord w)
+      : rd(w.bit(kCtrlRd)), wr(w.bit(kCtrlWr)), cs(w.bit(kCtrlCs)) {}
+};
+
+}  // namespace xtest::soc

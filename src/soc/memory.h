@@ -1,0 +1,31 @@
+// 4K byte-wide instruction/data memory core.
+
+#pragma once
+
+#include <array>
+
+#include "cpu/isa.h"
+#include "cpu/memory_image.h"
+
+namespace xtest::soc {
+
+class Memory {
+ public:
+  Memory() { data_.fill(0); }
+
+  std::uint8_t read(cpu::Addr a) const { return data_[a & cpu::kAddrMask]; }
+  void write(cpu::Addr a, std::uint8_t v) { data_[a & cpu::kAddrMask] = v; }
+
+  /// Loads an image the way an external tester would: the full 4K space,
+  /// undefined bytes cleared to zero.
+  void load(const cpu::MemoryImage& image) { data_ = image.raw(); }
+
+  void clear() { data_.fill(0); }
+
+  const std::array<std::uint8_t, cpu::kMemWords>& raw() const { return data_; }
+
+ private:
+  std::array<std::uint8_t, cpu::kMemWords> data_;
+};
+
+}  // namespace xtest::soc

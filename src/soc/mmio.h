@@ -1,0 +1,65 @@
+// Memory-mapped non-memory cores.
+//
+// Section 3 of the paper: "the most common mechanism for a CPU to
+// communicate with a core is via memory-mapped I/O, in which certain
+// addresses in the memory address space of the CPU are reserved for
+// addressing the cores" -- and the proposed method extends to CPU-core
+// interconnect testing because of exactly that.  An MmioDevice occupies a
+// window of the 4K space; System routes bus transactions inside the window
+// to the device instead of the memory core.  The crosstalk error model is
+// applied identically, since the same physical buses carry the traffic.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/isa.h"
+
+namespace xtest::soc {
+
+class MmioDevice {
+ public:
+  virtual ~MmioDevice() = default;
+  /// `offset` is relative to the device's window base.
+  virtual std::uint8_t read(cpu::Addr offset) = 0;
+  virtual void write(cpu::Addr offset, std::uint8_t data) = 0;
+};
+
+/// A bank of byte registers -- the simplest peripheral core; reads return
+/// the last written value, which makes it a transparent bus-test target.
+class RegisterFileDevice : public MmioDevice {
+ public:
+  explicit RegisterFileDevice(std::size_t size) : regs_(size, 0) {}
+
+  std::uint8_t read(cpu::Addr offset) override {
+    return offset < regs_.size() ? regs_[offset] : 0;
+  }
+  void write(cpu::Addr offset, std::uint8_t data) override {
+    if (offset < regs_.size()) regs_[offset] = data;
+  }
+
+  std::size_t size() const { return regs_.size(); }
+
+ private:
+  std::vector<std::uint8_t> regs_;
+};
+
+/// A read-only identification/status core: writes are ignored, reads return
+/// a pattern.  Models the "value stored in v2' cannot be easily controlled"
+/// discussion of Section 3.2.
+class RomDevice : public MmioDevice {
+ public:
+  explicit RomDevice(std::vector<std::uint8_t> contents)
+      : contents_(std::move(contents)) {}
+
+  std::uint8_t read(cpu::Addr offset) override {
+    return contents_.empty() ? 0 : contents_[offset % contents_.size()];
+  }
+  void write(cpu::Addr, std::uint8_t) override {}
+
+ private:
+  std::vector<std::uint8_t> contents_;
+};
+
+}  // namespace xtest::soc

@@ -1,0 +1,165 @@
+// The CPU-memory system of Section 4, with crosstalk-aware buses.
+//
+// Wires together: the PARWAN-style core, the 4K memory, optional
+// memory-mapped peripheral cores, a 12-bit unidirectional address bus, an
+// 8-bit bidirectional data bus, and the 3-wire RD/WR/CS control bus (the
+// paper's deferred "future study").  Every bus transaction runs through
+// the high-level crosstalk error model against the bus's current RC
+// network; injecting a defect is replacing a network with its perturbed
+// version.
+//
+// Forced-MAF injection (ideal single-fault behaviour, used to verify that
+// a generated test actually observes its target fault) corrupts a transfer
+// exactly when the transition fully excites the forced fault -- the MA
+// pair is the unique such transition.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cpu/cpu.h"
+#include "cpu/memory_image.h"
+#include "soc/bus.h"
+#include "soc/control.h"
+#include "soc/memory.h"
+#include "soc/mmio.h"
+#include "soc/trace.h"
+#include "xtalk/defect.h"
+#include "xtalk/error_model.h"
+#include "xtalk/maf.h"
+#include "xtalk/rc_network.h"
+
+namespace xtest::soc {
+
+struct SystemConfig {
+  xtalk::BusGeometry address_geometry{.width = cpu::kAddrBits};
+  xtalk::BusGeometry data_geometry{.width = cpu::kDataBits};
+  xtalk::BusGeometry control_geometry{.width = kControlBits};
+  /// Cth = ratio * max nominal net coupling; calibrates the error-model
+  /// thresholds and is the defect-library acceptance threshold.
+  double cth_ratio = 1.6;
+  /// Clock-period multiplier relative to the rated (at-speed) clock.
+  /// 1.0 = normal operational speed; larger values model a slow external
+  /// tester clocking the system below speed: the sampling slack grows
+  /// proportionally and marginal delay defects stop being observable --
+  /// the paper's core argument for at-speed self-test (Section 1).
+  double clock_period_scale = 1.0;
+};
+
+struct RunResult {
+  std::uint64_t cycles = 0;
+  bool halted = false;
+  cpu::HaltReason reason = cpu::HaltReason::kRunning;
+};
+
+/// Ideal single-MAF fault for test verification.
+struct ForcedMaf {
+  soc::BusKind bus;
+  xtalk::MafFault fault;
+};
+
+class System : public cpu::BusPort {
+ public:
+  explicit System(const SystemConfig& config = {});
+
+  // --- configuration -----------------------------------------------------
+  const xtalk::RcNetwork& nominal_address_network() const {
+    return nominal_addr_net_;
+  }
+  const xtalk::RcNetwork& nominal_data_network() const {
+    return nominal_data_net_;
+  }
+  const xtalk::RcNetwork& nominal_control_network() const {
+    return nominal_ctrl_net_;
+  }
+  double address_cth() const { return addr_cth_; }
+  double data_cth() const { return data_cth_; }
+  double control_cth() const { return ctrl_cth_; }
+  const xtalk::CrosstalkErrorModel& address_model() const {
+    return addr_model_;
+  }
+  const xtalk::CrosstalkErrorModel& data_model() const { return data_model_; }
+  const xtalk::CrosstalkErrorModel& control_model() const {
+    return ctrl_model_;
+  }
+
+  /// Defect injection: replace a bus's RC network (pass the defect-applied
+  /// network).  `clear_defects` restores all nominals.
+  void set_address_network(xtalk::RcNetwork net);
+  void set_data_network(xtalk::RcNetwork net);
+  void set_control_network(xtalk::RcNetwork net);
+  void clear_defects();
+
+  void set_forced_maf(std::optional<ForcedMaf> f) { forced_ = f; }
+
+  /// Attach a peripheral core at [base, base+size).  The window shadows
+  /// memory for CPU accesses.
+  void attach_mmio(cpu::Addr base, cpu::Addr size, MmioDevice* device);
+
+  void set_trace(BusTrace* trace) { trace_ = trace; }
+
+  // --- operation ----------------------------------------------------------
+  Memory& memory() { return memory_; }
+  const Memory& memory() const { return memory_; }
+  cpu::Cpu& processor() { return cpu_; }
+  const cpu::Cpu& processor() const { return cpu_; }
+
+  /// Tester action: load a program image and reset into it.
+  void load_and_reset(const cpu::MemoryImage& image, cpu::Addr entry);
+
+  /// Runs until HLT/illegal or the cycle cap.  At-speed self-test phase.
+  RunResult run(std::uint64_t max_cycles);
+
+  // --- cpu::BusPort -------------------------------------------------------
+  std::uint8_t read(cpu::Addr addr) override;
+  void write(cpu::Addr addr, std::uint8_t data) override;
+  void internal_cycle() override;
+
+ private:
+  struct MmioWindow {
+    cpu::Addr base;
+    cpu::Addr size;
+    MmioDevice* device;
+  };
+
+  /// Address-bus transfer (CPU drives); returns address memory receives.
+  cpu::Addr send_address(cpu::Addr addr);
+  /// Data-bus transfer; returns the byte the receiver samples.
+  std::uint8_t send_data(std::uint8_t byte, xtalk::BusDirection direction);
+  /// Control-bus transfer (CPU drives); returns the word memory receives.
+  ControlView send_control(bool write);
+
+  util::BusWord apply_bus(TristateBus& bus, const xtalk::RcNetwork& net,
+                          const xtalk::CrosstalkErrorModel& model,
+                          util::BusWord driven, xtalk::BusDirection direction);
+
+  std::uint8_t core_read(cpu::Addr addr);
+  void core_write(cpu::Addr addr, std::uint8_t data);
+  MmioWindow* window_at(cpu::Addr addr);
+
+  xtalk::RcNetwork nominal_addr_net_;
+  xtalk::RcNetwork nominal_data_net_;
+  xtalk::RcNetwork nominal_ctrl_net_;
+  double addr_cth_;
+  double data_cth_;
+  double ctrl_cth_;
+  xtalk::CrosstalkErrorModel addr_model_;
+  xtalk::CrosstalkErrorModel data_model_;
+  xtalk::CrosstalkErrorModel ctrl_model_;
+  xtalk::RcNetwork addr_net_;  // active (possibly defect-applied)
+  xtalk::RcNetwork data_net_;
+  xtalk::RcNetwork ctrl_net_;
+
+  TristateBus addr_bus_{BusKind::kAddress, cpu::kAddrBits};
+  TristateBus data_bus_{BusKind::kData, cpu::kDataBits};
+  TristateBus ctrl_bus_{BusKind::kControl, kControlBits};
+  Memory memory_;
+  std::vector<MmioWindow> mmio_;
+  cpu::Cpu cpu_{*this};
+  BusTrace* trace_ = nullptr;
+  std::optional<ForcedMaf> forced_;
+};
+
+}  // namespace xtest::soc

@@ -1,0 +1,32 @@
+#include "soc/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace xtest::soc {
+
+std::string BusEvent::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "cycle %5llu  %-4s %-9s drive=%s recv=%s%s",
+                static_cast<unsigned long long>(cycle),
+                soc::to_string(bus).c_str(),
+                xtalk::to_string(direction).c_str(),
+                driven.to_binary().c_str(), received.to_binary().c_str(),
+                corrupted ? "  <corrupt>" : "");
+  return buf;
+}
+
+std::vector<BusEvent> BusTrace::on_bus(BusKind k) const {
+  std::vector<BusEvent> out;
+  for (const auto& e : events_)
+    if (e.bus == k) out.push_back(e);
+  return out;
+}
+
+std::string BusTrace::render() const {
+  std::ostringstream os;
+  for (const auto& e : events_) os << e.to_string() << '\n';
+  return os.str();
+}
+
+}  // namespace xtest::soc

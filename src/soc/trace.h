@@ -1,0 +1,48 @@
+// Bus transaction tracing.
+//
+// Records every bus transfer (cycle, bus, direction, driven word, received
+// word).  Used to regenerate the paper's Fig. 5 timing diagram, to debug
+// test programs, and by tests that assert on exact transition sequences.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "soc/bus.h"
+#include "util/bitvec.h"
+#include "xtalk/maf.h"
+
+namespace xtest::soc {
+
+struct BusEvent {
+  std::uint64_t cycle = 0;
+  BusKind bus = BusKind::kAddress;
+  xtalk::BusDirection direction = xtalk::BusDirection::kCpuToCore;
+  util::BusWord driven;
+  util::BusWord received;
+  bool corrupted = false;  ///< received != driven
+
+  std::string to_string() const;
+};
+
+class BusTrace {
+ public:
+  void record(BusEvent e) { events_.push_back(std::move(e)); }
+  void clear() { events_.clear(); }
+
+  const std::vector<BusEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+
+  /// Events on one bus only, in order.
+  std::vector<BusEvent> on_bus(BusKind k) const;
+
+  /// Multi-line rendering (one line per event).
+  std::string render() const;
+
+ private:
+  std::vector<BusEvent> events_;
+};
+
+}  // namespace xtest::soc

@@ -1,0 +1,54 @@
+#include "soc/waveform.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace xtest::soc {
+
+std::string render_waveform(const BusTrace& trace, BusKind bus,
+                            const WaveformOptions& options) {
+  std::vector<BusEvent> events = trace.on_bus(bus);
+  if (options.max_events != 0 && events.size() > options.max_events)
+    events.resize(options.max_events);
+  if (events.empty()) return "(no events)\n";
+
+  const unsigned width = events.front().driven.width();
+  std::ostringstream os;
+
+  // Header: cycle numbers.
+  os << "          ";
+  for (const auto& e : events) {
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "%4llu",
+                  static_cast<unsigned long long>(e.cycle));
+    os << buf;
+  }
+  os << '\n';
+
+  for (unsigned wire = width; wire-- > 0;) {
+    char name[16];
+    std::snprintf(name, sizeof name, "%s[%2u]  ", to_string(bus).c_str(),
+                  wire);
+    os << name;
+    bool prev = false;
+    bool have_prev = false;
+    for (const auto& e : events) {
+      const util::BusWord w = options.received ? e.received : e.driven;
+      const bool bit = w.bit(wire);
+      char sym;
+      if (!have_prev || bit == prev)
+        sym = bit ? '#' : '_';
+      else
+        sym = bit ? '/' : '\\';
+      os << "   " << sym;
+      prev = bit;
+      have_prev = true;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace xtest::soc

@@ -1,0 +1,30 @@
+// ASCII waveform rendering of bus traces (Fig. 5-style timing diagrams).
+//
+// Renders each bus wire as one row over the traced cycles:
+//
+//   addr[0]  ___/########\_____
+//
+// '_' low, '#' high, '/' '\' transitions, '.' cycles where the bus only
+// holds its value ("z" on the real bus).  Intended for terminal output in
+// examples and benches; also a debugging aid for generated test programs.
+
+#pragma once
+
+#include <string>
+
+#include "soc/trace.h"
+
+namespace xtest::soc {
+
+struct WaveformOptions {
+  /// Render received values instead of driven values.
+  bool received = false;
+  /// Limit to the first N events on the bus (0 = all).
+  std::size_t max_events = 0;
+};
+
+/// Multi-line waveform of one bus from a trace.
+std::string render_waveform(const BusTrace& trace, BusKind bus,
+                            const WaveformOptions& options = {});
+
+}  // namespace xtest::soc

@@ -1,0 +1,25 @@
+#include "util/bitvec.h"
+
+#include <bit>
+
+namespace xtest::util {
+
+unsigned BusWord::hamming_distance(const BusWord& o) const {
+  assert(width_ == o.width_);
+  return static_cast<unsigned>(std::popcount(bits_ ^ o.bits_));
+}
+
+std::string BusWord::to_binary() const {
+  std::string s;
+  s.reserve(width_);
+  for (unsigned i = width_; i-- > 0;) s.push_back(bit(i) ? '1' : '0');
+  return s;
+}
+
+std::string BusWord::to_page_offset() const {
+  if (width_ != 12) return to_binary();
+  const std::string s = to_binary();
+  return s.substr(0, 4) + ":" + s.substr(4);
+}
+
+}  // namespace xtest::util

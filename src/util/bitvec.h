@@ -1,0 +1,83 @@
+// Fixed-width bus words.
+//
+// A BusWord is the logical value carried by an N-wire bus (N <= 64).  Wire i
+// corresponds to bit i (wire 0 is the least-significant line).  The paper
+// numbers bus lines 1..N from the LSB ("bus line 1" in Section 4.1 is the
+// least-significant data line), so printable helpers exist for both views.
+
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace xtest::util {
+
+/// Value on an N-wire bus, N in [1, 64].  Bits above the width are always 0.
+class BusWord {
+ public:
+  BusWord() = default;
+
+  constexpr BusWord(unsigned width, std::uint64_t bits)
+      : width_(width), bits_(bits & mask(width)) {
+    assert(width >= 1 && width <= 64);
+  }
+
+  /// All-zero word of the given width.
+  static constexpr BusWord zeros(unsigned width) { return {width, 0}; }
+
+  /// All-one word of the given width.
+  static constexpr BusWord ones(unsigned width) {
+    return {width, mask(width)};
+  }
+
+  /// Word with only wire `i` high.
+  static constexpr BusWord one_hot(unsigned width, unsigned i) {
+    return {width, std::uint64_t{1} << i};
+  }
+
+  constexpr unsigned width() const { return width_; }
+  constexpr std::uint64_t bits() const { return bits_; }
+
+  constexpr bool bit(unsigned i) const {
+    assert(i < width_);
+    return (bits_ >> i) & 1u;
+  }
+
+  constexpr BusWord with_bit(unsigned i, bool value) const {
+    assert(i < width_);
+    std::uint64_t b = value ? (bits_ | (std::uint64_t{1} << i))
+                            : (bits_ & ~(std::uint64_t{1} << i));
+    return {width_, b};
+  }
+
+  constexpr BusWord inverted() const { return {width_, ~bits_}; }
+
+  constexpr BusWord operator^(const BusWord& o) const {
+    assert(width_ == o.width_);
+    return {width_, bits_ ^ o.bits_};
+  }
+
+  constexpr bool operator==(const BusWord& o) const = default;
+
+  /// Number of wires whose value differs from `o`.
+  unsigned hamming_distance(const BusWord& o) const;
+
+  /// MSB-first binary string, e.g. width 4, value 0b0010 -> "0010".
+  std::string to_binary() const;
+
+  /// The paper's page:offset rendering for 12-bit addresses
+  /// ("1111:11101111"); for other widths falls back to to_binary().
+  std::string to_page_offset() const;
+
+  static constexpr std::uint64_t mask(unsigned width) {
+    return width >= 64 ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << width) - 1);
+  }
+
+ private:
+  unsigned width_ = 1;
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace xtest::util

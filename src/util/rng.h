@@ -1,0 +1,40 @@
+// Deterministic random number generation for defect-library construction.
+//
+// All stochastic experiments in the library are seeded explicitly so that a
+// campaign is exactly reproducible: the same seed always yields the same
+// defect library, hence the same coverage table.
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace xtest::util {
+
+/// Thin wrapper over std::mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Standard normal times `sigma`.
+  double gaussian(double sigma) {
+    return std::normal_distribution<double>(0.0, sigma)(engine_);
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) {
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace xtest::util

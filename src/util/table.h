@@ -1,0 +1,38 @@
+// Plain-text table rendering for benches and examples.
+//
+// Every experiment binary prints its reproduction of a paper table/figure
+// through this renderer so outputs are uniform and diffable.
+
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace xtest::util {
+
+/// Accumulates rows of strings and renders an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Render with column alignment and a header rule.
+  std::string render() const;
+
+  /// Render as comma-separated values (header + rows).
+  std::string render_csv() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xtest::util

@@ -1,0 +1,86 @@
+#include "xtalk/defect.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace xtest::xtalk {
+
+double recommended_cth(const RcNetwork& nominal, double ratio) {
+  return ratio * nominal.max_net_coupling();
+}
+
+Defect::Defect(unsigned width, std::vector<double> factors)
+    : width_(width), factors_(std::move(factors)) {
+  assert(factors_.size() ==
+         static_cast<std::size_t>(width_) * (width_ - 1) / 2);
+}
+
+std::size_t Defect::tri_index(unsigned i, unsigned j) const {
+  assert(i != j && i < width_ && j < width_);
+  if (i > j) std::swap(i, j);
+  // Offset of row i in the upper triangle (row i has width-1-i entries).
+  const std::size_t row_start =
+      static_cast<std::size_t>(i) * width_ - static_cast<std::size_t>(i) * (i + 1) / 2;
+  return row_start + (j - i - 1);
+}
+
+double Defect::factor(unsigned i, unsigned j) const {
+  return factors_[tri_index(i, j)];
+}
+
+RcNetwork Defect::apply(const RcNetwork& nominal) const {
+  assert(nominal.width() == width_);
+  RcNetwork net = nominal;
+  for (unsigned i = 0; i < width_; ++i)
+    for (unsigned j = i + 1; j < width_; ++j)
+      net.scale_coupling(i, j, factor(i, j));
+  return net;
+}
+
+std::vector<unsigned> Defect::defective_wires(const RcNetwork& nominal,
+                                              double cth_fF) const {
+  const RcNetwork net = apply(nominal);
+  std::vector<unsigned> out;
+  for (unsigned i = 0; i < width_; ++i)
+    if (net.net_coupling(i) > cth_fF) out.push_back(i);
+  return out;
+}
+
+DefectLibrary DefectLibrary::generate(const RcNetwork& nominal,
+                                      const DefectConfig& config) {
+  if (config.cth_fF <= 0.0)
+    throw std::invalid_argument("DefectConfig::cth_fF must be positive");
+  const unsigned width = nominal.width();
+  const std::size_t npairs =
+      static_cast<std::size_t>(width) * (width - 1) / 2;
+  util::Rng rng(config.seed);
+
+  std::vector<Defect> defects;
+  defects.reserve(config.count);
+  std::size_t attempts = 0;
+  std::vector<double> factors(npairs);
+  while (defects.size() < config.count) {
+    if (++attempts > config.max_attempts)
+      throw std::runtime_error(
+          "DefectLibrary::generate: defect yield too low; raise sigma or "
+          "lower cth_fF");
+    for (double& f : factors)
+      f = std::max(0.0, 1.0 + rng.gaussian(config.sigma_pct / 100.0));
+    Defect candidate(width, factors);
+    const RcNetwork net = candidate.apply(nominal);
+    if (net.max_net_coupling() > config.cth_fF)
+      defects.push_back(std::move(candidate));
+  }
+  return DefectLibrary(config, std::move(defects), attempts);
+}
+
+std::vector<std::size_t> DefectLibrary::defective_wire_histogram(
+    const RcNetwork& nominal) const {
+  std::vector<std::size_t> hist(nominal.width(), 0);
+  for (const Defect& d : defects_)
+    for (unsigned w : d.defective_wires(nominal, config_.cth_fF)) ++hist[w];
+  return hist;
+}
+
+}  // namespace xtest::xtalk

@@ -1,0 +1,83 @@
+#include "xtalk/error_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace xtest::xtalk {
+
+namespace {
+constexpr double kLn2 = 0.6931471805599453;
+}  // namespace
+
+ErrorModelConfig ErrorModelConfig::calibrated(const RcNetwork& nominal,
+                                              double cth_fF) {
+  ErrorModelConfig cfg;
+  const double cg = nominal.ground_cap(0);
+  // Glitch: under the MA test every aggressor switches, so the excursion is
+  // Vdd * C / (Cg + C); it reaches the threshold exactly at C = Cth.
+  cfg.glitch_threshold_v = cfg.vdd_v * cth_fF / (cg + cth_fF);
+  // Delay: under the MA test every aggressor switches opposite (Miller 2),
+  // so t = ln2 * R * (Cg + 2C); slack is the value of t at C = Cth.
+  // R is in ohm, C in fF -> t in 1e-15 * ohm * F = 1e-6 ns; scale to ns.
+  cfg.delay_slack_ns =
+      kLn2 * nominal.driver_resistance() * (cg + 2.0 * cth_fF) * 1e-6;
+  return cfg;
+}
+
+double CrosstalkErrorModel::glitch_amplitude(const RcNetwork& net,
+                                             const VectorPair& pair,
+                                             unsigned i) const {
+  const unsigned width = net.width();
+  assert(i < width);
+  double injected = 0.0;
+  for (unsigned j = 0; j < width; ++j) {
+    if (j == i) continue;
+    const bool a1 = pair.v1.bit(j);
+    const bool a2 = pair.v2.bit(j);
+    if (a1 == a2) continue;
+    injected += (a2 ? 1.0 : -1.0) * net.coupling(i, j);
+  }
+  const double total = net.ground_cap(i) + net.net_coupling(i);
+  return config_.vdd_v * injected / total;
+}
+
+double CrosstalkErrorModel::transition_delay(const RcNetwork& net,
+                                             const VectorPair& pair,
+                                             unsigned i) const {
+  const unsigned width = net.width();
+  assert(i < width);
+  const bool rising = pair.v2.bit(i);
+  double ceff = net.ground_cap(i);
+  for (unsigned j = 0; j < width; ++j) {
+    if (j == i) continue;
+    const bool a1 = pair.v1.bit(j);
+    const bool a2 = pair.v2.bit(j);
+    double miller = 1.0;  // quiet aggressor
+    if (a1 != a2) miller = (a2 == rising) ? 0.0 : 2.0;
+    ceff += miller * net.coupling(i, j);
+  }
+  return kLn2 * net.driver_resistance() * ceff * 1e-6;  // fF*ohm -> ns
+}
+
+util::BusWord CrosstalkErrorModel::receive(const RcNetwork& net,
+                                           const VectorPair& pair) const {
+  const unsigned width = net.width();
+  assert(pair.v1.width() == width && pair.v2.width() == width);
+  util::BusWord out = pair.v2;
+  for (unsigned i = 0; i < width; ++i) {
+    const bool b1 = pair.v1.bit(i);
+    const bool b2 = pair.v2.bit(i);
+    if (b1 == b2) {
+      const double dv = glitch_amplitude(net, pair, i);
+      const bool flips = b2 ? (-dv >= config_.glitch_threshold_v)
+                            : (dv >= config_.glitch_threshold_v);
+      if (flips) out = out.with_bit(i, !b2);
+    } else {
+      if (transition_delay(net, pair, i) > config_.delay_slack_ns)
+        out = out.with_bit(i, b1);
+    }
+  }
+  return out;
+}
+
+}  // namespace xtest::xtalk

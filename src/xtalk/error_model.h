@@ -1,0 +1,76 @@
+// High-level crosstalk error model (Bai-Dey, VTS'01).
+//
+// Given the RC parameters of a bus and a transition (previous word ->
+// driven word), the model decides for every wire whether the receiver
+// samples a corrupted value:
+//
+//  * A wire holding its value can suffer a coupling glitch.  Charge
+//    injected by switching neighbours produces a victim excursion of
+//        dV = Vdd * (sum_j s_j * Cc[i][j]) / (Cg[i] + sum_j Cc[i][j])
+//    with s_j = +1 for a rising aggressor, -1 for falling, 0 for quiet.
+//    The receiver captures a flipped bit when |dV| >= glitch_threshold_v
+//    and the excursion points away from the held value.
+//
+//  * A transitioning wire can suffer a crosstalk delay.  Its effective
+//    switched capacitance uses Miller factors (0 for an aggressor switching
+//    the same way, 1 for a quiet aggressor, 2 for an opposite transition):
+//        t = ln2 * R * (Cg[i] + sum_j k_ij * Cc[i][j])
+//    The receiver samples the *old* bit when t > delay_slack_ns.
+//
+// Both effects grow monotonically with coupling capacitance, which is the
+// property the MAF theory (ICCAD'99) rests on: under the MA excitation the
+// error appears exactly when the net coupling C on the victim exceeds a
+// threshold Cth.  `ErrorModelConfig::calibrated` derives the voltage and
+// timing thresholds from a chosen Cth so that glitch and delay effects
+// share one detectability boundary, as assumed by the paper's Fig. 10 flow.
+
+#pragma once
+
+#include "util/bitvec.h"
+#include "xtalk/maf.h"
+#include "xtalk/rc_network.h"
+
+namespace xtest::xtalk {
+
+struct ErrorModelConfig {
+  double vdd_v = 1.8;
+  /// Receiver captures a glitch when the victim excursion reaches this.
+  double glitch_threshold_v = 0.9;
+  /// Receiver samples the old value when the transition is slower than this.
+  double delay_slack_ns = 1.0;
+
+  /// Thresholds such that, under the MA excitation on `nominal`'s bus, a
+  /// wire errs exactly when its net coupling exceeds `cth_fF`.
+  static ErrorModelConfig calibrated(const RcNetwork& nominal, double cth_fF);
+};
+
+/// Stateless evaluator: corruption of one bus transfer.
+class CrosstalkErrorModel {
+ public:
+  explicit CrosstalkErrorModel(ErrorModelConfig config) : config_(config) {}
+
+  const ErrorModelConfig& config() const { return config_; }
+
+  /// Victim excursion in volts on wire `i` for the transition `pair`
+  /// (positive = towards Vdd).  Meaningful when wire `i` is stable.
+  double glitch_amplitude(const RcNetwork& net, const VectorPair& pair,
+                          unsigned i) const;
+
+  /// 50%-point transition delay in ns on wire `i` for the transition `pair`.
+  /// Meaningful when wire `i` switches.
+  double transition_delay(const RcNetwork& net, const VectorPair& pair,
+                          unsigned i) const;
+
+  /// The word the receiver samples when `pair.v2` is driven after `pair.v1`.
+  util::BusWord receive(const RcNetwork& net, const VectorPair& pair) const;
+
+  /// True when `receive` differs from the driven word.
+  bool corrupts(const RcNetwork& net, const VectorPair& pair) const {
+    return receive(net, pair) != pair.v2;
+  }
+
+ private:
+  ErrorModelConfig config_;
+};
+
+}  // namespace xtest::xtalk

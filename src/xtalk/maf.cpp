@@ -1,0 +1,111 @@
+#include "xtalk/maf.h"
+
+#include <cassert>
+
+namespace xtest::xtalk {
+
+std::string to_string(MafType t) {
+  switch (t) {
+    case MafType::kPositiveGlitch: return "gp";
+    case MafType::kNegativeGlitch: return "gn";
+    case MafType::kRisingDelay: return "dr";
+    case MafType::kFallingDelay: return "df";
+  }
+  return "?";
+}
+
+bool is_glitch(MafType t) {
+  return t == MafType::kPositiveGlitch || t == MafType::kNegativeGlitch;
+}
+
+std::string to_string(BusDirection d) {
+  return d == BusDirection::kCpuToCore ? "cpu->core" : "core->cpu";
+}
+
+std::string MafFault::label() const {
+  return to_string(type) + "@" + std::to_string(victim + 1) + "/" +
+         to_string(direction);
+}
+
+VectorPair ma_test(unsigned width, const MafFault& fault) {
+  assert(fault.victim < width);
+  const BusWord victim_bit = BusWord::one_hot(width, fault.victim);
+  switch (fault.type) {
+    case MafType::kPositiveGlitch:
+      // victim stable 0, aggressors 0 -> 1
+      return {BusWord::zeros(width), victim_bit.inverted()};
+    case MafType::kNegativeGlitch:
+      // victim stable 1, aggressors 1 -> 0
+      return {BusWord::ones(width), victim_bit};
+    case MafType::kRisingDelay:
+      // victim 0 -> 1, aggressors 1 -> 0
+      return {victim_bit.inverted(), victim_bit};
+    case MafType::kFallingDelay:
+      // victim 1 -> 0, aggressors 0 -> 1
+      return {victim_bit, victim_bit.inverted()};
+  }
+  return {};
+}
+
+BusWord faulty_v2(const MafFault& fault, const VectorPair& pair) {
+  switch (fault.type) {
+    case MafType::kPositiveGlitch:
+      return pair.v2.with_bit(fault.victim, true);
+    case MafType::kNegativeGlitch:
+      return pair.v2.with_bit(fault.victim, false);
+    case MafType::kRisingDelay:
+    case MafType::kFallingDelay:
+      return pair.v2.with_bit(fault.victim, pair.v1.bit(fault.victim));
+  }
+  return pair.v2;
+}
+
+bool fully_excites(const MafFault& fault, const VectorPair& pair) {
+  const unsigned width = pair.v1.width();
+  assert(pair.v2.width() == width);
+  assert(fault.victim < width);
+  const bool b1 = pair.v1.bit(fault.victim);
+  const bool b2 = pair.v2.bit(fault.victim);
+  bool victim_ok = false;
+  bool aggressors_rise = false;  // required aggressor direction
+  switch (fault.type) {
+    case MafType::kPositiveGlitch:
+      victim_ok = !b1 && !b2;
+      aggressors_rise = true;
+      break;
+    case MafType::kNegativeGlitch:
+      victim_ok = b1 && b2;
+      aggressors_rise = false;
+      break;
+    case MafType::kRisingDelay:
+      victim_ok = !b1 && b2;
+      aggressors_rise = false;
+      break;
+    case MafType::kFallingDelay:
+      victim_ok = b1 && !b2;
+      aggressors_rise = true;
+      break;
+  }
+  if (!victim_ok) return false;
+  for (unsigned i = 0; i < width; ++i) {
+    if (i == fault.victim) continue;
+    const bool a1 = pair.v1.bit(i);
+    const bool a2 = pair.v2.bit(i);
+    if (aggressors_rise ? !(!a1 && a2) : !(a1 && !a2)) return false;
+  }
+  return true;
+}
+
+std::vector<MafFault> enumerate_mafs(unsigned width, bool bidirectional) {
+  std::vector<MafFault> out;
+  out.reserve(width * 4 * (bidirectional ? 2 : 1));
+  const BusDirection dirs[] = {BusDirection::kCpuToCore,
+                               BusDirection::kCoreToCpu};
+  const int ndir = bidirectional ? 2 : 1;
+  for (int d = 0; d < ndir; ++d)
+    for (unsigned v = 0; v < width; ++v)
+      for (MafType t : kAllMafTypes) out.push_back({v, t, dirs[d]});
+  return out;
+}
+
+}  // namespace xtest::xtalk

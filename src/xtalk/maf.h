@@ -1,0 +1,99 @@
+// Maximum Aggressor Fault (MAF) model.
+//
+// Following Cuviello/Dey/Bai/Zhao (ICCAD'99), a crosstalk fault on an N-wire
+// bus is abstracted by its error effect on one victim wire:
+//
+//   positive glitch (gp): victim stable 0, all aggressors rise
+//   negative glitch (gn): victim stable 1, all aggressors fall
+//   rising delay    (dr): victim rises,    all aggressors fall
+//   falling delay   (df): victim falls,    all aggressors rise
+//
+// Each fault has a unique Maximum Aggressor (MA) test: the two-vector
+// sequence (v1, v2) shown in Fig. 1 of the paper.  For an N-wire bus there
+// are 4N faults per direction.  MA tests are necessary and sufficient for
+// detecting every cross-coupling defect in an RC interconnect network.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bitvec.h"
+
+namespace xtest::xtalk {
+
+using util::BusWord;
+
+/// The four MAF error effects.
+enum class MafType : std::uint8_t {
+  kPositiveGlitch,
+  kNegativeGlitch,
+  kRisingDelay,
+  kFallingDelay,
+};
+
+/// All four types, in the paper's enumeration order (gp, gn, dr, df).
+inline constexpr MafType kAllMafTypes[] = {
+    MafType::kPositiveGlitch,
+    MafType::kNegativeGlitch,
+    MafType::kRisingDelay,
+    MafType::kFallingDelay,
+};
+
+/// Short mnemonic used throughout reports: "gp", "gn", "dr", "df".
+std::string to_string(MafType t);
+
+/// Whether the fault is a glitch effect (victim stable) as opposed to a
+/// delay effect (victim transitioning).
+bool is_glitch(MafType t);
+
+/// Transfer direction on a bidirectional bus.  Unidirectional buses (the
+/// address bus) only ever use kCpuToCore.
+enum class BusDirection : std::uint8_t { kCpuToCore, kCoreToCpu };
+
+std::string to_string(BusDirection d);
+
+/// One MAF: an error effect on one victim wire, for transfers in one
+/// direction.  `victim` is a 0-based wire index (wire 0 = LSB); the paper's
+/// "bus line i" is victim i-1.
+struct MafFault {
+  unsigned victim = 0;
+  MafType type = MafType::kPositiveGlitch;
+  BusDirection direction = BusDirection::kCpuToCore;
+
+  bool operator==(const MafFault&) const = default;
+
+  /// "gp@3/cpu->core" style label (victim printed 1-based as in the paper).
+  std::string label() const;
+};
+
+/// A two-vector MA test.
+struct VectorPair {
+  BusWord v1;
+  BusWord v2;
+
+  bool operator==(const VectorPair&) const = default;
+};
+
+/// The MA test for `fault` on a `width`-wire bus (Fig. 1 of the paper).
+VectorPair ma_test(unsigned width, const MafFault& fault);
+
+/// The word sampled by the receiver when `fault` is excited by the MA test
+/// transition of `pair`:
+///  - glitches flip the victim bit of v2;
+///  - delays leave the victim bit at its v1 value.
+/// Works for any pair, not only the canonical MA test.
+BusWord faulty_v2(const MafFault& fault, const VectorPair& pair);
+
+/// Whether the transition (pair.v1 -> pair.v2) fully excites `fault`, i.e.
+/// the victim holds the required value/transition and every aggressor makes
+/// the required transition.  The MA test is the unique fully-exciting pair.
+bool fully_excites(const MafFault& fault, const VectorPair& pair);
+
+/// All 4N faults (or 8N when `bidirectional`), ordered by victim then type,
+/// CpuToCore before CoreToCpu.
+std::vector<MafFault> enumerate_mafs(unsigned width, bool bidirectional);
+
+}  // namespace xtest::xtalk

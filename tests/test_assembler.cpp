@@ -1,0 +1,158 @@
+#include "cpu/assembler.h"
+
+#include <gtest/gtest.h>
+
+namespace xtest::cpu {
+namespace {
+
+TEST(Assembler, MinimalProgram) {
+  const AsmResult r = assemble(R"(
+        cla
+        hlt
+  )");
+  EXPECT_EQ(r.entry, 0x000);
+  EXPECT_EQ(r.image.at(0x000), 0xF1);
+  EXPECT_EQ(r.image.at(0x001), 0xF8);
+  EXPECT_EQ(r.image.defined_count(), 2u);
+}
+
+TEST(Assembler, MemRefOperandForms) {
+  const AsmResult r = assemble(R"(
+        .org 0x100
+        lda 0xfef        ; hex absolute
+        add 15:0xef      ; page:offset (paper notation)
+        sta 4079         ; decimal
+  )");
+  EXPECT_EQ(r.image.at(0x100), 0x0F);
+  EXPECT_EQ(r.image.at(0x101), 0xEF);
+  EXPECT_EQ(r.image.at(0x102), 0x2F);
+  EXPECT_EQ(r.image.at(0x103), 0xEF);
+  EXPECT_EQ(r.image.at(0x104), 0x6F);
+  EXPECT_EQ(r.image.at(0x105), 0xEF);
+}
+
+TEST(Assembler, LabelsAndArithmetic) {
+  const AsmResult r = assemble(R"(
+start:  lda data
+        add data+1
+        jmp start
+        .org 0x300
+data:   .byte 0x11, 0x22
+  )");
+  EXPECT_EQ(r.symbols.at("start"), 0x000);
+  EXPECT_EQ(r.symbols.at("data"), 0x300);
+  EXPECT_EQ(r.image.at(0x000), 0x03);  // lda page 3
+  EXPECT_EQ(r.image.at(0x001), 0x00);
+  EXPECT_EQ(r.image.at(0x003), 0x01);  // data+1 offset
+  EXPECT_EQ(r.image.at(0x300), 0x11);
+  EXPECT_EQ(r.image.at(0x301), 0x22);
+}
+
+TEST(Assembler, ForwardReferences) {
+  const AsmResult r = assemble(R"(
+        jmp later
+        .org 0x050
+later:  hlt
+  )");
+  EXPECT_EQ(r.image.at(0x001), 0x50);
+}
+
+TEST(Assembler, BranchWithinPage) {
+  const AsmResult r = assemble(R"(
+        .org 0x210
+loop:   inc
+        bz  loop
+  )");
+  EXPECT_EQ(r.image.at(0x211), 0xE4);
+  EXPECT_EQ(r.image.at(0x212), 0x10);  // offset of loop within page 2
+}
+
+TEST(Assembler, BranchOutOfPageFails) {
+  EXPECT_THROW(assemble(R"(
+        .org 0x2f0
+        bz target
+        .org 0x300
+target: hlt
+  )"),
+               AsmError);
+}
+
+TEST(Assembler, ResAndByteDirectives) {
+  const AsmResult r = assemble(R"(
+        .org 0x010
+buf:    .res 3
+vals:   .byte 1, 0b10, 0x3
+  )");
+  EXPECT_EQ(r.symbols.at("vals"), 0x013);
+  EXPECT_EQ(r.image.at(0x010), 0x00);
+  EXPECT_TRUE(r.image.defined(0x012));
+  EXPECT_EQ(r.image.at(0x014), 0x02);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("  cla\n  bogus 1\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Assembler, RejectsDuplicateLabel) {
+  EXPECT_THROW(assemble("x: nop\nx: nop\n"), AsmError);
+}
+
+TEST(Assembler, RejectsUnknownLabel) {
+  EXPECT_THROW(assemble("jmp nowhere\n"), AsmError);
+}
+
+TEST(Assembler, RejectsOutOfRangeOperand) {
+  EXPECT_THROW(assemble("lda 0x1000\n"), AsmError);
+  EXPECT_THROW(assemble(".byte 300\n"), AsmError);
+  EXPECT_THROW(assemble(".org 0x1000\n"), AsmError);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const AsmResult r = assemble(R"(
+  ; a full-line comment
+
+        nop   ; trailing comment
+  )");
+  EXPECT_EQ(r.image.defined_count(), 1u);
+}
+
+TEST(Assembler, EntryIsFirstInstruction) {
+  const AsmResult r = assemble(R"(
+        .org 0x020
+data:   .byte 1
+        .org 0x100
+        cla
+        hlt
+  )");
+  EXPECT_EQ(r.entry, 0x100);
+}
+
+TEST(Disassembler, ListsDefinedInstructions) {
+  const AsmResult r = assemble(R"(
+        .org 0x010
+        add 0xf07
+        hlt
+  )");
+  const std::string listing = disassemble_image(r.image);
+  EXPECT_NE(listing.find("0x010: 2f 07   add 0xf07"), std::string::npos);
+  EXPECT_NE(listing.find("hlt"), std::string::npos);
+}
+
+TEST(MemoryImage, MergeOverlays) {
+  MemoryImage a, b;
+  a.set(0x10, 1);
+  b.set(0x20, 2);
+  b.set(0x10, 3);
+  a.merge(b);
+  EXPECT_EQ(a.at(0x10), 3);
+  EXPECT_EQ(a.at(0x20), 2);
+  EXPECT_EQ(a.defined_count(), 2u);
+}
+
+}  // namespace
+}  // namespace xtest::cpu

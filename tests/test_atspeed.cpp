@@ -1,0 +1,79 @@
+// Clock-speed dependence of delay-fault observability (Section 1).
+
+#include <gtest/gtest.h>
+
+#include "sim/campaign.h"
+#include "soc/system.h"
+
+namespace xtest {
+namespace {
+
+TEST(AtSpeed, SlowClockStretchesSlack) {
+  soc::SystemConfig rated;
+  soc::SystemConfig slow;
+  slow.clock_period_scale = 2.0;
+  const soc::System a(rated), b(slow);
+  EXPECT_NEAR(b.address_model().config().delay_slack_ns,
+              2.0 * a.address_model().config().delay_slack_ns, 1e-12);
+  // Glitch thresholds are speed-independent.
+  EXPECT_DOUBLE_EQ(b.address_model().config().glitch_threshold_v,
+                   a.address_model().config().glitch_threshold_v);
+}
+
+TEST(AtSpeed, MarginalDelayDefectEscapesSlowClock) {
+  // A defect just above Cth errs at speed but passes at half speed.
+  soc::SystemConfig rated;
+  const soc::System sys(rated);
+  const unsigned victim = 5;
+  xtalk::RcNetwork bad = sys.nominal_address_network();
+  const double f = 1.1 * sys.address_cth() /
+                   sys.nominal_address_network().net_coupling(victim);
+  for (unsigned j = 0; j < 12; ++j)
+    if (j != victim) bad.scale_coupling(victim, j, f);
+
+  const auto dr = xtalk::ma_test(
+      12, {victim, xtalk::MafType::kRisingDelay,
+           xtalk::BusDirection::kCpuToCore});
+  EXPECT_TRUE(sys.address_model().corrupts(bad, dr));
+
+  soc::SystemConfig slowcfg;
+  slowcfg.clock_period_scale = 2.0;
+  const soc::System slow(slowcfg);
+  EXPECT_FALSE(slow.address_model().corrupts(bad, dr));
+}
+
+TEST(AtSpeed, GlitchDefectVisibleAtAnySpeed) {
+  soc::SystemConfig slowcfg;
+  slowcfg.clock_period_scale = 4.0;
+  const soc::System slow(slowcfg);
+  const unsigned victim = 5;
+  xtalk::RcNetwork bad = slow.nominal_address_network();
+  const double f = 1.5 * slow.address_cth() /
+                   slow.nominal_address_network().net_coupling(victim);
+  for (unsigned j = 0; j < 12; ++j)
+    if (j != victim) bad.scale_coupling(victim, j, f);
+  const auto gp = xtalk::ma_test(
+      12, {victim, xtalk::MafType::kPositiveGlitch,
+           xtalk::BusDirection::kCpuToCore});
+  EXPECT_TRUE(slow.address_model().corrupts(bad, gp));
+}
+
+TEST(AtSpeed, CoverageDegradesMonotonically) {
+  const auto lib = sim::make_defect_library(
+      soc::SystemConfig{}, soc::BusKind::kAddress, 40, 7);
+  const auto gen =
+      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+  double prev = 2.0;
+  for (const double scale : {1.0, 2.0, 4.0}) {
+    soc::SystemConfig cfg;
+    cfg.clock_period_scale = scale;
+    const double cov = sim::coverage(
+        sim::run_detection(cfg, gen.program, soc::BusKind::kAddress, lib));
+    EXPECT_LE(cov, prev) << scale;
+    prev = cov;
+  }
+  EXPECT_LT(prev, 1.0);  // the slowest clock misses delay defects
+}
+
+}  // namespace
+}  // namespace xtest

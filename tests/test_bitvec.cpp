@@ -1,0 +1,97 @@
+#include "util/bitvec.h"
+
+#include <gtest/gtest.h>
+
+namespace xtest::util {
+namespace {
+
+TEST(BusWord, ZerosAndOnes) {
+  EXPECT_EQ(BusWord::zeros(8).bits(), 0u);
+  EXPECT_EQ(BusWord::ones(8).bits(), 0xFFu);
+  EXPECT_EQ(BusWord::ones(12).bits(), 0xFFFu);
+  EXPECT_EQ(BusWord::ones(64).bits(), ~std::uint64_t{0});
+}
+
+TEST(BusWord, MasksConstructionBits) {
+  EXPECT_EQ(BusWord(8, 0x1FF).bits(), 0xFFu);
+  EXPECT_EQ(BusWord(12, 0xFFFFF).bits(), 0xFFFu);
+}
+
+TEST(BusWord, OneHot) {
+  for (unsigned i = 0; i < 12; ++i) {
+    const BusWord w = BusWord::one_hot(12, i);
+    EXPECT_EQ(w.bits(), 1u << i);
+    for (unsigned j = 0; j < 12; ++j) EXPECT_EQ(w.bit(j), i == j);
+  }
+}
+
+TEST(BusWord, WithBit) {
+  BusWord w = BusWord::zeros(8);
+  w = w.with_bit(3, true);
+  EXPECT_EQ(w.bits(), 0x08u);
+  w = w.with_bit(3, false);
+  EXPECT_EQ(w.bits(), 0x00u);
+  // Setting an already-set bit is idempotent.
+  w = BusWord::ones(8).with_bit(5, true);
+  EXPECT_EQ(w.bits(), 0xFFu);
+}
+
+TEST(BusWord, Inverted) {
+  EXPECT_EQ(BusWord(8, 0xF0).inverted().bits(), 0x0Fu);
+  EXPECT_EQ(BusWord(12, 0).inverted().bits(), 0xFFFu);
+  EXPECT_EQ(BusWord(64, 0).inverted().bits(), ~std::uint64_t{0});
+}
+
+TEST(BusWord, Xor) {
+  EXPECT_EQ((BusWord(8, 0xAA) ^ BusWord(8, 0xFF)).bits(), 0x55u);
+}
+
+TEST(BusWord, HammingDistance) {
+  EXPECT_EQ(BusWord(8, 0x00).hamming_distance(BusWord(8, 0xFF)), 8u);
+  EXPECT_EQ(BusWord(8, 0xA5).hamming_distance(BusWord(8, 0xA5)), 0u);
+  EXPECT_EQ(BusWord(12, 0x800).hamming_distance(BusWord(12, 0x000)), 1u);
+}
+
+TEST(BusWord, ToBinaryIsMsbFirst) {
+  EXPECT_EQ(BusWord(4, 0b0010).to_binary(), "0010");
+  EXPECT_EQ(BusWord(8, 0x80).to_binary(), "10000000");
+}
+
+TEST(BusWord, ToPageOffsetMatchesPaperNotation) {
+  // The paper writes 12-bit addresses as page:offset.
+  EXPECT_EQ(BusWord(12, 0xFEF).to_page_offset(), "1111:11101111");
+  EXPECT_EQ(BusWord(12, 0x010).to_page_offset(), "0000:00010000");
+  // Other widths fall back to plain binary.
+  EXPECT_EQ(BusWord(8, 0xF7).to_page_offset(), "11110111");
+}
+
+TEST(BusWord, Equality) {
+  EXPECT_EQ(BusWord(8, 5), BusWord(8, 5));
+  EXPECT_NE(BusWord(8, 5), BusWord(8, 6));
+  EXPECT_NE(BusWord(8, 5), BusWord(12, 5));
+}
+
+class BusWordWidths : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BusWordWidths, InversionIsInvolution) {
+  const unsigned w = GetParam();
+  const BusWord x(w, 0x5A5A5A5A5A5A5A5Aull);
+  EXPECT_EQ(x.inverted().inverted(), x);
+}
+
+TEST_P(BusWordWidths, OnesHasFullHammingFromZeros) {
+  const unsigned w = GetParam();
+  EXPECT_EQ(BusWord::zeros(w).hamming_distance(BusWord::ones(w)), w);
+}
+
+TEST_P(BusWordWidths, BinaryLengthEqualsWidth) {
+  const unsigned w = GetParam();
+  EXPECT_EQ(BusWord::ones(w).to_binary().size(), w);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BusWordWidths,
+                         ::testing::Values(1u, 2u, 4u, 8u, 12u, 16u, 32u,
+                                           63u, 64u));
+
+}  // namespace
+}  // namespace xtest::util

@@ -1,0 +1,91 @@
+#include "soc/bus.h"
+
+#include <gtest/gtest.h>
+
+#include "xtalk/defect.h"
+
+namespace xtest::soc {
+namespace {
+
+using util::BusWord;
+using xtalk::BusGeometry;
+using xtalk::CrosstalkErrorModel;
+using xtalk::ErrorModelConfig;
+using xtalk::RcNetwork;
+
+TEST(TristateBus, PowersUpHoldingZero) {
+  TristateBus bus(BusKind::kData, 8);
+  EXPECT_EQ(bus.held(), BusWord::zeros(8));
+  EXPECT_EQ(bus.width(), 8u);
+  EXPECT_EQ(bus.kind(), BusKind::kData);
+}
+
+TEST(TristateBus, HoldsLastDrivenValue) {
+  // Section 4.1: "When 'z' appears, we assume the bus holds the last
+  // defined value before 'z'".  Idle cycles do not touch the bus, so the
+  // next transfer's transition starts from the last driven word.
+  TristateBus bus(BusKind::kData, 8);
+  bus.transfer(BusWord(8, 0xA5), nullptr, nullptr);
+  EXPECT_EQ(bus.held(), BusWord(8, 0xA5));
+  bus.transfer(BusWord(8, 0x3C), nullptr, nullptr);
+  EXPECT_EQ(bus.held(), BusWord(8, 0x3C));
+}
+
+TEST(TristateBus, IdealTransferReturnsDriven) {
+  TristateBus bus(BusKind::kAddress, 12);
+  EXPECT_EQ(bus.transfer(BusWord(12, 0xFEF), nullptr, nullptr),
+            BusWord(12, 0xFEF));
+}
+
+TEST(TristateBus, ResetRestoresZero) {
+  TristateBus bus(BusKind::kData, 8);
+  bus.transfer(BusWord(8, 0xFF), nullptr, nullptr);
+  bus.reset();
+  EXPECT_EQ(bus.held(), BusWord::zeros(8));
+}
+
+TEST(TristateBus, AppliesErrorModelToTransition) {
+  BusGeometry g;
+  g.width = 8;
+  RcNetwork nom(g);
+  const double cth = xtalk::recommended_cth(nom, 1.6);
+  const CrosstalkErrorModel model(ErrorModelConfig::calibrated(nom, cth));
+
+  // Defective wire 3: blow up its couplings.
+  RcNetwork bad = nom;
+  for (unsigned j = 0; j < 8; ++j)
+    if (j != 3) bad.scale_coupling(3, j, 2.0);
+  ASSERT_GT(bad.net_coupling(3), cth);
+
+  TristateBus bus(BusKind::kData, 8);
+  // Drive v1 then v2 of the positive-glitch MA test for wire 3.
+  const auto pair = xtalk::ma_test(
+      8, {3, xtalk::MafType::kPositiveGlitch, xtalk::BusDirection::kCoreToCpu});
+  bus.transfer(pair.v1, &bad, &model);
+  const BusWord received = bus.transfer(pair.v2, &bad, &model);
+  EXPECT_NE(received, pair.v2);
+  EXPECT_TRUE(received.bit(3));
+  // The wires settle: the held value is the driven word, not the glitch.
+  EXPECT_EQ(bus.held(), pair.v2);
+}
+
+TEST(TristateBus, NominalNetworkIsTransparent) {
+  BusGeometry g;
+  g.width = 8;
+  RcNetwork nom(g);
+  const CrosstalkErrorModel model(ErrorModelConfig::calibrated(
+      nom, xtalk::recommended_cth(nom, 1.6)));
+  TristateBus bus(BusKind::kData, 8);
+  for (unsigned v = 0; v < 256; v += 17) {
+    const BusWord w(8, v);
+    EXPECT_EQ(bus.transfer(w, &nom, &model), w);
+  }
+}
+
+TEST(BusKind, Names) {
+  EXPECT_EQ(to_string(BusKind::kAddress), "addr");
+  EXPECT_EQ(to_string(BusKind::kData), "data");
+}
+
+}  // namespace
+}  // namespace xtest::soc

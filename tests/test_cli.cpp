@@ -1,0 +1,115 @@
+#include "tools/cli.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace xtest::cli {
+namespace {
+
+struct CliRun {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliRun run_cli(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  const int code = run(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string temp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(Cli, UsageOnUnknownCommand) {
+  const CliRun r = run_cli({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, GenerateSummary) {
+  const CliRun r = run_cli({"generate"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("| session |"), std::string::npos);
+  EXPECT_NE(r.out.find("| 0"), std::string::npos);
+}
+
+TEST(Cli, GenerateWritesImages) {
+  const std::string prefix = temp_path("prog");
+  const CliRun r = run_cli({"generate", "--out", prefix});
+  EXPECT_EQ(r.code, 0);
+  std::ifstream img(prefix + "0.img");
+  EXPECT_TRUE(img.good());
+}
+
+TEST(Cli, AssembleRunRoundTrip) {
+  const std::string src = temp_path("t.s");
+  const std::string img = temp_path("t.img");
+  {
+    std::ofstream f(src);
+    f << "        .org 0x010\n"
+         "        lda v\n"
+         "        hlt\n"
+         "        .org 0x80\n"
+         "v:      .byte 0x42\n";
+  }
+  const CliRun a = run_cli({"assemble", src, "--out", img});
+  ASSERT_EQ(a.code, 0) << a.err;
+  EXPECT_NE(a.out.find("entry 0x010"), std::string::npos);
+
+  const CliRun r = run_cli({"run", img, "--entry", "0x010"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("reason=hlt"), std::string::npos);
+  EXPECT_NE(r.out.find("acc=0x42"), std::string::npos);
+}
+
+TEST(Cli, RunWithTraceShowsWaveforms) {
+  const std::string src = temp_path("t2.s");
+  const std::string img = temp_path("t2.img");
+  {
+    std::ofstream f(src);
+    f << "nop\nhlt\n";
+  }
+  ASSERT_EQ(run_cli({"assemble", src, "--out", img}).code, 0);
+  const CliRun r = run_cli({"run", img, "--entry", "0", "--trace"});
+  ASSERT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("addr[11]"), std::string::npos);
+  EXPECT_NE(r.out.find("data[ 7]"), std::string::npos);
+}
+
+TEST(Cli, DisasmListsImage) {
+  const std::string src = temp_path("t3.s");
+  const std::string img = temp_path("t3.img");
+  {
+    std::ofstream f(src);
+    f << "add 0xf07\nhlt\n";
+  }
+  ASSERT_EQ(run_cli({"assemble", src, "--out", img}).code, 0);
+  const CliRun r = run_cli({"disasm", img});
+  ASSERT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("add 0xf07"), std::string::npos);
+}
+
+TEST(Cli, CampaignReportsCoverage) {
+  const CliRun r = run_cli({"campaign", "--bus", "data", "--defects", "20",
+                            "--seed", "7"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("bus=data defects=20 coverage=100.0%"),
+            std::string::npos);
+}
+
+TEST(Cli, ErrorsAreReported) {
+  EXPECT_EQ(run_cli({"assemble", "/nonexistent.s"}).code, 1);
+  EXPECT_EQ(run_cli({"run", "/nonexistent.img", "--entry", "0"}).code, 1);
+  EXPECT_EQ(run_cli({"campaign", "--bus", "bogus"}).code, 1);
+  const CliRun r = run_cli({"run"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xtest::cli

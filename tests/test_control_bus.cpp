@@ -1,0 +1,200 @@
+// Control-bus crosstalk: the paper's deferred "future study", implemented.
+
+#include <gtest/gtest.h>
+
+#include "cpu/assembler.h"
+#include "hwbist/bist.h"
+#include "sim/campaign.h"
+#include "soc/control.h"
+#include "soc/system.h"
+
+namespace xtest::soc {
+namespace {
+
+TEST(ControlWord, Encodings) {
+  const util::BusWord rd = control_word(false);
+  EXPECT_TRUE(rd.bit(kCtrlRd));
+  EXPECT_FALSE(rd.bit(kCtrlWr));
+  EXPECT_TRUE(rd.bit(kCtrlCs));
+  const util::BusWord wr = control_word(true);
+  EXPECT_FALSE(wr.bit(kCtrlRd));
+  EXPECT_TRUE(wr.bit(kCtrlWr));
+  EXPECT_TRUE(wr.bit(kCtrlCs));
+}
+
+TEST(ControlBus, NominalSystemUnaffected) {
+  System sys;
+  const auto prog = cpu::assemble(R"(
+        lda v
+        sta 0x200
+        hlt
+        .org 0x80
+v:      .byte 0x42
+  )");
+  sys.load_and_reset(prog.image, prog.entry);
+  const RunResult r = sys.run(1000);
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(sys.memory().read(0x200), 0x42);
+}
+
+TEST(ControlBus, TraceShowsControlTransactions) {
+  System sys;
+  BusTrace trace;
+  sys.set_trace(&trace);
+  const auto prog = cpu::assemble("lda 0x80\n hlt\n .org 0x80\n .byte 1\n");
+  sys.load_and_reset(prog.image, prog.entry);
+  sys.run(1000);
+  const auto ctrl = trace.on_bus(BusKind::kControl);
+  ASSERT_GE(ctrl.size(), 3u);  // one control word per bus transaction
+  for (const auto& e : ctrl) {
+    EXPECT_EQ(e.driven.width(), kControlBits);
+    EXPECT_TRUE(e.driven.bit(kCtrlCs));
+  }
+}
+
+TEST(ControlBus, WrGlitchMafNeverExcitedFunctionally) {
+  // A forced gp@WR would turn reads into destructive spurious writes --
+  // but its MA pair requires CS to rise, which functional traffic never
+  // does, so the forced-ideal injector stays silent over a whole program.
+  System sys;
+  sys.set_forced_maf(ForcedMaf{
+      BusKind::kControl,
+      {kCtrlWr, xtalk::MafType::kPositiveGlitch,
+       xtalk::BusDirection::kCpuToCore}});
+  // The W->R transition (WR falls, RD rises, CS stable) is the gp@WR MA
+  // pair only if CS also rises -- it never does.  fully_excites therefore
+  // never fires on functional traffic:
+  const auto prog = cpu::assemble(R"(
+        lda v
+        sta 0x200
+        lda v      ; read after write: W->R control transition
+        hlt
+        .org 0x80
+v:      .byte 0x42
+  )");
+  sys.load_and_reset(prog.image, prog.entry);
+  sys.run(1000);
+  EXPECT_EQ(sys.memory().read(0x200), 0x42);  // unharmed: never excited
+}
+
+TEST(ControlBus, InjectedDefectCausesRealErrors) {
+  // A gross control-bus defect excited by partial (functional) transitions
+  // must corrupt behaviour: blow up the WR wire's couplings so the W->R /
+  // R->W traffic glitches or delays it.
+  System sys;
+  xtalk::RcNetwork bad = sys.nominal_control_network();
+  for (unsigned j = 0; j < kControlBits; ++j)
+    if (j != kCtrlWr) bad.scale_coupling(kCtrlWr, j, 8.0);
+
+  const auto prog = cpu::assemble(R"(
+        lda v
+        sta 0x200
+        lda 0x200
+        sta 0x201
+        hlt
+        .org 0x80
+v:      .byte 0x42
+  )");
+  sys.load_and_reset(prog.image, prog.entry);
+  sys.run(1000);
+  const std::uint8_t gold200 = sys.memory().read(0x200);
+  const std::uint8_t gold201 = sys.memory().read(0x201);
+  EXPECT_EQ(gold200, 0x42);
+  EXPECT_EQ(gold201, 0x42);
+
+  sys.set_control_network(bad);
+  sys.load_and_reset(prog.image, prog.entry);
+  sys.run(1000);
+  const bool corrupted = sys.memory().read(0x200) != gold200 ||
+                         sys.memory().read(0x201) != gold201;
+  EXPECT_TRUE(corrupted);
+}
+
+TEST(ControlBus, NoControlMafIsFunctionallyExcitable) {
+  // The reason the paper defers control buses: the system only ever drives
+  // READ and WRITE words, and neither the R->W nor the W->R transition
+  // fully excites any of the 12 control MAFs (CS never toggles, and RD/WR
+  // always move in opposite directions).
+  const xtalk::VectorPair rw{control_word(false), control_word(true)};
+  const xtalk::VectorPair wr{control_word(true), control_word(false)};
+  for (const auto& f : xtalk::enumerate_mafs(kControlBits, false)) {
+    EXPECT_FALSE(xtalk::fully_excites(f, rw)) << f.label();
+    EXPECT_FALSE(xtalk::fully_excites(f, wr)) << f.label();
+  }
+}
+
+TEST(ControlBus, DefectLibraryGenerates) {
+  const SystemConfig cfg;
+  const auto lib =
+      sim::make_defect_library(cfg, BusKind::kControl, 30, 77);
+  EXPECT_EQ(lib.size(), 30u);
+  const System sys(cfg);
+  for (const auto& d : lib.defects())
+    EXPECT_GT(d.apply(sys.nominal_control_network()).max_net_coupling(),
+              sys.control_cth());
+}
+
+TEST(ControlBus, FunctionalCoverageThroughPartialExcitation) {
+  // Even though no control MAF is fully excitable functionally, the
+  // standard SBST program catches control defects through *partial*
+  // excitation: physically likely defects sit on the center wire (WR),
+  // whose R->W / W->R delay effect crosses threshold exactly at the
+  // library's Cth.  Functional coverage is therefore high, and never
+  // exceeds the full-MA-set BIST.
+  const SystemConfig cfg;
+  const System sys(cfg);
+  const auto lib = sim::make_defect_library(cfg, BusKind::kControl, 40, 7);
+  const auto sessions =
+      sbst::TestProgramGenerator::generate_sessions(sbst::GeneratorConfig{});
+  const auto det =
+      sim::run_detection_sessions(cfg, sessions, BusKind::kControl, lib);
+  const double cov = sim::coverage(det);
+  EXPECT_GT(cov, 0.5);
+
+  const hwbist::HardwareBist bist(kControlBits, false);
+  const double bist_cov = sim::coverage(bist.run_library(
+      sys.nominal_control_network(), sys.control_model(), lib));
+  EXPECT_LE(cov, bist_cov);
+  EXPECT_DOUBLE_EQ(bist_cov, 1.0);
+}
+
+TEST(ControlBus, SymmetricCsDefectEscapesFunctionalTraffic) {
+  // The over-testing corner the full MA set covers and functional traffic
+  // cannot: a *symmetric* blow-up of both CS couplings.  During R->W one
+  // aggressor rises and one falls, so the injected charge on CS cancels;
+  // the gp/gn MA patterns (both aggressors aligned) would catch it.
+  System sys;
+  xtalk::RcNetwork bad = sys.nominal_control_network();
+  const double f = 1.2 * sys.control_cth() /
+                   sys.nominal_control_network().net_coupling(kCtrlCs);
+  bad.scale_coupling(kCtrlCs, kCtrlRd, f);
+  bad.scale_coupling(kCtrlCs, kCtrlWr, f);
+  ASSERT_GT(bad.net_coupling(kCtrlCs), sys.control_cth());
+
+  // Detected by the full MA set...
+  const hwbist::HardwareBist bist(kControlBits, false);
+  EXPECT_TRUE(bist.detects(bad, sys.control_model()));
+
+  // ...but invisible to functional read/write traffic.
+  const auto prog = cpu::assemble(R"(
+        lda v
+        sta 0x200
+        lda 0x200
+        sta 0x201
+        hlt
+        .org 0x80
+v:      .byte 0x42
+  )");
+  sys.load_and_reset(prog.image, prog.entry);
+  sys.run(1000);
+  const std::uint8_t g200 = sys.memory().read(0x200);
+  const std::uint8_t g201 = sys.memory().read(0x201);
+  sys.set_control_network(bad);
+  sys.load_and_reset(prog.image, prog.entry);
+  sys.run(1000);
+  EXPECT_EQ(sys.memory().read(0x200), g200);
+  EXPECT_EQ(sys.memory().read(0x201), g201);
+}
+
+}  // namespace
+}  // namespace xtest::soc

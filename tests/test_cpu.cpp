@@ -1,0 +1,395 @@
+#include "cpu/cpu.h"
+
+#include <array>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cpu/assembler.h"
+
+namespace xtest::cpu {
+namespace {
+
+/// Ideal bus port over a flat memory, recording every transaction.
+class FlatMemoryPort : public BusPort {
+ public:
+  struct Tx {
+    Addr addr;
+    bool write;
+    std::uint8_t data;
+  };
+
+  FlatMemoryPort() { mem.fill(0); }
+
+  explicit FlatMemoryPort(const MemoryImage& image) { mem = image.raw(); }
+
+  std::uint8_t read(Addr a) override {
+    log.push_back({a, false, mem[a]});
+    return mem[a];
+  }
+  void write(Addr a, std::uint8_t d) override {
+    log.push_back({a, true, d});
+    mem[a] = d;
+  }
+  void internal_cycle() override { ++internal; }
+
+  std::array<std::uint8_t, kMemWords> mem{};
+  std::vector<Tx> log;
+  int internal = 0;
+};
+
+/// Assembles, runs until halt (or 10k cycles), returns the port+cpu state.
+struct RunResult {
+  FlatMemoryPort port;
+  std::uint8_t acc;
+  Flags flags;
+  HaltReason reason;
+  std::uint64_t cycles;
+  Addr pc;
+};
+
+RunResult run_source(const std::string& src) {
+  const AsmResult a = assemble(src);
+  RunResult r{FlatMemoryPort(a.image), 0, {}, HaltReason::kRunning, 0, 0};
+  Cpu cpu(r.port);
+  cpu.reset(a.entry);
+  cpu.run(10000);
+  r.acc = cpu.acc();
+  r.flags = cpu.flags();
+  r.reason = cpu.halt_reason();
+  r.cycles = cpu.cycles();
+  r.pc = cpu.pc();
+  return r;
+}
+
+TEST(Cpu, LdaLoadsAndSetsFlags) {
+  auto r = run_source(R"(
+        lda v
+        hlt
+        .org 0x80
+v:      .byte 0x90
+  )");
+  EXPECT_EQ(r.acc, 0x90);
+  EXPECT_FALSE(r.flags.z);
+  EXPECT_TRUE(r.flags.n);
+  EXPECT_EQ(r.reason, HaltReason::kHltInstruction);
+}
+
+TEST(Cpu, StaStores) {
+  auto r = run_source(R"(
+        lda v
+        sta 0x200
+        hlt
+        .org 0x80
+v:      .byte 0x42
+  )");
+  EXPECT_EQ(r.port.mem[0x200], 0x42);
+}
+
+TEST(Cpu, AddSetsCarryAndOverflow) {
+  auto r = run_source(R"(
+        lda a
+        add b
+        hlt
+        .org 0x80
+a:      .byte 0x7f
+b:      .byte 0x01
+  )");
+  EXPECT_EQ(r.acc, 0x80);
+  EXPECT_FALSE(r.flags.c);
+  EXPECT_TRUE(r.flags.v);  // 0x7f + 1 overflows signed
+  EXPECT_TRUE(r.flags.n);
+
+  auto r2 = run_source(R"(
+        lda a
+        add b
+        hlt
+        .org 0x80
+a:      .byte 0xff
+b:      .byte 0x01
+  )");
+  EXPECT_EQ(r2.acc, 0x00);
+  EXPECT_TRUE(r2.flags.c);
+  EXPECT_TRUE(r2.flags.z);
+}
+
+TEST(Cpu, SubSetsBorrowSemantics) {
+  auto r = run_source(R"(
+        lda a
+        sub b
+        hlt
+        .org 0x80
+a:      .byte 0x05
+b:      .byte 0x07
+  )");
+  EXPECT_EQ(r.acc, 0xFE);
+  EXPECT_FALSE(r.flags.c);  // borrow occurred
+  EXPECT_TRUE(r.flags.n);
+}
+
+TEST(Cpu, LogicOps) {
+  auto r = run_source(R"(
+        lda a
+        and b
+        hlt
+        .org 0x80
+a:      .byte 0xf0
+b:      .byte 0x3c
+  )");
+  EXPECT_EQ(r.acc, 0x30);
+
+  auto r2 = run_source(R"(
+        lda a
+        ora b
+        hlt
+        .org 0x80
+a:      .byte 0xf0
+b:      .byte 0x3c
+  )");
+  EXPECT_EQ(r2.acc, 0xFC);
+
+  auto r3 = run_source(R"(
+        lda a
+        xra b
+        hlt
+        .org 0x80
+a:      .byte 0xf0
+b:      .byte 0x3c
+  )");
+  EXPECT_EQ(r3.acc, 0xCC);
+}
+
+TEST(Cpu, SinglesClaCmaIncShift) {
+  auto r = run_source(R"(
+        lda v
+        cma
+        hlt
+        .org 0x80
+v:      .byte 0x0f
+  )");
+  EXPECT_EQ(r.acc, 0xF0);
+
+  auto r2 = run_source(R"(
+        lda v
+        inc
+        hlt
+        .org 0x80
+v:      .byte 0xff
+  )");
+  EXPECT_EQ(r2.acc, 0x00);
+  EXPECT_TRUE(r2.flags.c);
+  EXPECT_TRUE(r2.flags.z);
+
+  auto r3 = run_source(R"(
+        lda v
+        asl
+        hlt
+        .org 0x80
+v:      .byte 0x81
+  )");
+  EXPECT_EQ(r3.acc, 0x02);
+  EXPECT_TRUE(r3.flags.c);
+
+  auto r4 = run_source(R"(
+        lda v
+        asr
+        hlt
+        .org 0x80
+v:      .byte 0x81
+  )");
+  EXPECT_EQ(r4.acc, 0xC0);  // arithmetic: sign preserved
+  EXPECT_TRUE(r4.flags.c);
+}
+
+TEST(Cpu, CarryFlagOps) {
+  auto r = run_source("stc\n cmc\n hlt\n");
+  EXPECT_FALSE(r.flags.c);
+  auto r2 = run_source("stc\n hlt\n");
+  EXPECT_TRUE(r2.flags.c);
+}
+
+TEST(Cpu, BranchTakenAndNotTaken) {
+  auto r = run_source(R"(
+        cla           ; Z set
+        bz  skip
+        lda v         ; skipped
+skip:   hlt
+        .org 0x80
+v:      .byte 0x55
+  )");
+  EXPECT_EQ(r.acc, 0x00);
+
+  auto r2 = run_source(R"(
+        lda v         ; Z clear
+        bz  skip
+        cma
+skip:   hlt
+        .org 0x80
+v:      .byte 0x55
+  )");
+  EXPECT_EQ(r2.acc, 0xAA);  // branch not taken, cma executed
+}
+
+TEST(Cpu, BranchConditionsCVN) {
+  auto r = run_source(R"(
+        stc
+        bc  ok
+        hlt
+ok:     lda v
+        hlt
+        .org 0x80
+v:      .byte 0x11
+  )");
+  EXPECT_EQ(r.acc, 0x11);
+
+  auto r2 = run_source(R"(
+        lda v
+        bn  ok
+        hlt
+ok:     cla
+        hlt
+        .org 0x80
+v:      .byte 0x80
+  )");
+  EXPECT_TRUE(r2.flags.z);
+}
+
+TEST(Cpu, JmpTransfersControl) {
+  auto r = run_source(R"(
+        jmp far
+        hlt
+        .org 0x345
+far:    lda v
+        hlt
+        .org 0x80
+v:      .byte 0x77
+  )");
+  EXPECT_EQ(r.acc, 0x77);
+}
+
+TEST(Cpu, JsrStoresReturnOffsetAndJmiReturns) {
+  // PARWAN convention: JSR writes the return offset at the target and
+  // continues at target+1; JMI through the target returns (same page).
+  auto r = run_source(R"(
+        .org 0x100
+        jsr sub
+        lda v      ; executed after return
+        hlt
+        .org 0x140
+sub:    .res 1
+        cma
+        jmi sub
+        .org 0x80
+v:      .byte 0x21
+  )");
+  EXPECT_EQ(r.acc, 0x21);
+  EXPECT_EQ(r.port.mem[0x140], 0x02);  // offset of return address 0x102
+}
+
+TEST(Cpu, IllegalOpcodeHalts) {
+  FlatMemoryPort port;
+  port.mem[0] = 0xA0;
+  Cpu cpu(port);
+  cpu.reset(0);
+  cpu.run(100);
+  EXPECT_EQ(cpu.halt_reason(), HaltReason::kIllegalOpcode);
+}
+
+TEST(Cpu, CycleCountsPerInstructionClass) {
+  // LDA: fetch1 + decode + fetch2 + mem + exec = 5 cycles; HLT: 3.
+  auto r = run_source(R"(
+        lda v
+        hlt
+        .org 0x80
+v:      .byte 0x01
+  )");
+  EXPECT_EQ(r.cycles, 5u + 3u);
+
+  // JMP: 4 cycles (no operand transaction).
+  auto r2 = run_source(R"(
+        jmp t
+t:      hlt
+  )");
+  EXPECT_EQ(r2.cycles, 4u + 3u);
+
+  // Branch (not taken): 4; single: 3.
+  auto r3 = run_source(R"(
+        bz t
+t:      nop
+        hlt
+  )");
+  EXPECT_EQ(r3.cycles, 4u + 3u + 3u);
+}
+
+TEST(Cpu, BusTransactionSequenceForLda) {
+  // Fig. 5: fetch byte1 at Ai, fetch byte2 at Ai+1, read operand at Ax.
+  auto r = run_source(R"(
+        .org 0x010
+        lda 0x380
+        hlt
+        .org 0x380
+        .byte 0x5a
+  )");
+  ASSERT_GE(r.port.log.size(), 3u);
+  EXPECT_EQ(r.port.log[0].addr, 0x010);
+  EXPECT_FALSE(r.port.log[0].write);
+  EXPECT_EQ(r.port.log[1].addr, 0x011);
+  EXPECT_EQ(r.port.log[2].addr, 0x380);
+  EXPECT_EQ(r.port.log[2].data, 0x5A);
+}
+
+TEST(Cpu, PcWrapsAtTopOfMemory) {
+  FlatMemoryPort port;
+  port.mem[0xFFF] = 0xF0;  // nop at the very top
+  port.mem[0x000] = 0xF8;  // hlt after wrap
+  Cpu cpu(port);
+  cpu.reset(0xFFF);
+  cpu.run(100);
+  EXPECT_EQ(cpu.halt_reason(), HaltReason::kHltInstruction);
+}
+
+TEST(Cpu, StepIsNoopWhenHalted) {
+  FlatMemoryPort port;
+  port.mem[0] = 0xF8;
+  Cpu cpu(port);
+  cpu.reset(0);
+  cpu.run(100);
+  const auto cycles = cpu.cycles();
+  cpu.step();
+  EXPECT_EQ(cpu.cycles(), cycles);
+}
+
+TEST(Cpu, ResetClearsState) {
+  FlatMemoryPort port;
+  port.mem[0] = 0xF8;
+  Cpu cpu(port);
+  cpu.set_acc(0x55);
+  cpu.reset(0x123);
+  EXPECT_EQ(cpu.pc(), 0x123);
+  EXPECT_EQ(cpu.acc(), 0x00);
+  EXPECT_FALSE(cpu.halted());
+  EXPECT_EQ(cpu.cycles(), 0u);
+}
+
+TEST(Cpu, RunStopsAtCycleCap) {
+  FlatMemoryPort port;
+  // Infinite loop: jmp 0.
+  port.mem[0] = 0x70;
+  port.mem[1] = 0x00;
+  Cpu cpu(port);
+  cpu.reset(0);
+  EXPECT_FALSE(cpu.run(100));
+  EXPECT_FALSE(cpu.halted());
+  EXPECT_GE(cpu.cycles(), 100u);
+}
+
+TEST(Flags, MaskLayoutMatchesBranchNibble) {
+  Flags f;
+  f.z = true;
+  EXPECT_EQ(f.mask(), kCondZ);
+  f.n = f.c = f.v = true;
+  EXPECT_EQ(f.mask(), kCondN | kCondZ | kCondC | kCondV);
+}
+
+}  // namespace
+}  // namespace xtest::cpu

@@ -1,0 +1,160 @@
+#include "sim/diagnosis.h"
+
+#include <gtest/gtest.h>
+
+#include "sbst/generator.h"
+#include "sim/verify.h"
+#include "soc/system.h"
+
+namespace xtest::sim {
+namespace {
+
+struct Prepared {
+  sbst::GenerationResult gen;
+  VerificationResult ver;
+
+  Prepared()
+      : gen(sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate()),
+        ver(verify_program(gen.program)) {}
+};
+
+TEST(Diagnosis, CleanResponseYieldsNoCandidates) {
+  Prepared p;
+  EXPECT_TRUE(diagnose(p.gen.program, p.ver.gold, p.ver.gold).empty());
+}
+
+TEST(Diagnosis, LocatesForcedCompactedFault) {
+  // Force each compacted, one-hot test in turn; the diagnosis must include
+  // the forced fault among its candidates.
+  Prepared p;
+  soc::System sys;
+  int checked = 0;
+  for (const auto& t : p.gen.program.tests) {
+    if (t.pass_value == 0 || (t.pass_value & (t.pass_value - 1)) != 0)
+      continue;
+    if (t.scheme != sbst::Scheme::kAddrDelay &&
+        t.scheme != sbst::Scheme::kAddrGlitch)
+      continue;
+    sys.set_forced_maf(soc::ForcedMaf{t.bus, t.fault});
+    const ResponseSnapshot snap =
+        run_and_capture(sys, p.gen.program, p.ver.max_cycles);
+    sys.set_forced_maf(std::nullopt);
+    const auto candidates = diagnose(p.gen.program, p.ver.gold, snap);
+    ASSERT_FALSE(candidates.empty()) << t.fault.label();
+    bool found = false;
+    for (const auto& c : candidates) found = found || c.fault == t.fault;
+    EXPECT_TRUE(found) << t.fault.label();
+    ++checked;
+    if (checked >= 8) break;  // keep the suite fast
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(Diagnosis, LocatesFailedWriteTest) {
+  Prepared p;
+  soc::System sys;
+  const sbst::PlannedTest* write = nullptr;
+  for (const auto& t : p.gen.program.tests)
+    if (t.scheme == sbst::Scheme::kDataWrite) {
+      write = &t;
+      break;
+    }
+  ASSERT_NE(write, nullptr);
+  sys.set_forced_maf(soc::ForcedMaf{write->bus, write->fault});
+  const ResponseSnapshot snap =
+      run_and_capture(sys, p.gen.program, p.ver.max_cycles);
+  const auto candidates = diagnose(p.gen.program, p.ver.gold, snap);
+  bool found = false;
+  for (const auto& c : candidates) found = found || c.fault == write->fault;
+  EXPECT_TRUE(found);
+}
+
+TEST(Diagnosis, TruncatedRunImplicatesDivergenceSchemes) {
+  // Force a fault on a real JMP-scheme test: the run typically derails
+  // (the corrupted fetch lands on an illegal opcode), and the diagnosis
+  // must implicate the forced fault among the truncation-window
+  // candidates.
+  Prepared p;
+  const sbst::PlannedTest* jmp_test = nullptr;
+  for (const auto& t : p.gen.program.tests)
+    if (t.scheme == sbst::Scheme::kAddrDelayJmp ||
+        t.scheme == sbst::Scheme::kAddrGlitchJmp) {
+      jmp_test = &t;
+      break;
+    }
+  ASSERT_NE(jmp_test, nullptr);
+
+  soc::System sys;
+  sys.set_forced_maf(soc::ForcedMaf{jmp_test->bus, jmp_test->fault});
+  const ResponseSnapshot snap =
+      run_and_capture(sys, p.gen.program, p.ver.max_cycles);
+  ASSERT_FALSE(snap.matches(p.ver.gold));
+
+  const auto candidates = diagnose(p.gen.program, p.ver.gold, snap);
+  bool found = false;
+  for (const auto& c : candidates)
+    found = found || c.fault == jmp_test->fault;
+  EXPECT_TRUE(found);
+}
+
+TEST(Diagnosis, TruncationWindowShrinksCandidates) {
+  // The watermark bracketing must produce far fewer candidates than the
+  // total number of divergence-scheme tests.  An address-only program in
+  // the delays-first order realises many tests through the compact JMP
+  // schemes.
+  sbst::GeneratorConfig cfg;
+  cfg.include_data_bus = false;
+  cfg.order = sbst::PlacementOrder::kDelaysFirst;
+  const sbst::GenerationResult gen =
+      sbst::TestProgramGenerator(cfg).generate();
+  const VerificationResult ver = verify_program(gen.program);
+
+  std::size_t jmp_total = 0;
+  const sbst::PlannedTest* jmp_test = nullptr;
+  for (const auto& t : gen.program.tests)
+    if (t.scheme == sbst::Scheme::kAddrDelayJmp ||
+        t.scheme == sbst::Scheme::kAddrGlitchJmp) {
+      ++jmp_total;
+      if (jmp_test == nullptr) jmp_test = &t;
+    }
+  ASSERT_NE(jmp_test, nullptr);
+  ASSERT_GT(jmp_total, 2u);
+
+  soc::System sys;
+  sys.set_forced_maf(soc::ForcedMaf{jmp_test->bus, jmp_test->fault});
+  const ResponseSnapshot snap =
+      run_and_capture(sys, gen.program, ver.max_cycles);
+  const auto candidates = diagnose(gen.program, ver.gold, snap);
+  ASSERT_FALSE(candidates.empty());
+  if (!snap.completed) {
+    std::size_t jmp_candidates = 0;
+    for (const auto& c : candidates) {
+      const auto& t = gen.program.tests[c.test_index];
+      jmp_candidates += t.scheme == sbst::Scheme::kAddrDelayJmp ||
+                        t.scheme == sbst::Scheme::kAddrGlitchJmp;
+    }
+    EXPECT_LT(jmp_candidates, jmp_total);
+  }
+}
+
+TEST(Diagnosis, EvidenceStringsAreInformative) {
+  Prepared p;
+  soc::System sys;
+  const sbst::PlannedTest* t = nullptr;
+  for (const auto& cand : p.gen.program.tests)
+    if (cand.pass_value && (cand.pass_value & (cand.pass_value - 1)) == 0 &&
+        cand.scheme == sbst::Scheme::kAddrGlitch) {
+      t = &cand;
+      break;
+    }
+  ASSERT_NE(t, nullptr);
+  sys.set_forced_maf(soc::ForcedMaf{t->bus, t->fault});
+  const ResponseSnapshot snap =
+      run_and_capture(sys, p.gen.program, p.ver.max_cycles);
+  const auto candidates = diagnose(p.gen.program, p.ver.gold, snap);
+  ASSERT_FALSE(candidates.empty());
+  for (const auto& c : candidates) EXPECT_FALSE(c.evidence.empty());
+}
+
+}  // namespace
+}  // namespace xtest::sim

@@ -1,0 +1,168 @@
+#include "xtalk/error_model.h"
+
+#include <gtest/gtest.h>
+
+#include "xtalk/defect.h"
+
+namespace xtest::xtalk {
+namespace {
+
+RcNetwork nominal(unsigned width = 8) {
+  BusGeometry g;
+  g.width = width;
+  return RcNetwork(g);
+}
+
+/// A network whose victim wire has net coupling scaled to `target` fF by
+/// uniformly scaling all of the victim's pair couplings.
+RcNetwork with_net_coupling(unsigned victim, double target,
+                            unsigned width = 8) {
+  RcNetwork net = nominal(width);
+  const double factor = target / net.net_coupling(victim);
+  for (unsigned j = 0; j < width; ++j)
+    if (j != victim) net.scale_coupling(victim, j, factor);
+  return net;
+}
+
+struct Calibrated {
+  RcNetwork nom;
+  double cth;
+  CrosstalkErrorModel model;
+
+  Calibrated()
+      : nom(nominal()),
+        cth(recommended_cth(nom, 1.6)),
+        model(ErrorModelConfig::calibrated(nom, cth)) {}
+};
+
+TEST(ErrorModel, NominalBusIsBenign) {
+  // The defect-free system must never corrupt a transfer, or gold runs
+  // would be meaningless.
+  Calibrated c;
+  for (unsigned v = 0; v < 8; ++v)
+    for (MafType t : kAllMafTypes) {
+      const VectorPair p = ma_test(8, {v, t, BusDirection::kCoreToCpu});
+      EXPECT_FALSE(c.model.corrupts(c.nom, p)) << to_string(t) << v;
+    }
+}
+
+// The calibration contract: under the MA excitation, every fault type errs
+// exactly when the victim's net coupling exceeds Cth.
+class CalibrationBoundary : public ::testing::TestWithParam<MafType> {};
+
+TEST_P(CalibrationBoundary, ErrorIffNetCouplingAboveCth) {
+  Calibrated c;
+  const MafType t = GetParam();
+  for (unsigned victim : {0u, 3u, 7u}) {
+    const MafFault f{victim, t, BusDirection::kCoreToCpu};
+    const VectorPair p = ma_test(8, f);
+
+    const RcNetwork below = with_net_coupling(victim, c.cth * 0.98);
+    EXPECT_FALSE(c.model.corrupts(below, p)) << to_string(t) << victim;
+
+    const RcNetwork above = with_net_coupling(victim, c.cth * 1.02);
+    EXPECT_TRUE(c.model.corrupts(above, p)) << to_string(t) << victim;
+    // And the corruption is exactly the modelled fault effect.
+    EXPECT_EQ(c.model.receive(above, p), faulty_v2(f, p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, CalibrationBoundary,
+                         ::testing::ValuesIn(kAllMafTypes));
+
+TEST(ErrorModel, GlitchAmplitudeSignFollowsAggressors) {
+  Calibrated c;
+  // Rising aggressors inject positive charge onto a quiet victim.
+  const VectorPair rising{util::BusWord(8, 0x00), util::BusWord(8, 0xFE)};
+  EXPECT_GT(c.model.glitch_amplitude(c.nom, rising, 0), 0.0);
+  const VectorPair falling{util::BusWord(8, 0xFF), util::BusWord(8, 0x01)};
+  EXPECT_LT(c.model.glitch_amplitude(c.nom, falling, 0), 0.0);
+}
+
+TEST(ErrorModel, MixedAggressorsCancel) {
+  Calibrated c;
+  // Neighbours of wire 4 switching in opposite directions nearly cancel.
+  const VectorPair mixed{util::BusWord(8, 0b00100000),
+                         util::BusWord(8, 0b00001000)};
+  const VectorPair aligned{util::BusWord(8, 0x00),
+                           util::BusWord(8, 0b00101000)};
+  EXPECT_LT(std::abs(c.model.glitch_amplitude(c.nom, mixed, 4)),
+            std::abs(c.model.glitch_amplitude(c.nom, aligned, 4)));
+}
+
+TEST(ErrorModel, PartialExcitationIsWeaker) {
+  // Fewer switching aggressors -> smaller glitch.  This is why non-MA
+  // transitions during program execution only catch stronger defects.
+  Calibrated c;
+  const VectorPair full = ma_test(8, {4, MafType::kPositiveGlitch,
+                                      BusDirection::kCoreToCpu});
+  const VectorPair partial{util::BusWord(8, 0x00), util::BusWord(8, 0x03)};
+  EXPECT_GT(c.model.glitch_amplitude(c.nom, full, 4),
+            c.model.glitch_amplitude(c.nom, partial, 4));
+}
+
+TEST(ErrorModel, DelayMillerFactors) {
+  Calibrated c;
+  const unsigned v = 4;
+  // Opposite-switching aggressors (MA delay test) give the largest delay,
+  // quiet aggressors the middle, same-direction the smallest.
+  const VectorPair opposite = ma_test(8, {v, MafType::kRisingDelay,
+                                          BusDirection::kCoreToCpu});
+  const VectorPair quiet{util::BusWord(8, 0x00), util::BusWord(8, 1u << v)};
+  const VectorPair same{util::BusWord(8, 0x00), util::BusWord(8, 0xFF)};
+  const double d_opp = c.model.transition_delay(c.nom, opposite, v);
+  const double d_quiet = c.model.transition_delay(c.nom, quiet, v);
+  const double d_same = c.model.transition_delay(c.nom, same, v);
+  EXPECT_GT(d_opp, d_quiet);
+  EXPECT_GT(d_quiet, d_same);
+}
+
+TEST(ErrorModel, GlitchMonotoneInCoupling) {
+  Calibrated c;
+  const VectorPair p = ma_test(8, {3, MafType::kPositiveGlitch,
+                                   BusDirection::kCoreToCpu});
+  double prev = 0.0;
+  for (double s = 1.0; s < 3.0; s += 0.25) {
+    const RcNetwork net = with_net_coupling(3, s * c.nom.net_coupling(3));
+    const double amp = c.model.glitch_amplitude(net, p, 3);
+    EXPECT_GT(amp, prev);
+    prev = amp;
+  }
+}
+
+TEST(ErrorModel, OnlyVictimWireCorrupted) {
+  Calibrated c;
+  const RcNetwork bad = with_net_coupling(5, c.cth * 1.5);
+  const VectorPair p = ma_test(8, {5, MafType::kNegativeGlitch,
+                                   BusDirection::kCoreToCpu});
+  const util::BusWord got = c.model.receive(bad, p);
+  EXPECT_EQ(got.hamming_distance(p.v2), 1u);
+  EXPECT_NE(got.bit(5), p.v2.bit(5));
+}
+
+TEST(ErrorModel, CalibrationScalesWithGeometry) {
+  // A physically different bus gets consistent thresholds: the boundary
+  // property must hold for the 12-wire address bus too.
+  BusGeometry g;
+  g.width = 12;
+  const RcNetwork nom(g);
+  const double cth = recommended_cth(nom, 1.6);
+  const CrosstalkErrorModel model(ErrorModelConfig::calibrated(nom, cth));
+  const MafFault f{6, MafType::kFallingDelay, BusDirection::kCpuToCore};
+  const VectorPair p = ma_test(12, f);
+  const RcNetwork above = with_net_coupling(6, cth * 1.02, 12);
+  const RcNetwork below = with_net_coupling(6, cth * 0.98, 12);
+  EXPECT_TRUE(model.corrupts(above, p));
+  EXPECT_FALSE(model.corrupts(below, p));
+}
+
+TEST(ErrorModel, StableBusTransferNeverCorrupts) {
+  // No transition, no crosstalk.
+  Calibrated c;
+  const RcNetwork bad = with_net_coupling(3, c.cth * 4.0);
+  const VectorPair p{util::BusWord(8, 0x5A), util::BusWord(8, 0x5A)};
+  EXPECT_FALSE(c.model.corrupts(bad, p));
+}
+
+}  // namespace
+}  // namespace xtest::xtalk

@@ -1,0 +1,154 @@
+#include "hwbist/bist.h"
+
+#include <gtest/gtest.h>
+
+#include "hwbist/area_model.h"
+#include "hwbist/overtest.h"
+#include "sim/campaign.h"
+
+namespace xtest::hwbist {
+namespace {
+
+using xtalk::BusGeometry;
+using xtalk::CrosstalkErrorModel;
+using xtalk::ErrorModelConfig;
+using xtalk::RcNetwork;
+
+struct Fixture {
+  RcNetwork nom;
+  double cth;
+  CrosstalkErrorModel model;
+
+  explicit Fixture(unsigned width = 12)
+      : nom(BusGeometry{.width = width}),
+        cth(xtalk::recommended_cth(nom, 1.6)),
+        model(ErrorModelConfig::calibrated(nom, cth)) {}
+};
+
+TEST(HardwareBist, PatternSetSizes) {
+  EXPECT_EQ(HardwareBist(12, false).patterns().size(), 48u);
+  EXPECT_EQ(HardwareBist(8, true).patterns().size(), 64u);
+}
+
+TEST(HardwareBist, CleanBusPasses) {
+  Fixture f;
+  const HardwareBist bist(12, false);
+  EXPECT_FALSE(bist.detects(f.nom, f.model));
+}
+
+TEST(HardwareBist, DetectsExactlyAboveCthDefects) {
+  // BIST applies the complete MA set, so its verdict coincides with the
+  // ICCAD'99 detectability criterion: some wire's net coupling > Cth.
+  Fixture f;
+  const HardwareBist bist(12, false);
+  for (unsigned victim : {1u, 5u, 10u}) {
+    RcNetwork just_below = f.nom;
+    RcNetwork just_above = f.nom;
+    const double scale_to = [&](double target) {
+      return target / f.nom.net_coupling(victim);
+    }(f.cth);
+    for (unsigned j = 0; j < 12; ++j) {
+      if (j == victim) continue;
+      just_below.scale_coupling(victim, j, 0.98 * scale_to);
+      just_above.scale_coupling(victim, j, 1.02 * scale_to);
+    }
+    EXPECT_FALSE(bist.detects(just_below, f.model)) << victim;
+    EXPECT_TRUE(bist.detects(just_above, f.model)) << victim;
+  }
+}
+
+TEST(HardwareBist, LibraryCoverageIsComplete) {
+  // Every library defect exceeds Cth somewhere by construction, so the
+  // full-MA-set BIST detects all of them.
+  const soc::SystemConfig cfg;
+  const auto lib =
+      sim::make_defect_library(cfg, soc::BusKind::kAddress, 40, 7);
+  const soc::System sys(cfg);
+  const HardwareBist bist(12, false);
+  const auto det = bist.run_library(sys.nominal_address_network(),
+                                    sys.address_model(), lib);
+  for (bool d : det) EXPECT_TRUE(d);
+}
+
+TEST(HardwareBist, PatternFailsIdentifiesVictim) {
+  Fixture f;
+  const HardwareBist bist(12, false);
+  RcNetwork bad = f.nom;
+  for (unsigned j = 0; j < 12; ++j)
+    if (j != 6) bad.scale_coupling(6, j, 3.0);
+  ASSERT_GT(bad.net_coupling(6), f.cth);
+  // MA patterns for victim 6 fail; far-away victims pass.
+  int fails_v6 = 0;
+  for (const auto& p : bist.patterns()) {
+    const bool fail = bist.pattern_fails(bad, f.model, p);
+    if (p.victim == 6) fails_v6 += fail;
+    if (p.victim == 0 || p.victim == 11) {
+      EXPECT_FALSE(fail) << p.label();
+    }
+  }
+  EXPECT_EQ(fails_v6, 4);
+}
+
+TEST(AreaModel, GrowsWithWidth) {
+  BistAreaModel w8{.bus_width = 8};
+  BistAreaModel w32{.bus_width = 32};
+  EXPECT_GT(w32.total_gates(), w8.total_gates());
+  EXPECT_GT(w8.total_gates(), 0.0);
+}
+
+TEST(AreaModel, BidirectionalDoubles) {
+  BistAreaModel uni{.bus_width = 8, .bidirectional = false};
+  BistAreaModel bi{.bus_width = 8, .bidirectional = true};
+  EXPECT_NEAR(bi.total_gates() - bi.controller_gates(),
+              2.0 * (uni.total_gates() - uni.controller_gates()), 1e-9);
+}
+
+TEST(AreaModel, OverheadShrinksWithSocSize) {
+  // The paper's motivation: overhead may be unacceptable for small
+  // systems, amortised for large ones.
+  BistAreaModel m{.bus_width = 12};
+  EXPECT_GT(m.overhead_fraction(50'000), m.overhead_fraction(5'000'000));
+  EXPECT_GT(m.overhead_fraction(50'000), 0.001);
+}
+
+TEST(OverTest, FunctionalOracleNeverBeatsBist) {
+  // BIST applies the complete MA set; anything SBST detects, BIST detects.
+  const soc::SystemConfig cfg;
+  const auto lib =
+      sim::make_defect_library(cfg, soc::BusKind::kAddress, 30, 11);
+  const OverTestResult r = analyze_overtest(
+      cfg, soc::BusKind::kAddress, lib, sbst::GeneratorConfig{});
+  EXPECT_EQ(r.functional_only, 0u);
+  EXPECT_EQ(r.bist_detected, lib.size());
+}
+
+TEST(OverTest, UnconstrainedSystemHasNoOverTesting) {
+  // With the full 4K map usable, (nearly) every MA pair is functionally
+  // applicable, so SBST matches BIST and no good chips are over-rejected.
+  const soc::SystemConfig cfg;
+  const auto lib =
+      sim::make_defect_library(cfg, soc::BusKind::kAddress, 30, 11);
+  const OverTestResult r = analyze_overtest(
+      cfg, soc::BusKind::kAddress, lib, sbst::GeneratorConfig{});
+  EXPECT_EQ(r.overtest_only, 0u);
+  EXPECT_DOUBLE_EQ(r.overtest_fraction(), 0.0);
+}
+
+TEST(OverTest, ConstrainedAddressMapCausesOverTesting) {
+  // When part of the address space is functionally unreachable, BIST
+  // still fires patterns there -- rejecting chips whose defects can never
+  // corrupt real operation.  That difference is the over-test fraction.
+  const soc::SystemConfig cfg;
+  const auto lib =
+      sim::make_defect_library(cfg, soc::BusKind::kAddress, 40, 13);
+  sbst::GeneratorConfig gen;
+  gen.usable_limit = 0x800;  // only half the map reachable
+  const OverTestResult r =
+      analyze_overtest(cfg, soc::BusKind::kAddress, lib, gen);
+  EXPECT_GT(r.overtest_only, 0u);
+  EXPECT_GT(r.overtest_fraction(), 0.0);
+  EXPECT_EQ(r.overtest_only + r.functional_detected, r.bist_detected);
+}
+
+}  // namespace
+}  // namespace xtest::hwbist

@@ -1,0 +1,200 @@
+// End-to-end scenarios tying the whole stack together: generator ->
+// system -> error model -> campaign, the way the paper's Fig. 9 flow runs.
+
+#include <gtest/gtest.h>
+
+#include "cpu/assembler.h"
+#include "sbst/generator.h"
+#include "sim/campaign.h"
+#include "sim/signature.h"
+#include "sim/verify.h"
+#include "soc/system.h"
+
+namespace xtest {
+namespace {
+
+using sim::ResponseSnapshot;
+
+TEST(EndToEnd, SingleInjectedDefectIsDetected) {
+  const sbst::GenerationResult gen =
+      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+  soc::System sys;
+  const ResponseSnapshot gold =
+      sim::run_and_capture(sys, gen.program, 1'000'000);
+  ASSERT_TRUE(gold.completed);
+
+  // Blow up one coupling pair far beyond threshold.
+  xtalk::RcNetwork bad = sys.nominal_data_network();
+  for (unsigned j = 0; j < 8; ++j)
+    if (j != 4) bad.scale_coupling(4, j, 2.5);
+  ASSERT_GT(bad.net_coupling(4), sys.data_cth());
+  sys.set_data_network(bad);
+  const ResponseSnapshot faulty =
+      sim::run_and_capture(sys, gen.program, gold.cycles * 16);
+  EXPECT_FALSE(faulty.matches(gold));
+}
+
+TEST(EndToEnd, SubThresholdPerturbationPasses) {
+  // A benign perturbation (below Cth everywhere) must not fail the chip:
+  // no over-testing by construction.
+  const sbst::GenerationResult gen =
+      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+  soc::System sys;
+  const ResponseSnapshot gold =
+      sim::run_and_capture(sys, gen.program, 1'000'000);
+
+  xtalk::RcNetwork mild = sys.nominal_data_network();
+  for (unsigned i = 0; i < 8; ++i)
+    for (unsigned j = i + 1; j < 8; ++j) mild.scale_coupling(i, j, 1.10);
+  ASSERT_LT(mild.max_net_coupling(), sys.data_cth());
+  sys.set_data_network(mild);
+  const ResponseSnapshot snap =
+      sim::run_and_capture(sys, gen.program, gold.cycles * 16);
+  EXPECT_TRUE(snap.matches(gold));
+}
+
+TEST(EndToEnd, AddressDefectDerailsOrFlagsProgram) {
+  const auto sessions =
+      sbst::TestProgramGenerator::generate_sessions(sbst::GeneratorConfig{});
+  soc::System sys;
+  xtalk::RcNetwork bad = sys.nominal_address_network();
+  for (unsigned j = 0; j < 12; ++j)
+    if (j != 3) bad.scale_coupling(3, j, 3.0);
+  ASSERT_GT(bad.net_coupling(3), sys.address_cth());
+
+  bool detected = false;
+  for (const auto& s : sessions) {
+    if (s.program.tests.empty()) continue;
+    sys.clear_defects();
+    const ResponseSnapshot gold =
+        sim::run_and_capture(sys, s.program, 1'000'000);
+    sys.set_address_network(bad);
+    const ResponseSnapshot faulty =
+        sim::run_and_capture(sys, s.program, gold.cycles * 16);
+    detected = detected || !faulty.matches(gold);
+  }
+  EXPECT_TRUE(detected);
+}
+
+TEST(EndToEnd, HandWrittenPaperExampleDataBusTest) {
+  // Section 4.1's example: to apply (00000000, 11110111), load from an
+  // address with offset 00000000 whose content is 11110111, then store
+  // the accumulator.  Under a forced gp fault on data wire 3 the stored
+  // response shows 11111111.
+  const cpu::AsmResult a = cpu::assemble(R"(
+        .org 0x020
+        lda 14:0x00     ; offset byte 0x00 = v1, loads v2
+        sta resp
+        hlt
+        .org 0xe00
+        .byte 0b11110111
+        .org 0x200
+resp:   .res 1
+  )");
+  soc::System sys;
+  sys.load_and_reset(a.image, a.entry);
+  sys.run(1000);
+  EXPECT_EQ(sys.memory().read(0x200), 0xF7);
+
+  sys.set_forced_maf(soc::ForcedMaf{
+      soc::BusKind::kData,
+      {3, xtalk::MafType::kPositiveGlitch, xtalk::BusDirection::kCoreToCpu}});
+  sys.load_and_reset(a.image, a.entry);
+  sys.run(1000);
+  EXPECT_EQ(sys.memory().read(0x200), 0xFF);
+}
+
+TEST(EndToEnd, CompactionSignatureMatchesFig8) {
+  // Fig. 8: rising-delay tests on all 8 data lines ADD one-hot values
+  // 0x80..0x01; the passing signature is 11111111, a failing test zeroes
+  // its bit.
+  // Each test: offset byte = v1 = ~one_hot, operand content = v2 = one_hot.
+  std::string src = "        .org 0x020\n        cla\n";
+  for (int i = 7; i >= 0; --i) {
+    const unsigned v1 = ~(1u << i) & 0xFF;
+    src += "        add 3:" + std::to_string(v1) + "\n";
+  }
+  src += "        sta 0x200\n        hlt\n";
+  for (int i = 7; i >= 0; --i) {
+    const unsigned v1 = ~(1u << i) & 0xFF;
+    const unsigned v2 = (1u << i) & 0xFF;
+    src += "        .org " + std::to_string(0x300 + v1) + "\n";
+    src += "        .byte " + std::to_string(v2) + "\n";
+  }
+  const cpu::AsmResult a = cpu::assemble(src);
+  soc::System sys;
+  sys.load_and_reset(a.image, a.entry);
+  sys.run(10000);
+  EXPECT_EQ(sys.memory().read(0x200), 0xFF);
+
+  // Force a rising-delay fault on line 6 (index 5): its ADD contributes 0
+  // and the signature's bit 5 drops.
+  sys.set_forced_maf(soc::ForcedMaf{
+      soc::BusKind::kData,
+      {5, xtalk::MafType::kRisingDelay, xtalk::BusDirection::kCoreToCpu}});
+  sys.load_and_reset(a.image, a.entry);
+  sys.run(10000);
+  EXPECT_EQ(sys.memory().read(0x200), 0xFF & ~(1u << 5));
+}
+
+TEST(EndToEnd, DiagnosisFromCompactedSignature) {
+  // "The position of the '0' bit tells which test failed": locate the
+  // failing MA test from the group signature alone.
+  const sbst::GenerationResult gen =
+      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+  const sim::VerificationResult ver = sim::verify_program(gen.program);
+
+  // Pick a compacted address-bus test with a one-hot pass value.
+  const sbst::PlannedTest* target = nullptr;
+  for (const auto& t : gen.program.tests)
+    if ((t.scheme == sbst::Scheme::kAddrDelay ||
+         t.scheme == sbst::Scheme::kAddrGlitch) &&
+        t.pass_value && (t.pass_value & (t.pass_value - 1)) == 0)
+      target = &t;
+  ASSERT_NE(target, nullptr);
+
+  soc::System sys;
+  sys.set_forced_maf(soc::ForcedMaf{soc::BusKind::kAddress, target->fault});
+  const ResponseSnapshot faulty =
+      sim::run_and_capture(sys, gen.program, ver.max_cycles);
+
+  // Find the response cell for the target's group and check the missing
+  // bit identifies the test.
+  for (std::size_t k = 0; k < gen.program.response_cells.size(); ++k) {
+    if (gen.program.response_cells[k] != target->response_cell) continue;
+    const std::uint8_t gold_sig = ver.gold.values[k];
+    const std::uint8_t bad_sig = faulty.values[k];
+    EXPECT_NE(gold_sig, bad_sig);
+    EXPECT_TRUE((gold_sig ^ bad_sig) & target->pass_value);
+  }
+}
+
+TEST(EndToEnd, MmioCoreInterconnectTest) {
+  // Section 3's extension: the CPU tests the bus towards a non-memory
+  // core through memory-mapped I/O.  Write v2 after driving v1 on the
+  // data bus; a forced cpu->core fault corrupts the device register.
+  soc::System sys;
+  soc::RegisterFileDevice dev(256);
+  sys.attach_mmio(0xE00, 256, &dev);
+  const cpu::AsmResult a = cpu::assemble(R"(
+        .org 0x020
+        lda src
+        sta 14:0x00    ; offset byte 0x00 = v1; ACC = v2 towards the core
+        hlt
+        .org 0x080
+src:    .byte 0b11111110
+  )");
+  sys.load_and_reset(a.image, a.entry);
+  sys.run(1000);
+  EXPECT_EQ(dev.read(0x00), 0xFE);
+
+  sys.set_forced_maf(soc::ForcedMaf{
+      soc::BusKind::kData,
+      {0, xtalk::MafType::kPositiveGlitch, xtalk::BusDirection::kCpuToCore}});
+  sys.load_and_reset(a.image, a.entry);
+  sys.run(1000);
+  EXPECT_EQ(dev.read(0x00), 0xFF);
+}
+
+}  // namespace
+}  // namespace xtest

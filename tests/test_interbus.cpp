@@ -1,0 +1,99 @@
+// Inter-bus coupling ("treating them as one bus", Section 5): wires of a
+// neighbouring bus act as quiet capacitive load.  Quiet load never injects
+// charge, so it damps glitches and stretches delays -- inter-bus defects
+// are a delay-test-only fault class.
+
+#include <gtest/gtest.h>
+
+#include "sbst/generator.h"
+#include "sim/signature.h"
+#include "soc/system.h"
+#include "xtalk/error_model.h"
+
+namespace xtest {
+namespace {
+
+using xtalk::BusDirection;
+using xtalk::MafType;
+
+TEST(InterBus, GroundLoadAccumulates) {
+  xtalk::BusGeometry g;
+  g.width = 8;
+  xtalk::RcNetwork net(g);
+  const double before = net.ground_cap(3);
+  net.add_ground_load(3, 100.0);
+  EXPECT_DOUBLE_EQ(net.ground_cap(3), before + 100.0);
+  EXPECT_DOUBLE_EQ(net.ground_cap(2), before);
+  // Net coupling is unchanged: the load is to another bus's quiet wire.
+  EXPECT_DOUBLE_EQ(net.net_coupling(3), xtalk::RcNetwork(g).net_coupling(3));
+}
+
+TEST(InterBus, LoadDampsGlitchesAndStretchesDelays) {
+  xtalk::BusGeometry g;
+  g.width = 8;
+  const xtalk::RcNetwork nom(g);
+  xtalk::RcNetwork loaded(g);
+  loaded.add_ground_load(4, 500.0);
+
+  const xtalk::CrosstalkErrorModel model(xtalk::ErrorModelConfig::calibrated(
+      nom, xtalk::recommended_cth(nom, 1.6)));
+  const auto gp = xtalk::ma_test(
+      8, {4, MafType::kPositiveGlitch, BusDirection::kCoreToCpu});
+  const auto dr = xtalk::ma_test(
+      8, {4, MafType::kRisingDelay, BusDirection::kCoreToCpu});
+
+  EXPECT_LT(model.glitch_amplitude(loaded, gp, 4),
+            model.glitch_amplitude(nom, gp, 4));
+  EXPECT_GT(model.transition_delay(loaded, dr, 4),
+            model.transition_delay(nom, dr, 4));
+}
+
+TEST(InterBus, LoadDefectDetectedByDelayTestsOnly) {
+  // The analytical criterion: under the MA delay excitation the error
+  // fires when Cg + L + 2*Cnet > Cg + 2*Cth, i.e. L > 2*(Cth - Cnet).
+  soc::System sys;
+  const unsigned victim = 6;
+  const double cnet = sys.nominal_address_network().net_coupling(victim);
+  const double threshold = 2.0 * (sys.address_cth() - cnet);
+
+  xtalk::RcNetwork bad = sys.nominal_address_network();
+  bad.add_ground_load(victim, 1.3 * threshold);
+
+  const auto dr = xtalk::ma_test(
+      12, {victim, MafType::kRisingDelay, BusDirection::kCpuToCore});
+  const auto gp = xtalk::ma_test(
+      12, {victim, MafType::kPositiveGlitch, BusDirection::kCpuToCore});
+  EXPECT_TRUE(sys.address_model().corrupts(bad, dr));
+  EXPECT_FALSE(sys.address_model().corrupts(bad, gp));
+
+  xtalk::RcNetwork mild = sys.nominal_address_network();
+  mild.add_ground_load(victim, 0.7 * threshold);
+  EXPECT_FALSE(sys.address_model().corrupts(mild, dr));
+}
+
+TEST(InterBus, ProgramDetectsLoadDefect) {
+  const auto sessions =
+      sbst::TestProgramGenerator::generate_sessions(sbst::GeneratorConfig{});
+  soc::System sys;
+  const unsigned victim = 6;
+  const double threshold =
+      2.0 * (sys.address_cth() -
+             sys.nominal_address_network().net_coupling(victim));
+  xtalk::RcNetwork bad = sys.nominal_address_network();
+  bad.add_ground_load(victim, 1.5 * threshold);
+
+  bool detected = false;
+  for (const auto& s : sessions) {
+    if (s.program.tests.empty()) continue;
+    sys.clear_defects();
+    const auto gold = sim::run_and_capture(sys, s.program, 1'000'000);
+    sys.set_address_network(bad);
+    const auto faulty =
+        sim::run_and_capture(sys, s.program, gold.cycles * 16);
+    detected = detected || !faulty.matches(gold);
+  }
+  EXPECT_TRUE(detected);
+}
+
+}  // namespace
+}  // namespace xtest

@@ -1,0 +1,130 @@
+#include "cpu/isa.h"
+
+#include <gtest/gtest.h>
+
+namespace xtest::cpu {
+namespace {
+
+TEST(Addressing, PageOffsetSplit) {
+  EXPECT_EQ(page_of(0xFEF), 0xF);
+  EXPECT_EQ(offset_of(0xFEF), 0xEF);
+  EXPECT_EQ(make_addr(0xF, 0xEF), 0xFEF);
+  EXPECT_EQ(wrap(0x1000), 0x000);
+  EXPECT_EQ(wrap(0xFFF + 1), 0x000);
+}
+
+TEST(Encoding, MemRefLayoutMatchesFig4) {
+  // Fig. 4: first byte = opcode nibble + page, second byte = offset.
+  const auto enc = encode_memref(Opcode::kLda, 0xE00);
+  EXPECT_EQ(enc[0], 0x0E);
+  EXPECT_EQ(enc[1], 0x00);
+  const auto add = encode_memref(Opcode::kAdd, 0x37F);
+  EXPECT_EQ(add[0], 0x23);
+  EXPECT_EQ(add[1], 0x7F);
+}
+
+TEST(Encoding, SingleAndBranch) {
+  EXPECT_EQ(encode_single(SingleOp::kHlt), 0xF8);
+  EXPECT_EQ(encode_single(SingleOp::kNop), 0xF0);
+  const auto bz = encode_branch(kCondZ, 0x42);
+  EXPECT_EQ(bz[0], 0xE4);
+  EXPECT_EQ(bz[1], 0x42);
+}
+
+TEST(Decode, AllMemRefOpcodes) {
+  const Opcode ops[] = {Opcode::kLda, Opcode::kAnd, Opcode::kAdd,
+                        Opcode::kSub, Opcode::kOra, Opcode::kXra,
+                        Opcode::kSta, Opcode::kJmp, Opcode::kJsr,
+                        Opcode::kJmi};
+  for (Opcode op : ops)
+    for (unsigned page = 0; page < 16; ++page) {
+      const Decoded d =
+          decode(static_cast<std::uint8_t>((static_cast<unsigned>(op) << 4) |
+                                           page));
+      EXPECT_EQ(d.kind, Decoded::Kind::kMemRef);
+      EXPECT_EQ(d.opcode, op);
+      EXPECT_EQ(d.page, page);
+      EXPECT_TRUE(d.two_bytes());
+    }
+}
+
+TEST(Decode, IllegalRanges) {
+  // Opcode nibbles 0xA-0xD and single-op selectors above HLT are illegal.
+  for (unsigned hi = 0xA; hi <= 0xD; ++hi)
+    for (unsigned lo = 0; lo < 16; ++lo)
+      EXPECT_EQ(decode(static_cast<std::uint8_t>((hi << 4) | lo)).kind,
+                Decoded::Kind::kIllegal);
+  for (unsigned lo = 9; lo < 16; ++lo)
+    EXPECT_EQ(decode(static_cast<std::uint8_t>(0xF0 | lo)).kind,
+              Decoded::Kind::kIllegal);
+  EXPECT_EQ(decode(0xFF).kind, Decoded::Kind::kIllegal);
+}
+
+TEST(Decode, BranchAndSingle) {
+  EXPECT_EQ(decode(0xE4).kind, Decoded::Kind::kBranch);
+  EXPECT_EQ(decode(0xE4).cond_mask, kCondZ);
+  EXPECT_TRUE(decode(0xE4).two_bytes());
+  EXPECT_EQ(decode(0xF1).kind, Decoded::Kind::kSingle);
+  EXPECT_EQ(decode(0xF1).single, SingleOp::kCla);
+  EXPECT_FALSE(decode(0xF1).two_bytes());
+}
+
+TEST(InstructionSet, HasExactly23Instructions) {
+  // 10 memory-reference + 4 branches + 9 single-byte = 23, the paper's
+  // "8-bit accumulator-based multi-cycle processor core with 23
+  // instructions".
+  int count = 0;
+  const char* memref[] = {"lda", "and", "add", "sub", "ora",
+                          "xra", "sta", "jmp", "jsr", "jmi"};
+  const char* branch[] = {"bv", "bc", "bz", "bn"};
+  const char* single[] = {"nop", "cla", "cma", "cmc", "stc",
+                          "asl", "asr", "inc", "hlt"};
+  for (const char* m : memref) count += parse_mnemonic(m).has_value();
+  for (const char* m : branch) count += parse_mnemonic(m).has_value();
+  for (const char* m : single) count += parse_mnemonic(m).has_value();
+  EXPECT_EQ(count, kInstructionCount);
+}
+
+TEST(Mnemonics, RoundTrip) {
+  for (unsigned b = 0; b < 256; ++b) {
+    const Decoded d = decode(static_cast<std::uint8_t>(b));
+    if (d.kind == Decoded::Kind::kIllegal) continue;
+    const std::string name = mnemonic(d);
+    if (name.rfind("br#", 0) == 0) continue;  // multi-condition branches
+    const auto info = parse_mnemonic(name);
+    ASSERT_TRUE(info.has_value()) << name;
+    EXPECT_EQ(info->kind, d.kind);
+    if (d.kind == Decoded::Kind::kMemRef) {
+      EXPECT_EQ(info->opcode, d.opcode);
+    }
+    if (d.kind == Decoded::Kind::kSingle) {
+      EXPECT_EQ(info->single, d.single);
+    }
+    if (d.kind == Decoded::Kind::kBranch) {
+      EXPECT_EQ(info->cond_mask, d.cond_mask);
+    }
+  }
+}
+
+TEST(Mnemonics, CaseInsensitive) {
+  EXPECT_TRUE(parse_mnemonic("LDA").has_value());
+  EXPECT_TRUE(parse_mnemonic("Hlt").has_value());
+  EXPECT_FALSE(parse_mnemonic("mov").has_value());
+}
+
+TEST(Disassemble, Formats) {
+  EXPECT_EQ(disassemble(0x2F, 0x07), "add 0xf07");
+  EXPECT_EQ(disassemble(0xF8, 0x00), "hlt");
+  EXPECT_EQ(disassemble(0xE4, 0x10), "bz 0x10");
+  EXPECT_EQ(disassemble(0xA0, 0x00), "ill 0xa0");
+}
+
+TEST(IsTwoByte, MatchesDecodedKind) {
+  for (unsigned b = 0; b < 256; ++b) {
+    const Decoded d = decode(static_cast<std::uint8_t>(b));
+    EXPECT_EQ(is_two_byte(static_cast<std::uint8_t>(b)), d.two_bytes());
+  }
+}
+
+}  // namespace
+}  // namespace xtest::cpu

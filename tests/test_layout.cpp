@@ -1,0 +1,246 @@
+#include "sbst/layout.h"
+
+#include <gtest/gtest.h>
+
+namespace xtest::sbst {
+namespace {
+
+using cpu::Addr;
+
+TEST(Layout, StartsAllFree) {
+  LayoutAllocator a;
+  for (unsigned x = 0; x < cpu::kMemWords; x += 97)
+    EXPECT_EQ(a.use(static_cast<Addr>(x)), CellUse::kFree);
+  EXPECT_EQ(a.used_bytes(), 0u);
+}
+
+TEST(Layout, UsableLimitForbidsHighCells) {
+  LayoutAllocator a(0xC00);
+  EXPECT_EQ(a.use(0xBFF), CellUse::kFree);
+  EXPECT_EQ(a.use(0xC00), CellUse::kForbidden);
+  EXPECT_EQ(a.use(0xFFF), CellUse::kForbidden);
+  LayoutAllocator::Txn txn(a);
+  EXPECT_FALSE(txn.set_code(0xC00, 1));
+}
+
+TEST(Layout, TxnCommitAppliesStagedCells) {
+  LayoutAllocator a;
+  LayoutAllocator::Txn txn(a);
+  txn.set_code(0x100, 0x12);
+  txn.require_operand(0x200, 0x34);
+  txn.claim_response(0x300);
+  ASSERT_TRUE(txn.ok());
+  txn.commit();
+  EXPECT_EQ(a.use(0x100), CellUse::kCode);
+  EXPECT_EQ(a.value(0x100), 0x12);
+  EXPECT_EQ(a.use(0x200), CellUse::kOperand);
+  EXPECT_EQ(a.use(0x300), CellUse::kResponse);
+  EXPECT_EQ(a.used_bytes(), 3u);
+}
+
+TEST(Layout, DroppedTxnLeavesNoTrace) {
+  LayoutAllocator a;
+  {
+    LayoutAllocator::Txn txn(a);
+    txn.set_code(0x100, 0x12);
+    // never committed
+  }
+  EXPECT_EQ(a.use(0x100), CellUse::kFree);
+}
+
+TEST(Layout, ConflictPoisonsTxn) {
+  LayoutAllocator a;
+  {
+    LayoutAllocator::Txn txn(a);
+    txn.set_code(0x100, 1);
+    txn.commit();
+  }
+  LayoutAllocator::Txn txn(a);
+  EXPECT_TRUE(txn.set_code(0x101, 2));
+  EXPECT_FALSE(txn.set_code(0x100, 3));  // already code
+  EXPECT_FALSE(txn.ok());
+}
+
+TEST(Layout, TxnSeesItsOwnStaging) {
+  LayoutAllocator a;
+  LayoutAllocator::Txn txn(a);
+  txn.set_code(0x100, 1);
+  EXPECT_EQ(txn.use(0x100), CellUse::kCode);
+  EXPECT_EQ(txn.value(0x100), 1);
+  // Double placement within one txn is a conflict.
+  EXPECT_FALSE(txn.set_code(0x100, 2));
+}
+
+TEST(Layout, RequireOperandSharesEqualValues) {
+  LayoutAllocator a;
+  {
+    LayoutAllocator::Txn txn(a);
+    txn.require_operand(0x200, 0x42);
+    txn.commit();
+  }
+  LayoutAllocator::Txn txn(a);
+  EXPECT_TRUE(txn.require_operand(0x200, 0x42));  // same value: shared
+  EXPECT_TRUE(txn.ok());
+  LayoutAllocator::Txn txn2(a);
+  EXPECT_FALSE(txn2.require_operand(0x200, 0x43));  // different: conflict
+}
+
+TEST(Layout, RequireOperandAcceptsMatchingCode) {
+  LayoutAllocator a;
+  {
+    LayoutAllocator::Txn txn(a);
+    txn.set_code(0x150, 0x07);
+    txn.commit();
+  }
+  LayoutAllocator::Txn txn(a);
+  EXPECT_TRUE(txn.require_operand(0x150, 0x07));
+  LayoutAllocator::Txn txn2(a);
+  EXPECT_FALSE(txn2.require_operand(0x150, 0x08));
+}
+
+TEST(Layout, RequireDiffersClaimsFreeCellWithPreferred) {
+  LayoutAllocator a;
+  LayoutAllocator::Txn txn(a);
+  std::uint8_t got = 0;
+  EXPECT_TRUE(txn.require_differs(0x200, 0x01, 0xFE, &got));
+  EXPECT_EQ(got, 0xFE);
+  txn.commit();
+  EXPECT_EQ(a.value(0x200), 0xFE);
+}
+
+TEST(Layout, RequireDiffersAcceptsOccupiedDifferent) {
+  LayoutAllocator a;
+  {
+    LayoutAllocator::Txn txn(a);
+    txn.set_code(0x200, 0x33);
+    txn.commit();
+  }
+  LayoutAllocator::Txn txn(a);
+  std::uint8_t got = 0;
+  EXPECT_TRUE(txn.require_differs(0x200, 0x01, 0xFF, &got));
+  EXPECT_EQ(got, 0x33);
+  LayoutAllocator::Txn txn2(a);
+  EXPECT_FALSE(txn2.require_differs(0x200, 0x33, 0xFF));
+}
+
+TEST(Layout, RequireDiffersRejectsPatchCells) {
+  // A patch cell's value is unknown until the chain is finalised, so the
+  // conservative answer is "cannot guarantee difference".
+  LayoutAllocator a;
+  {
+    LayoutAllocator::Txn txn(a);
+    txn.set_patch(0x200);
+    txn.commit();
+  }
+  LayoutAllocator::Txn txn(a);
+  EXPECT_FALSE(txn.require_differs(0x200, 0x01, 0xFF));
+}
+
+TEST(Layout, PatchLifecycle) {
+  LayoutAllocator a;
+  {
+    LayoutAllocator::Txn txn(a);
+    txn.set_patch(0x100);
+    txn.commit();
+  }
+  EXPECT_THROW(a.image(), std::logic_error);  // unpatched
+  a.patch(0x100, 0x77);
+  EXPECT_EQ(a.use(0x100), CellUse::kCode);
+  EXPECT_EQ(a.image().at(0x100), 0x77);
+  EXPECT_THROW(a.patch(0x100, 0x78), std::logic_error);  // already final
+}
+
+TEST(Layout, ClaimResponseOverwriteReusesOperands) {
+  LayoutAllocator a;
+  {
+    LayoutAllocator::Txn txn(a);
+    txn.require_operand(0x200, 0x42);
+    txn.commit();
+  }
+  LayoutAllocator::Txn txn(a);
+  EXPECT_TRUE(txn.claim_response_overwrite(0x200));
+  txn.commit();
+  EXPECT_EQ(a.use(0x200), CellUse::kResponse);
+  // The image keeps the operand constant (loaded before being overwritten
+  // at run time).
+  EXPECT_EQ(a.image().at(0x200), 0x42);
+}
+
+TEST(Layout, ClaimResponseOverwriteRejectsCode) {
+  LayoutAllocator a;
+  {
+    LayoutAllocator::Txn txn(a);
+    txn.set_code(0x200, 1);
+    txn.commit();
+  }
+  LayoutAllocator::Txn txn(a);
+  EXPECT_FALSE(txn.claim_response_overwrite(0x200));
+}
+
+TEST(Layout, FindFreeRunFirstFit) {
+  LayoutAllocator a;
+  {
+    LayoutAllocator::Txn txn(a);
+    for (Addr x = 0; x < 10; ++x) txn.set_code(x, 0);
+    txn.commit();
+  }
+  const auto run = a.find_free_run(4);
+  ASSERT_TRUE(run.has_value());
+  EXPECT_EQ(*run, 10);
+}
+
+TEST(Layout, FindFreeRunAvoidsProtectedZones) {
+  LayoutAllocator a;
+  a.add_protected_zone(0x000, 0x0FF);
+  const auto run = a.find_free_run(4);
+  ASSERT_TRUE(run.has_value());
+  EXPECT_EQ(*run, 0x100);
+  EXPECT_TRUE(a.is_protected(0x050));
+  EXPECT_FALSE(a.is_protected(0x100));
+}
+
+TEST(Layout, FindFreeRunFallsBackIntoProtectedWhenFull) {
+  LayoutAllocator a;
+  a.add_protected_zone(0x000, 0xFFF);  // everything protected
+  const auto run = a.find_free_run(4);
+  ASSERT_TRUE(run.has_value());  // fallback ignores protection
+}
+
+TEST(Layout, FindFreeCellWithOffsetScansPages) {
+  LayoutAllocator a;
+  {
+    LayoutAllocator::Txn txn(a);
+    txn.set_code(0x040, 0);  // occupy page 0, offset 0x40
+    txn.commit();
+  }
+  const auto cell = a.find_free_cell_with_offset(0x40);
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_EQ(*cell, 0x140);
+  EXPECT_EQ(cpu::offset_of(*cell), 0x40);
+}
+
+TEST(Layout, FindFreeRunExhaustion) {
+  LayoutAllocator a(0x004);  // only 4 usable bytes
+  EXPECT_FALSE(a.find_free_run(5).has_value());
+  EXPECT_TRUE(a.find_free_run(4).has_value());
+}
+
+TEST(Layout, ImageContainsExactlyUsedCells) {
+  LayoutAllocator a;
+  {
+    LayoutAllocator::Txn txn(a);
+    txn.set_code(0x100, 0xAB);
+    txn.require_operand(0x200, 0xCD);
+    txn.claim_response(0x300);
+    txn.commit();
+  }
+  const cpu::MemoryImage img = a.image();
+  EXPECT_EQ(img.defined_count(), 3u);
+  EXPECT_EQ(img.at(0x100), 0xAB);
+  EXPECT_EQ(img.at(0x200), 0xCD);
+  EXPECT_EQ(img.at(0x300), 0x00);
+  EXPECT_FALSE(img.defined(0x101));
+}
+
+}  // namespace
+}  // namespace xtest::sbst

@@ -1,0 +1,176 @@
+#include "xtalk/maf.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace xtest::xtalk {
+namespace {
+
+using util::BusWord;
+
+// Fig. 1 of the paper, victim Yi on an 8-bit bus.
+TEST(MaTest, PositiveGlitchVectorsMatchFig1) {
+  // gp: victim stable 0, aggressors rise.  Paper example (Section 4.1):
+  // (00000000, 11110111) for victim = bit 3 (paper's "line 4").
+  const VectorPair p = ma_test(8, {3, MafType::kPositiveGlitch,
+                                   BusDirection::kCoreToCpu});
+  EXPECT_EQ(p.v1, BusWord(8, 0x00));
+  EXPECT_EQ(p.v2, BusWord(8, 0xF7));
+}
+
+TEST(MaTest, NegativeGlitchVectors) {
+  const VectorPair p = ma_test(8, {3, MafType::kNegativeGlitch,
+                                   BusDirection::kCoreToCpu});
+  EXPECT_EQ(p.v1, BusWord(8, 0xFF));
+  EXPECT_EQ(p.v2, BusWord(8, 0x08));
+}
+
+TEST(MaTest, RisingDelayVectorsMatchFig8) {
+  // Paper Fig. 8: (01111111, 10000000) is the rising-delay test for the
+  // MSB ("bus line 8").
+  const VectorPair p = ma_test(8, {7, MafType::kRisingDelay,
+                                   BusDirection::kCoreToCpu});
+  EXPECT_EQ(p.v1, BusWord(8, 0x7F));
+  EXPECT_EQ(p.v2, BusWord(8, 0x80));
+}
+
+TEST(MaTest, FallingDelayVectorsMatchSection421) {
+  // Paper Section 4.2.1: (0000:00010000, 1111:11101111) is a falling-delay
+  // test (victim = bit 4 of the 12-bit address bus).
+  const VectorPair p = ma_test(12, {4, MafType::kFallingDelay,
+                                    BusDirection::kCpuToCore});
+  EXPECT_EQ(p.v1, BusWord(12, 0x010));
+  EXPECT_EQ(p.v2, BusWord(12, 0xFEF));
+}
+
+TEST(MaTest, GlitchKeepsVictimStableDelayTogglesIt) {
+  for (unsigned v = 0; v < 12; ++v) {
+    for (MafType t : kAllMafTypes) {
+      const VectorPair p = ma_test(12, {v, t, BusDirection::kCpuToCore});
+      if (is_glitch(t)) {
+        EXPECT_EQ(p.v1.bit(v), p.v2.bit(v)) << to_string(t) << "@" << v;
+      } else {
+        EXPECT_NE(p.v1.bit(v), p.v2.bit(v)) << to_string(t) << "@" << v;
+      }
+      // All aggressors toggle.
+      for (unsigned a = 0; a < 12; ++a) {
+        if (a != v) {
+          EXPECT_NE(p.v1.bit(a), p.v2.bit(a));
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultyV2, GlitchFlipsVictim) {
+  const MafFault gp{2, MafType::kPositiveGlitch, BusDirection::kCoreToCpu};
+  const VectorPair p = ma_test(8, gp);
+  const BusWord bad = faulty_v2(gp, p);
+  EXPECT_EQ(bad, p.v2.with_bit(2, true));
+  EXPECT_EQ(bad.bits(), 0xFFu);
+}
+
+TEST(FaultyV2, DelayKeepsOldVictimValue) {
+  const MafFault dr{5, MafType::kRisingDelay, BusDirection::kCoreToCpu};
+  const VectorPair p = ma_test(8, dr);
+  EXPECT_EQ(faulty_v2(dr, p).bit(5), p.v1.bit(5));
+  EXPECT_EQ(faulty_v2(dr, p).bits(), 0x00u);
+
+  const MafFault df{5, MafType::kFallingDelay, BusDirection::kCoreToCpu};
+  const VectorPair q = ma_test(8, df);
+  EXPECT_EQ(faulty_v2(df, q).bits(), 0xFFu);
+}
+
+TEST(FullyExcites, MaTestExcitesItsOwnFault) {
+  for (unsigned v = 0; v < 8; ++v)
+    for (MafType t : kAllMafTypes) {
+      const MafFault f{v, t, BusDirection::kCoreToCpu};
+      EXPECT_TRUE(fully_excites(f, ma_test(8, f))) << f.label();
+    }
+}
+
+TEST(FullyExcites, MaTestDoesNotExciteOtherFaults) {
+  for (unsigned v = 0; v < 8; ++v)
+    for (MafType t : kAllMafTypes) {
+      const MafFault f{v, t, BusDirection::kCoreToCpu};
+      const VectorPair p = ma_test(8, f);
+      for (unsigned v2 = 0; v2 < 8; ++v2)
+        for (MafType t2 : kAllMafTypes) {
+          if (v2 == v && t2 == t) continue;
+          const MafFault g{v2, t2, BusDirection::kCoreToCpu};
+          EXPECT_FALSE(fully_excites(g, p)) << f.label() << " vs " << g.label();
+        }
+    }
+}
+
+// Exhaustive uniqueness property on a small bus: for each fault, the MA
+// test is the *only* fully exciting pair among all 2^N x 2^N pairs.
+TEST(FullyExcites, MaPairIsUniqueExhaustively) {
+  const unsigned width = 4;
+  for (unsigned v = 0; v < width; ++v)
+    for (MafType t : kAllMafTypes) {
+      const MafFault f{v, t, BusDirection::kCoreToCpu};
+      const VectorPair expect = ma_test(width, f);
+      int count = 0;
+      for (unsigned a = 0; a < 16; ++a)
+        for (unsigned b = 0; b < 16; ++b) {
+          const VectorPair p{util::BusWord(width, a), util::BusWord(width, b)};
+          if (fully_excites(f, p)) {
+            ++count;
+            EXPECT_EQ(p, expect);
+          }
+        }
+      EXPECT_EQ(count, 1) << f.label();
+    }
+}
+
+TEST(Enumerate, CountsMatchPaper) {
+  // "there are 64 MAFs on the 8-bit bi-directional data bus (8 x 4 x 2)
+  //  and 48 MAFs on the 12-bit address bus (12 x 4)"
+  EXPECT_EQ(enumerate_mafs(8, true).size(), 64u);
+  EXPECT_EQ(enumerate_mafs(12, false).size(), 48u);
+}
+
+TEST(Enumerate, AllDistinct) {
+  const auto faults = enumerate_mafs(8, true);
+  std::set<std::string> labels;
+  for (const MafFault& f : faults) labels.insert(f.label());
+  EXPECT_EQ(labels.size(), faults.size());
+}
+
+TEST(Enumerate, UnidirectionalIsCpuToCore) {
+  for (const MafFault& f : enumerate_mafs(12, false))
+    EXPECT_EQ(f.direction, BusDirection::kCpuToCore);
+}
+
+TEST(Labels, HumanReadable) {
+  const MafFault f{0, MafType::kPositiveGlitch, BusDirection::kCpuToCore};
+  EXPECT_EQ(f.label(), "gp@1/cpu->core");  // 1-based as in the paper
+  EXPECT_EQ(to_string(MafType::kFallingDelay), "df");
+}
+
+class MaTestWidths : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MaTestWidths, PairsDifferInEveryBit) {
+  const unsigned w = GetParam();
+  for (unsigned v = 0; v < w; ++v)
+    for (MafType t : kAllMafTypes) {
+      const VectorPair p = ma_test(w, {v, t, BusDirection::kCpuToCore});
+      const unsigned dist = p.v1.hamming_distance(p.v2);
+      // Glitches toggle all aggressors; delays toggle everything.
+      EXPECT_EQ(dist, is_glitch(t) ? w - 1 : w);
+    }
+}
+
+TEST_P(MaTestWidths, FourFaultsPerWire) {
+  const unsigned w = GetParam();
+  EXPECT_EQ(enumerate_mafs(w, false).size(), 4u * w);
+  EXPECT_EQ(enumerate_mafs(w, true).size(), 8u * w);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MaTestWidths,
+                         ::testing::Values(2u, 3u, 4u, 8u, 12u, 16u, 32u));
+
+}  // namespace
+}  // namespace xtest::xtalk

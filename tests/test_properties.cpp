@@ -1,0 +1,249 @@
+// Cross-module property and exhaustive tests.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "cpu/assembler.h"
+#include "cpu/cpu.h"
+#include "sbst/generator.h"
+#include "sim/serialize.h"
+#include "sim/verify.h"
+#include "soc/system.h"
+
+namespace xtest {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Exhaustive ALU semantics against an independent reference.
+
+class AluPort : public cpu::BusPort {
+ public:
+  std::uint8_t read(cpu::Addr a) override { return mem[a]; }
+  void write(cpu::Addr a, std::uint8_t d) override { mem[a] = d; }
+  void internal_cycle() override {}
+  std::array<std::uint8_t, cpu::kMemWords> mem{};
+};
+
+struct AluResult {
+  std::uint8_t acc;
+  bool c, v, z, n;
+};
+
+AluResult run_binop(cpu::Opcode op, std::uint8_t a, std::uint8_t m) {
+  AluPort port;
+  // lda A; <op> M; hlt
+  port.mem[0x000] = 0x03;  // lda page 3
+  port.mem[0x001] = 0x00;
+  port.mem[0x002] =
+      static_cast<std::uint8_t>((static_cast<unsigned>(op) << 4) | 0x3);
+  port.mem[0x003] = 0x01;
+  port.mem[0x004] = 0xF8;  // hlt
+  port.mem[0x300] = a;
+  port.mem[0x301] = m;
+  cpu::Cpu core(port);
+  core.reset(0);
+  core.run(1000);
+  const cpu::Flags f = core.flags();
+  return {core.acc(), f.c, f.v, f.z, f.n};
+}
+
+TEST(ExhaustiveAlu, AddMatchesReferenceForAllOperands) {
+  for (unsigned a = 0; a < 256; a += 3) {
+    for (unsigned m = 0; m < 256; m += 7) {
+      const AluResult r = run_binop(cpu::Opcode::kAdd,
+                                    static_cast<std::uint8_t>(a),
+                                    static_cast<std::uint8_t>(m));
+      const unsigned sum = a + m;
+      ASSERT_EQ(r.acc, sum & 0xFF) << a << "+" << m;
+      ASSERT_EQ(r.c, sum > 0xFF);
+      const bool v = (~(a ^ m) & (a ^ sum) & 0x80) != 0;
+      ASSERT_EQ(r.v, v);
+      ASSERT_EQ(r.z, (sum & 0xFF) == 0);
+      ASSERT_EQ(r.n, (sum & 0x80) != 0);
+    }
+  }
+}
+
+TEST(ExhaustiveAlu, SubMatchesReferenceForAllOperands) {
+  for (unsigned a = 0; a < 256; a += 5) {
+    for (unsigned m = 0; m < 256; m += 11) {
+      const AluResult r = run_binop(cpu::Opcode::kSub,
+                                    static_cast<std::uint8_t>(a),
+                                    static_cast<std::uint8_t>(m));
+      const unsigned diff = a - m;
+      ASSERT_EQ(r.acc, diff & 0xFF);
+      ASSERT_EQ(r.c, a >= m);  // no borrow
+      const bool v = ((a ^ m) & (a ^ diff) & 0x80) != 0;
+      ASSERT_EQ(r.v, v);
+    }
+  }
+}
+
+TEST(ExhaustiveAlu, LogicOpsMatchReference) {
+  for (unsigned a = 0; a < 256; a += 17) {
+    for (unsigned m = 0; m < 256; m += 13) {
+      ASSERT_EQ(run_binop(cpu::Opcode::kAnd, a, m).acc, a & m);
+      ASSERT_EQ(run_binop(cpu::Opcode::kOra, a, m).acc, a | m);
+      ASSERT_EQ(run_binop(cpu::Opcode::kXra, a, m).acc, a ^ m);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shift identities.
+
+TEST(ShiftProperties, AslIsAddToSelf) {
+  for (unsigned a = 0; a < 256; ++a) {
+    AluPort port;
+    port.mem[0x000] = 0x03;
+    port.mem[0x001] = 0x00;
+    port.mem[0x002] = 0xF5;  // asl
+    port.mem[0x003] = 0xF8;  // hlt
+    port.mem[0x300] = static_cast<std::uint8_t>(a);
+    cpu::Cpu core(port);
+    core.reset(0);
+    core.run(1000);
+    ASSERT_EQ(core.acc(), (a << 1) & 0xFF);
+    ASSERT_EQ(core.flags().c, (a & 0x80) != 0);
+  }
+}
+
+TEST(ShiftProperties, AsrPreservesSign) {
+  for (unsigned a = 0; a < 256; ++a) {
+    AluPort port;
+    port.mem[0x000] = 0x03;
+    port.mem[0x001] = 0x00;
+    port.mem[0x002] = 0xF6;  // asr
+    port.mem[0x003] = 0xF8;
+    port.mem[0x300] = static_cast<std::uint8_t>(a);
+    cpu::Cpu core(port);
+    core.reset(0);
+    core.run(1000);
+    const unsigned expect = (a >> 1) | (a & 0x80);
+    ASSERT_EQ(core.acc(), expect);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MA-test structural properties across widths and victims.
+
+class MaProperties
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(MaProperties, GlitchPairsAreComplementaryAcrossTypes) {
+  const auto [width, victim] = GetParam();
+  if (victim >= width) GTEST_SKIP();
+  const auto gp = xtalk::ma_test(
+      width, {victim, xtalk::MafType::kPositiveGlitch,
+              xtalk::BusDirection::kCpuToCore});
+  const auto gn = xtalk::ma_test(
+      width, {victim, xtalk::MafType::kNegativeGlitch,
+              xtalk::BusDirection::kCpuToCore});
+  EXPECT_EQ(gp.v1.inverted(), gn.v1);
+  EXPECT_EQ(gp.v2.inverted(), gn.v2);
+  const auto dr = xtalk::ma_test(
+      width, {victim, xtalk::MafType::kRisingDelay,
+              xtalk::BusDirection::kCpuToCore});
+  const auto df = xtalk::ma_test(
+      width, {victim, xtalk::MafType::kFallingDelay,
+              xtalk::BusDirection::kCpuToCore});
+  EXPECT_EQ(dr.v1, df.v2);
+  EXPECT_EQ(dr.v2, df.v1);
+}
+
+TEST_P(MaProperties, FaultyV2DiffersInExactlyTheVictim) {
+  const auto [width, victim] = GetParam();
+  if (victim >= width) GTEST_SKIP();
+  for (xtalk::MafType t : xtalk::kAllMafTypes) {
+    const xtalk::MafFault f{victim, t, xtalk::BusDirection::kCpuToCore};
+    const auto pair = xtalk::ma_test(width, f);
+    const auto bad = xtalk::faulty_v2(f, pair);
+    EXPECT_EQ(bad.hamming_distance(pair.v2), 1u);
+    EXPECT_NE(bad.bit(victim), pair.v2.bit(victim));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MaProperties,
+    ::testing::Combine(::testing::Values(2u, 4u, 8u, 12u, 16u),
+                       ::testing::Values(0u, 1u, 5u, 11u, 15u)));
+
+// ---------------------------------------------------------------------------
+// Generated programs round-trip through serialisation and still verify.
+
+TEST(ProgramProperties, SerialisedProgramStillFullyEffective) {
+  const sbst::GenerationResult gen =
+      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+  sbst::TestProgram copy = gen.program;
+  copy.image = sim::image_from_text(sim::image_to_text(gen.program.image));
+  const sim::VerificationResult ver = sim::verify_program(copy);
+  EXPECT_TRUE(ver.all_effective());
+}
+
+TEST(ProgramProperties, DisassemblyListsEveryChainJmp) {
+  // Every piece of the chain ends in a JMP; the disassembly of the image
+  // must contain at least as many jmps as response groups.
+  const sbst::GenerationResult gen =
+      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+  const std::string listing = cpu::disassemble_image(gen.program.image);
+  std::size_t jmps = 0;
+  for (std::size_t pos = 0; (pos = listing.find("jmp ", pos)) !=
+                            std::string::npos;
+       ++pos)
+    ++jmps;
+  EXPECT_GE(jmps, gen.program.response_cells.size() / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-system determinism.
+
+TEST(SystemProperties, RunsAreBitExactAcrossSystems) {
+  const sbst::GenerationResult gen =
+      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+  soc::System a, b;
+  const auto ra = sim::run_and_capture(a, gen.program, 1'000'000);
+  const auto rb = sim::run_and_capture(b, gen.program, 1'000'000);
+  EXPECT_TRUE(ra.matches(rb));
+  EXPECT_EQ(ra.cycles, rb.cycles);
+}
+
+TEST(SystemProperties, GroupSignaturesAreAccumulatedSums) {
+  // For every fully one-hot compacted group, the gold signature equals the
+  // modular sum of its members' pass values (Fig. 8's arithmetic).
+  const sbst::GenerationResult gen =
+      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+  const sim::VerificationResult ver = sim::verify_program(gen.program);
+
+  std::map<int, unsigned> sums;
+  std::map<int, bool> pure;  // group contains only fresh one-hot passes
+  for (const auto& t : gen.program.tests) {
+    if (t.group < 0) continue;
+    sums[t.group] += t.pass_value;
+    const bool one_hot =
+        t.pass_value != 0 && (t.pass_value & (t.pass_value - 1)) == 0;
+    if (!pure.count(t.group)) pure[t.group] = true;
+    pure[t.group] = pure[t.group] && one_hot &&
+                    (t.scheme == sbst::Scheme::kAddrDelay ||
+                     t.scheme == sbst::Scheme::kAddrGlitch);
+  }
+  int checked = 0;
+  for (const auto& [group, sum] : sums) {
+    if (!pure[group]) continue;
+    // Locate the group's response cell via any member test.
+    for (std::size_t i = 0; i < gen.program.tests.size(); ++i) {
+      if (gen.program.tests[i].group != group) continue;
+      const cpu::Addr cell = gen.program.tests[i].response_cell;
+      for (std::size_t k = 0; k < gen.program.response_cells.size(); ++k)
+        if (gen.program.response_cells[k] == cell) {
+          EXPECT_EQ(ver.gold.values[k], sum & 0xFF) << "group " << group;
+          ++checked;
+        }
+      break;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+}  // namespace
+}  // namespace xtest

@@ -1,0 +1,55 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace xtest::util {
+namespace {
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.below(1000), b.below(1000));
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.below(1u << 30) == b.below(1u << 30);
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, GaussianMomentsRoughlyCorrect) {
+  // The defect distribution is Gaussian with sigma = 50% (3-sigma = 150%);
+  // check the generator's sample moments.
+  Rng rng(7);
+  const double sigma = 0.5;
+  const int n = 200000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gaussian(sigma);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(std::sqrt(var), sigma, 0.01);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+}  // namespace
+}  // namespace xtest::util

@@ -1,0 +1,81 @@
+#include "sim/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/campaign.h"
+
+namespace xtest::sim {
+namespace {
+
+TEST(Serialize, ImageRoundTrip) {
+  cpu::MemoryImage img;
+  img.set(0x000, 0xFF);
+  img.set(0x010, 0x2F);
+  img.set(0xFFF, 0x01);
+  const std::string text = image_to_text(img);
+  const cpu::MemoryImage back = image_from_text(text);
+  EXPECT_EQ(back.defined_count(), 3u);
+  EXPECT_EQ(back.at(0x000), 0xFF);
+  EXPECT_EQ(back.at(0x010), 0x2F);
+  EXPECT_EQ(back.at(0xFFF), 0x01);
+  EXPECT_FALSE(back.defined(0x011));
+}
+
+TEST(Serialize, ImageTextFormat) {
+  cpu::MemoryImage img;
+  img.set(0x010, 0x2F);
+  EXPECT_EQ(image_to_text(img), "0x010: 2f\n");
+}
+
+TEST(Serialize, ImageRejectsGarbage) {
+  EXPECT_THROW(image_from_text("not a line\n"), std::runtime_error);
+  EXPECT_THROW(image_from_text("0x1000: 00\n"), std::runtime_error);
+  EXPECT_THROW(image_from_text("0x010: 1ff\n"), std::runtime_error);
+}
+
+TEST(Serialize, GeneratedProgramRoundTrips) {
+  const auto gen =
+      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+  const cpu::MemoryImage back =
+      image_from_text(image_to_text(gen.program.image));
+  EXPECT_EQ(back.raw(), gen.program.image.raw());
+  EXPECT_EQ(back.defined_count(), gen.program.image.defined_count());
+}
+
+TEST(Serialize, LibraryRoundTrip) {
+  const soc::SystemConfig cfg;
+  const auto lib = make_defect_library(cfg, soc::BusKind::kAddress, 15, 3);
+  const std::string csv = library_to_csv(lib, 12);
+  const LoadedLibrary back = library_from_csv(csv);
+  ASSERT_EQ(back.defects.size(), lib.size());
+  EXPECT_DOUBLE_EQ(back.config.cth_fF, lib.config().cth_fF);
+  EXPECT_EQ(back.config.seed, lib.config().seed);
+  for (std::size_t k = 0; k < lib.size(); ++k)
+    for (unsigned i = 0; i < 12; ++i)
+      for (unsigned j = i + 1; j < 12; ++j)
+        EXPECT_NEAR(back.defects[k].factor(i, j), lib[k].factor(i, j), 1e-9);
+}
+
+TEST(Serialize, LoadedLibraryBehavesIdentically) {
+  // Detection verdicts computed from a reloaded library match the
+  // original -- the archival property a tester flow needs.
+  const soc::SystemConfig cfg;
+  const soc::System sys(cfg);
+  const auto lib = make_defect_library(cfg, soc::BusKind::kAddress, 10, 5);
+  const LoadedLibrary back = library_from_csv(library_to_csv(lib, 12));
+  for (std::size_t k = 0; k < lib.size(); ++k) {
+    const auto a = lib[k].apply(sys.nominal_address_network());
+    const auto b = back.defects[k].apply(sys.nominal_address_network());
+    for (unsigned i = 0; i < 12; ++i)
+      EXPECT_NEAR(a.net_coupling(i), b.net_coupling(i), 1e-6);
+  }
+}
+
+TEST(Serialize, LibraryRejectsMalformedCsv) {
+  EXPECT_THROW(library_from_csv(""), std::runtime_error);
+  EXPECT_THROW(library_from_csv("12,50,700,2,1\n1.0,2.0\n"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace xtest::sim

@@ -1,0 +1,216 @@
+#include "soc/system.h"
+
+#include <gtest/gtest.h>
+
+#include "cpu/assembler.h"
+
+namespace xtest::soc {
+namespace {
+
+using cpu::Addr;
+
+cpu::AsmResult simple_lda_program() {
+  // The paper's Fig. 5 scenario: a single LDA followed by HLT.
+  return cpu::assemble(R"(
+        .org 0x010
+        lda 0x380
+        hlt
+        .org 0x380
+        .byte 0x5a
+  )");
+}
+
+TEST(System, RunsAProgramToCompletion) {
+  System sys;
+  const auto prog = simple_lda_program();
+  sys.load_and_reset(prog.image, prog.entry);
+  const RunResult r = sys.run(1000);
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(r.reason, cpu::HaltReason::kHltInstruction);
+  EXPECT_EQ(sys.processor().acc(), 0x5A);
+}
+
+TEST(System, Fig5BusTransactionSequence) {
+  // Address bus: Ai, Ai+1, Ax; data bus: M[Ai], M[Ai+1], M[Ax].
+  System sys;
+  BusTrace trace;
+  sys.set_trace(&trace);
+  const auto prog = simple_lda_program();
+  sys.load_and_reset(prog.image, prog.entry);
+  sys.run(1000);
+
+  const auto addr = trace.on_bus(BusKind::kAddress);
+  ASSERT_GE(addr.size(), 3u);
+  EXPECT_EQ(addr[0].driven.bits(), 0x010u);
+  EXPECT_EQ(addr[1].driven.bits(), 0x011u);
+  EXPECT_EQ(addr[2].driven.bits(), 0x380u);
+  for (const auto& e : addr)
+    EXPECT_EQ(e.direction, xtalk::BusDirection::kCpuToCore);
+
+  const auto data = trace.on_bus(BusKind::kData);
+  ASSERT_GE(data.size(), 3u);
+  EXPECT_EQ(data[0].driven.bits(), 0x03u);  // lda byte1: opcode 0 page 3
+  EXPECT_EQ(data[1].driven.bits(), 0x80u);  // offset byte
+  EXPECT_EQ(data[2].driven.bits(), 0x5Au);  // operand
+  EXPECT_EQ(data[2].direction, xtalk::BusDirection::kCoreToCpu);
+}
+
+TEST(System, WriteDrivesDataBusCpuToCore) {
+  System sys;
+  BusTrace trace;
+  sys.set_trace(&trace);
+  const auto prog = cpu::assemble(R"(
+        lda v
+        sta 0x200
+        hlt
+        .org 0x80
+v:      .byte 0x42
+  )");
+  sys.load_and_reset(prog.image, prog.entry);
+  sys.run(1000);
+  EXPECT_EQ(sys.memory().read(0x200), 0x42);
+
+  bool saw_write = false;
+  for (const auto& e : trace.on_bus(BusKind::kData))
+    if (e.direction == xtalk::BusDirection::kCpuToCore) {
+      saw_write = true;
+      EXPECT_EQ(e.driven.bits(), 0x42u);
+    }
+  EXPECT_TRUE(saw_write);
+}
+
+TEST(System, NominalSystemNeverCorrupts) {
+  System sys;
+  BusTrace trace;
+  sys.set_trace(&trace);
+  const auto prog = simple_lda_program();
+  sys.load_and_reset(prog.image, prog.entry);
+  sys.run(1000);
+  for (const auto& e : trace.events()) EXPECT_FALSE(e.corrupted);
+}
+
+TEST(System, ForcedMafCorruptsExactlyItsTransition) {
+  // Force the positive-glitch MAF on data wire 1 and run a program whose
+  // LDA applies exactly that MA pair: offset byte 0x00 -> data 0xFD.
+  System sys;
+  const auto prog = cpu::assemble(R"(
+        .org 0x010
+        lda 0x300
+        sta 0x201
+        hlt
+        .org 0x300
+        .byte 0xfd
+  )");
+  sys.set_forced_maf(ForcedMaf{
+      BusKind::kData,
+      {1, xtalk::MafType::kPositiveGlitch, xtalk::BusDirection::kCoreToCpu}});
+  sys.load_and_reset(prog.image, prog.entry);
+  sys.run(1000);
+  EXPECT_EQ(sys.memory().read(0x201), 0xFF);  // bit 1 glitched high
+
+  // Without the forced fault the value is clean.
+  sys.set_forced_maf(std::nullopt);
+  sys.load_and_reset(prog.image, prog.entry);
+  sys.run(1000);
+  EXPECT_EQ(sys.memory().read(0x201), 0xFD);
+}
+
+TEST(System, ForcedAddressMafRedirectsAccess) {
+  // Falling-delay fault on address wire 4: accessing 0xFEF after 0x010
+  // (the paper's Section 4.2.1 example) reads 0xFFF instead.
+  System sys;
+  const auto prog = cpu::assemble(R"(
+        .org 0x00f     ; instruction at v1-1, second byte at v1 = 0x010
+        lda 0xfef
+        sta 0x201
+        hlt
+        .org 0xfef
+        .byte 0x01
+        .org 0xfff
+        .byte 0x99
+  )");
+  sys.set_forced_maf(ForcedMaf{
+      BusKind::kAddress,
+      {4, xtalk::MafType::kFallingDelay, xtalk::BusDirection::kCpuToCore}});
+  sys.load_and_reset(prog.image, prog.entry);
+  sys.run(1000);
+  EXPECT_EQ(sys.memory().read(0x201), 0x99);
+}
+
+TEST(System, DefectInjectionAndClear) {
+  System sys;
+  xtalk::RcNetwork bad = sys.nominal_address_network();
+  for (unsigned j = 0; j < 12; ++j)
+    if (j != 5) bad.scale_coupling(5, j, 3.0);
+  sys.set_address_network(bad);
+  sys.clear_defects();
+
+  const auto prog = simple_lda_program();
+  sys.load_and_reset(prog.image, prog.entry);
+  const RunResult r = sys.run(1000);
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(sys.processor().acc(), 0x5A);
+}
+
+TEST(System, CthCalibrationConsistent) {
+  System sys;
+  EXPECT_GT(sys.address_cth(), sys.nominal_address_network().max_net_coupling());
+  EXPECT_GT(sys.data_cth(), sys.nominal_data_network().max_net_coupling());
+  EXPECT_EQ(sys.nominal_address_network().width(), 12u);
+  EXPECT_EQ(sys.nominal_data_network().width(), 8u);
+}
+
+TEST(System, MmioWindowShadowsMemory) {
+  System sys;
+  RegisterFileDevice dev(16);
+  sys.attach_mmio(0xE00, 16, &dev);
+  const auto prog = cpu::assemble(R"(
+        lda v
+        sta 0xe03     ; into the device
+        lda 0xe03     ; read back from the device
+        sta 0x201
+        hlt
+        .org 0x80
+v:      .byte 0x77
+  )");
+  sys.load_and_reset(prog.image, prog.entry);
+  sys.run(1000);
+  EXPECT_EQ(dev.read(3), 0x77);
+  EXPECT_EQ(sys.memory().read(0x201), 0x77);
+  // The backing memory at the window is untouched.
+  EXPECT_EQ(sys.memory().read(0xE03), 0x00);
+}
+
+TEST(System, RomDeviceIgnoresWrites) {
+  System sys;
+  RomDevice rom({0x11, 0x22, 0x33});
+  sys.attach_mmio(0xE00, 3, &rom);
+  const auto prog = cpu::assemble(R"(
+        lda v
+        sta 0xe01
+        lda 0xe01
+        sta 0x201
+        hlt
+        .org 0x80
+v:      .byte 0x77
+  )");
+  sys.load_and_reset(prog.image, prog.entry);
+  sys.run(1000);
+  EXPECT_EQ(sys.memory().read(0x201), 0x22);
+}
+
+TEST(System, TraceRecordsCycleNumbers) {
+  System sys;
+  BusTrace trace;
+  sys.set_trace(&trace);
+  const auto prog = simple_lda_program();
+  sys.load_and_reset(prog.image, prog.entry);
+  sys.run(1000);
+  ASSERT_FALSE(trace.events().empty());
+  for (std::size_t i = 1; i < trace.events().size(); ++i)
+    EXPECT_GE(trace.events()[i].cycle, trace.events()[i - 1].cycle);
+  EXPECT_FALSE(trace.render().empty());
+}
+
+}  // namespace
+}  // namespace xtest::soc

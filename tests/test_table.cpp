@@ -1,0 +1,48 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace xtest::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"line", "coverage"});
+  t.add_row({"1", "0.0%"});
+  t.add_row({"6", "17.3%"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| line | coverage |"), std::string::npos);
+  EXPECT_NE(out.find("| 6    | 17.3%    |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  const std::string out = t.render();
+  // Three columns rendered even though the row had one cell.
+  EXPECT_NE(out.find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.render_csv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+  EXPECT_EQ(Table::pct(0.173, 1), "17.3%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(Table, AlignmentGrowsWithWidestCell) {
+  Table t({"h"});
+  t.add_row({"wide-cell-content"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| h                 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xtest::util

@@ -1,0 +1,211 @@
+#include "xtalk/transient.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "xtalk/defect.h"
+
+namespace xtest::xtalk {
+namespace {
+
+RcNetwork nominal(unsigned width = 8) {
+  BusGeometry g;
+  g.width = width;
+  return RcNetwork(g);
+}
+
+TEST(LuSolver, SolvesSmallSystem) {
+  // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+  LuSolver lu({2, 1, 1, 3}, 2);
+  std::vector<double> b{5, 10};
+  lu.solve(b);
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(LuSolver, PivotsOnZeroDiagonal) {
+  LuSolver lu({0, 1, 1, 0}, 2);
+  std::vector<double> b{2, 3};
+  lu.solve(b);
+  EXPECT_NEAR(b[0], 3.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(LuSolver, ReportsSingular) {
+  LuSolver lu({1, 2, 2, 4}, 2);
+  EXPECT_TRUE(lu.singular());
+  std::vector<double> b{1, 1};
+  EXPECT_THROW(lu.solve(b), std::runtime_error);
+}
+
+TEST(Transient, IsolatedWireMatchesElmoreDelay) {
+  // A quiet-aggressor rising transition: the 50% crossing of an RC wire is
+  // within ~20% of ln2 * R * Ceff (Elmore is a mild overestimate because
+  // quiet neighbours partially follow the victim).
+  const RcNetwork nom = nominal();
+  const TransientSimulator sim;
+  const CrosstalkErrorModel analytic(
+      ErrorModelConfig::calibrated(nom, recommended_cth(nom, 1.6)));
+  const VectorPair quiet{util::BusWord(8, 0x00), util::BusWord(8, 0x10)};
+  const auto resp = sim.simulate(nom, quiet);
+  const double elmore = analytic.transition_delay(nom, quiet, 4);
+  EXPECT_GT(resp[4].crossing_time_ns, 0.0);
+  EXPECT_NEAR(resp[4].crossing_time_ns, elmore, 0.25 * elmore);
+}
+
+TEST(Transient, MillerEffectSlowsOpposingTransition) {
+  const RcNetwork nom = nominal();
+  const TransientSimulator sim;
+  const VectorPair quiet{util::BusWord(8, 0x00), util::BusWord(8, 0x10)};
+  const VectorPair ma =
+      ma_test(8, {4, MafType::kRisingDelay, BusDirection::kCoreToCpu});
+  const double d_quiet = sim.simulate(nom, quiet)[4].crossing_time_ns;
+  const double d_ma = sim.simulate(nom, ma)[4].crossing_time_ns;
+  EXPECT_GT(d_ma, 1.5 * d_quiet);
+}
+
+TEST(Transient, GlitchPeakBelowChargeShareBound) {
+  // The analytical charge-sharing expression is the instantaneous-
+  // aggressor bound; the real (finite-slew) peak must lie below it but
+  // remain a substantial fraction.
+  const RcNetwork nom = nominal();
+  const TransientSimulator sim;
+  const CrosstalkErrorModel analytic(
+      ErrorModelConfig::calibrated(nom, recommended_cth(nom, 1.6)));
+  const VectorPair gp =
+      ma_test(8, {4, MafType::kPositiveGlitch, BusDirection::kCoreToCpu});
+  const double peak = sim.simulate(nom, gp)[4].peak_excursion_v;
+  const double bound = analytic.glitch_amplitude(nom, gp, 4);
+  EXPECT_GT(peak, 0.3 * bound);
+  EXPECT_LT(peak, bound);
+}
+
+TEST(Transient, GlitchPeakMonotoneInCoupling) {
+  const RcNetwork nom = nominal();
+  const TransientSimulator sim;
+  const VectorPair gp =
+      ma_test(8, {4, MafType::kPositiveGlitch, BusDirection::kCoreToCpu});
+  double prev = 0.0;
+  for (double s = 1.0; s <= 3.0; s += 0.5) {
+    RcNetwork net = nom;
+    for (unsigned j = 0; j < 8; ++j)
+      if (j != 4) net.scale_coupling(4, j, s);
+    const double peak = sim.simulate(net, gp)[4].peak_excursion_v;
+    EXPECT_GT(peak, prev) << "scale " << s;
+    prev = peak;
+  }
+}
+
+TEST(Transient, NegativeGlitchMirrorsPositive) {
+  const RcNetwork nom = nominal();
+  const TransientSimulator sim;
+  const VectorPair gp =
+      ma_test(8, {4, MafType::kPositiveGlitch, BusDirection::kCoreToCpu});
+  const VectorPair gn =
+      ma_test(8, {4, MafType::kNegativeGlitch, BusDirection::kCoreToCpu});
+  const double up = sim.simulate(nom, gp)[4].peak_excursion_v;
+  const double down = sim.simulate(nom, gn)[4].peak_excursion_v;
+  EXPECT_GT(up, 0.0);
+  EXPECT_LT(down, 0.0);
+  EXPECT_NEAR(up, -down, 0.05 * up);  // symmetric RC network
+}
+
+TEST(Transient, WaveformSettlesToFinalValue) {
+  const RcNetwork nom = nominal();
+  const TransientSimulator sim;
+  const VectorPair p{util::BusWord(8, 0x0F), util::BusWord(8, 0xF0)};
+  for (unsigned wire : {0u, 3u, 4u, 7u}) {
+    const auto wf = sim.waveform(nom, p, wire);
+    ASSERT_GT(wf.size(), 10u);
+    const double target = p.v2.bit(wire) ? sim.config().vdd_v : 0.0;
+    EXPECT_NEAR(wf.back(), target, 1e-3) << "wire " << wire;
+    EXPECT_NEAR(wf.front(), p.v1.bit(wire) ? sim.config().vdd_v : 0.0, 1e-9);
+  }
+}
+
+TEST(Transient, CalibratedReceiverBoundaryAtCth) {
+  // With transient-calibrated thresholds, the MA excitation errs exactly
+  // when the victim's net coupling crosses Cth -- the same contract the
+  // analytical model satisfies by construction.
+  const RcNetwork nom = nominal();
+  const double cth = recommended_cth(nom, 1.6);
+  const TransientSimulator sim;
+  const ErrorModelConfig thresholds = transient_calibrated(nom, cth, sim);
+  const VectorPair gp =
+      ma_test(8, {4, MafType::kPositiveGlitch, BusDirection::kCoreToCpu});
+
+  auto scaled = [&](double target) {
+    RcNetwork net = nom;
+    const double f = target / nom.net_coupling(4);
+    for (unsigned j = 0; j < 8; ++j)
+      if (j != 4) net.scale_coupling(4, j, f);
+    return net;
+  };
+  EXPECT_EQ(sim.receive(scaled(0.95 * cth), gp, thresholds), gp.v2);
+  EXPECT_NE(sim.receive(scaled(1.05 * cth), gp, thresholds), gp.v2);
+}
+
+TEST(Transient, DelayReceiverFlagsSlowVictim) {
+  const RcNetwork nom = nominal();
+  const double cth = recommended_cth(nom, 1.6);
+  const TransientSimulator sim;
+  const ErrorModelConfig thresholds = transient_calibrated(nom, cth, sim);
+  const VectorPair dr =
+      ma_test(8, {4, MafType::kRisingDelay, BusDirection::kCoreToCpu});
+  RcNetwork slow = nom;
+  for (unsigned j = 0; j < 8; ++j)
+    if (j != 4) slow.scale_coupling(4, j, 3.0);
+  ASSERT_GT(slow.net_coupling(4), cth);
+  const util::BusWord got = sim.receive(slow, dr, thresholds);
+  EXPECT_FALSE(got.bit(4));  // old value sampled
+}
+
+TEST(Transient, AnalyticGlitchThresholdIsConservative) {
+  // ErrorModelConfig::calibrated uses the instant charge-share bound, so
+  // its voltage threshold exceeds the transient one at the same Cth: the
+  // analytical model never under-estimates glitch severity.
+  const RcNetwork nom = nominal();
+  const double cth = recommended_cth(nom, 1.6);
+  const TransientSimulator sim;
+  const ErrorModelConfig analytic = ErrorModelConfig::calibrated(nom, cth);
+  const ErrorModelConfig transient = transient_calibrated(nom, cth, sim);
+  EXPECT_GT(analytic.glitch_threshold_v, transient.glitch_threshold_v);
+  // Both delay calibrations are within ~25% of each other (Elmore).
+  EXPECT_NEAR(analytic.delay_slack_ns, transient.delay_slack_ns,
+              0.25 * analytic.delay_slack_ns);
+}
+
+TEST(Transient, StableBusProducesNoActivity) {
+  const RcNetwork nom = nominal();
+  const TransientSimulator sim;
+  const VectorPair p{util::BusWord(8, 0x5A), util::BusWord(8, 0x5A)};
+  const auto resp = sim.simulate(nom, p);
+  for (const auto& r : resp) {
+    EXPECT_NEAR(r.peak_excursion_v, 0.0, 1e-9);
+    EXPECT_EQ(r.crossing_time_ns, 0.0);
+  }
+}
+
+class TransientWidths : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TransientWidths, CenterGlitchExceedsEdgeGlitch) {
+  const unsigned w = GetParam();
+  const RcNetwork nom = nominal(w);
+  const TransientSimulator sim;
+  const double center =
+      sim.simulate(nom, ma_test(w, {w / 2, MafType::kPositiveGlitch,
+                                    BusDirection::kCoreToCpu}))[w / 2]
+          .peak_excursion_v;
+  const double edge =
+      sim.simulate(nom, ma_test(w, {0, MafType::kPositiveGlitch,
+                                    BusDirection::kCoreToCpu}))[0]
+          .peak_excursion_v;
+  EXPECT_GT(center, edge);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, TransientWidths,
+                         ::testing::Values(4u, 8u, 12u));
+
+}  // namespace
+}  // namespace xtest::xtalk

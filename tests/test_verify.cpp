@@ -1,0 +1,114 @@
+#include "sim/verify.h"
+
+#include <gtest/gtest.h>
+
+#include "cpu/assembler.h"
+#include "sbst/generator.h"
+
+namespace xtest::sim {
+namespace {
+
+TEST(Verify, GeneratedProgramFullyEffective) {
+  // Every structurally placed test must actually observe its fault: this
+  // is the library's core soundness guarantee.
+  const sbst::GenerationResult r =
+      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+  const VerificationResult v = verify_program(r.program);
+  EXPECT_TRUE(v.gold.completed);
+  EXPECT_TRUE(v.all_effective())
+      << v.ineffective.size() << " ineffective tests";
+}
+
+TEST(Verify, AllSessionsFullyEffective) {
+  const auto sessions =
+      sbst::TestProgramGenerator::generate_sessions(sbst::GeneratorConfig{});
+  for (const auto& s : sessions) {
+    if (s.program.tests.empty()) continue;
+    EXPECT_TRUE(verify_program(s.program).all_effective());
+  }
+}
+
+TEST(Verify, DetectsAnUnobservableTest) {
+  // Hand-build a "test" whose fault is never excited: the program applies
+  // pair (0x00 -> 0x55) but the planned test claims the gp MA pair
+  // (0x00 -> 0xFE).  Verification must flag it ineffective.
+  const cpu::AsmResult a = cpu::assemble(R"(
+        .org 0x010
+        cla
+        add 3:0x00
+        sta 0x200
+        hlt
+        .org 0x300
+        .byte 0x55
+  )");
+  sbst::TestProgram prog;
+  prog.image = a.image;
+  prog.entry = a.entry;
+  prog.response_cells = {0x200};
+  sbst::PlannedTest t;
+  t.bus = soc::BusKind::kData;
+  t.fault = {0, xtalk::MafType::kPositiveGlitch,
+             xtalk::BusDirection::kCoreToCpu};
+  t.pair = xtalk::ma_test(8, t.fault);
+  t.scheme = sbst::Scheme::kDataRead;
+  prog.tests = {t};
+  const VerificationResult v = verify_program(prog);
+  EXPECT_TRUE(v.gold.completed);
+  ASSERT_EQ(v.ineffective.size(), 1u);
+  EXPECT_EQ(v.ineffective[0], 0u);
+}
+
+TEST(Verify, EffectiveHandWrittenTest) {
+  // The same program with the operand cell holding the real MA vector v2
+  // is effective: the forced glitch flips the read value.
+  const cpu::AsmResult a = cpu::assemble(R"(
+        .org 0x010
+        cla
+        add 3:0x00
+        sta 0x200
+        hlt
+        .org 0x300
+        .byte 0xfe     ; v2 of gp@1: aggressors rise, victim stable 0
+  )");
+  sbst::TestProgram prog;
+  prog.image = a.image;
+  prog.entry = a.entry;
+  prog.response_cells = {0x200};
+  sbst::PlannedTest t;
+  t.bus = soc::BusKind::kData;
+  t.fault = {0, xtalk::MafType::kPositiveGlitch,
+             xtalk::BusDirection::kCoreToCpu};
+  t.pair = xtalk::ma_test(8, t.fault);
+  t.scheme = sbst::Scheme::kDataRead;
+  prog.tests = {t};
+  const VerificationResult v = verify_program(prog);
+  EXPECT_TRUE(v.all_effective());
+}
+
+TEST(Verify, BudgetScalesWithGoldRun) {
+  const sbst::GenerationResult r =
+      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+  const VerificationResult v = verify_program(r.program, {}, 4);
+  EXPECT_EQ(v.max_cycles, v.gold.cycles * 4 + 1000);
+}
+
+TEST(Snapshot, MatchingSemantics) {
+  ResponseSnapshot a, b;
+  a.values = {1, 2};
+  a.completed = true;
+  b = a;
+  EXPECT_TRUE(a.matches(b));
+  b.values[1] = 3;
+  EXPECT_FALSE(a.matches(b));
+  b = a;
+  b.completed = false;
+  EXPECT_FALSE(a.matches(b));
+  // Cycle count and halt reason are not tester-visible.
+  b = a;
+  b.cycles = 999;
+  b.reason = cpu::HaltReason::kIllegalOpcode;
+  EXPECT_TRUE(a.matches(b));
+}
+
+}  // namespace
+}  // namespace xtest::sim

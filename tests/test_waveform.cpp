@@ -1,0 +1,84 @@
+#include "soc/waveform.h"
+
+#include <gtest/gtest.h>
+
+#include "cpu/assembler.h"
+#include "soc/system.h"
+
+namespace xtest::soc {
+namespace {
+
+BusTrace trace_lda() {
+  System sys;
+  BusTrace trace;
+  sys.set_trace(&trace);
+  const cpu::AsmResult prog = cpu::assemble(R"(
+        .org 0x010
+        lda 0xe00
+        hlt
+        .org 0xe00
+        .byte 0xf7
+  )");
+  sys.load_and_reset(prog.image, prog.entry);
+  sys.run(100);
+  return trace;
+}
+
+TEST(Waveform, RendersOneRowPerWire) {
+  const BusTrace t = trace_lda();
+  const std::string addr = render_waveform(t, BusKind::kAddress);
+  const std::string data = render_waveform(t, BusKind::kData);
+  // 12 address rows + header, 8 data rows + header.
+  EXPECT_EQ(std::count(addr.begin(), addr.end(), '\n'), 13);
+  EXPECT_EQ(std::count(data.begin(), data.end(), '\n'), 9);
+  EXPECT_NE(addr.find("addr[11]"), std::string::npos);
+  EXPECT_NE(data.find("data[ 0]"), std::string::npos);
+}
+
+TEST(Waveform, ShowsTransitions) {
+  const BusTrace t = trace_lda();
+  const std::string addr = render_waveform(t, BusKind::kAddress);
+  // The operand access 0x010/0x011 -> 0xe00 raises high address bits.
+  EXPECT_NE(addr.find('/'), std::string::npos);
+  EXPECT_NE(addr.find('_'), std::string::npos);
+}
+
+TEST(Waveform, EmptyTrace) {
+  BusTrace t;
+  EXPECT_EQ(render_waveform(t, BusKind::kData), "(no events)\n");
+}
+
+TEST(Waveform, MaxEventsLimits) {
+  const BusTrace t = trace_lda();
+  WaveformOptions opt;
+  opt.max_events = 2;
+  const std::string s = render_waveform(t, BusKind::kAddress, opt);
+  // Header row contains exactly two cycle labels worth of columns:
+  const std::string full = render_waveform(t, BusKind::kAddress);
+  EXPECT_LT(s.size(), full.size());
+}
+
+TEST(Waveform, ReceivedViewDiffersUnderFault) {
+  System sys;
+  BusTrace trace;
+  sys.set_trace(&trace);
+  sys.set_forced_maf(ForcedMaf{
+      BusKind::kData,
+      {3, xtalk::MafType::kPositiveGlitch, xtalk::BusDirection::kCoreToCpu}});
+  const cpu::AsmResult prog = cpu::assemble(R"(
+        .org 0x010
+        lda 0xe00
+        hlt
+        .org 0xe00
+        .byte 0xf7
+  )");
+  sys.load_and_reset(prog.image, prog.entry);
+  sys.run(100);
+  WaveformOptions recv;
+  recv.received = true;
+  EXPECT_NE(render_waveform(trace, BusKind::kData, recv),
+            render_waveform(trace, BusKind::kData));
+}
+
+}  // namespace
+}  // namespace xtest::soc

@@ -1,0 +1,218 @@
+#include "tools/cli.h"
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "cpu/assembler.h"
+#include "sbst/generator.h"
+#include "sim/campaign.h"
+#include "sim/serialize.h"
+#include "sim/verify.h"
+#include "soc/system.h"
+#include "soc/waveform.h"
+#include "util/table.h"
+
+namespace xtest::cli {
+
+namespace {
+
+struct Parsed {
+  std::string command;
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;  // --key [value]
+};
+
+Parsed parse(const std::vector<std::string>& args) {
+  Parsed p;
+  if (!args.empty()) p.command = args[0];
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a.rfind("--", 0) == 0) {
+      const std::string key = a.substr(2);
+      // Flags with values: peek at the next token.
+      if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+        p.options[key] = args[++i];
+      } else {
+        p.options[key] = "";
+      }
+    } else {
+      p.positional.push_back(a);
+    }
+  }
+  return p;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << content;
+}
+
+int usage(std::ostream& err) {
+  err << "usage:\n"
+         "  xtest generate [--sessions] [--out PREFIX]\n"
+         "  xtest assemble FILE.s [--out FILE.img]\n"
+         "  xtest disasm FILE.img\n"
+         "  xtest run FILE.img --entry ADDR [--trace] [--max-cycles N]\n"
+         "  xtest campaign [--bus addr|data|ctrl] [--defects N] [--seed S]\n";
+  return 2;
+}
+
+soc::BusKind parse_bus(const std::string& name) {
+  if (name == "addr" || name == "address") return soc::BusKind::kAddress;
+  if (name == "data") return soc::BusKind::kData;
+  if (name == "ctrl" || name == "control") return soc::BusKind::kControl;
+  throw std::runtime_error("unknown bus '" + name + "'");
+}
+
+int cmd_generate(const Parsed& p, std::ostream& out) {
+  sbst::GeneratorConfig cfg;
+  std::vector<sbst::GenerationResult> sessions;
+  if (p.options.count("sessions")) {
+    sessions = sbst::TestProgramGenerator::generate_sessions(cfg);
+  } else {
+    sessions.push_back(sbst::TestProgramGenerator(cfg).generate());
+  }
+  const std::string prefix = p.options.count("out")
+                                 ? p.options.at("out")
+                                 : std::string();
+  util::Table t({"session", "tests", "unplaced", "bytes", "entry"});
+  for (std::size_t s = 0; s < sessions.size(); ++s) {
+    const auto& r = sessions[s];
+    if (r.program.tests.empty()) continue;
+    char entry[16];
+    std::snprintf(entry, sizeof entry, "0x%03x", r.program.entry);
+    t.add_row({std::to_string(s), std::to_string(r.program.tests.size()),
+               std::to_string(r.unplaced.size()),
+               std::to_string(r.program.program_bytes()), entry});
+    if (!prefix.empty()) {
+      write_file(prefix + std::to_string(s) + ".img",
+                 sim::image_to_text(r.program.image));
+    }
+  }
+  out << t.render();
+  if (!prefix.empty())
+    out << "images written to " << prefix << "<N>.img\n";
+  return 0;
+}
+
+int cmd_assemble(const Parsed& p, std::ostream& out) {
+  if (p.positional.empty())
+    throw std::runtime_error("assemble: missing source file");
+  const cpu::AsmResult r = cpu::assemble(read_file(p.positional[0]));
+  const std::string text = sim::image_to_text(r.image);
+  if (p.options.count("out")) {
+    write_file(p.options.at("out"), text);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%zu bytes, entry 0x%03x\n",
+                  r.image.defined_count(), r.entry);
+    out << buf;
+  } else {
+    out << text;
+  }
+  return 0;
+}
+
+int cmd_disasm(const Parsed& p, std::ostream& out) {
+  if (p.positional.empty())
+    throw std::runtime_error("disasm: missing image file");
+  const cpu::MemoryImage img =
+      sim::image_from_text(read_file(p.positional[0]));
+  out << cpu::disassemble_image(img);
+  return 0;
+}
+
+int cmd_run(const Parsed& p, std::ostream& out) {
+  if (p.positional.empty())
+    throw std::runtime_error("run: missing image file");
+  if (!p.options.count("entry"))
+    throw std::runtime_error("run: --entry required");
+  const cpu::MemoryImage img =
+      sim::image_from_text(read_file(p.positional[0]));
+  const auto entry = static_cast<cpu::Addr>(
+      std::stoul(p.options.at("entry"), nullptr, 0));
+  const std::uint64_t max_cycles =
+      p.options.count("max-cycles")
+          ? std::stoull(p.options.at("max-cycles"))
+          : 1'000'000;
+
+  soc::System sys;
+  soc::BusTrace trace;
+  if (p.options.count("trace")) sys.set_trace(&trace);
+  sys.load_and_reset(img, entry);
+  const soc::RunResult r = sys.run(max_cycles);
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "halted=%d reason=%s cycles=%llu acc=0x%02x\n", r.halted,
+                r.reason == cpu::HaltReason::kHltInstruction ? "hlt"
+                : r.reason == cpu::HaltReason::kIllegalOpcode
+                    ? "illegal"
+                    : "running",
+                static_cast<unsigned long long>(r.cycles),
+                sys.processor().acc());
+  out << buf;
+  if (p.options.count("trace")) {
+    out << "\naddress bus:\n"
+        << soc::render_waveform(trace, soc::BusKind::kAddress)
+        << "\ndata bus:\n"
+        << soc::render_waveform(trace, soc::BusKind::kData);
+  }
+  return 0;
+}
+
+int cmd_campaign(const Parsed& p, std::ostream& out) {
+  const soc::BusKind bus = parse_bus(
+      p.options.count("bus") ? p.options.at("bus") : "addr");
+  const std::size_t defects =
+      p.options.count("defects")
+          ? static_cast<std::size_t>(std::stoull(p.options.at("defects")))
+          : 200;
+  const std::uint64_t seed =
+      p.options.count("seed") ? std::stoull(p.options.at("seed"))
+                              : 20010618ull;
+
+  const soc::SystemConfig cfg;
+  const auto lib = sim::make_defect_library(cfg, bus, defects, seed);
+  const auto sessions =
+      sbst::TestProgramGenerator::generate_sessions(sbst::GeneratorConfig{});
+  const auto det = sim::run_detection_sessions(cfg, sessions, bus, lib);
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "bus=%s defects=%zu coverage=%.1f%% (seed %llu)\n",
+                soc::to_string(bus).c_str(), lib.size(),
+                100.0 * sim::coverage(det),
+                static_cast<unsigned long long>(seed));
+  out << buf;
+  return 0;
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  const Parsed p = parse(args);
+  try {
+    if (p.command == "generate") return cmd_generate(p, out);
+    if (p.command == "assemble") return cmd_assemble(p, out);
+    if (p.command == "disasm") return cmd_disasm(p, out);
+    if (p.command == "run") return cmd_run(p, out);
+    if (p.command == "campaign") return cmd_campaign(p, out);
+    return usage(err);
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace xtest::cli

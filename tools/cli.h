@@ -1,0 +1,27 @@
+// Command-line driver (library part, unit-testable).
+//
+// Subcommands mirror a tester flow:
+//
+//   xtest generate [--sessions] [--out PREFIX]    emit program image(s)
+//   xtest assemble FILE.s [--out FILE.img]        assemble a program
+//   xtest disasm FILE.img                         list an image
+//   xtest run FILE.img --entry ADDR [--trace]     execute on the system
+//   xtest campaign [--bus addr|data|ctrl] [--defects N] [--seed S]
+//                                                 defect-coverage campaign
+//
+// Images use the text format of sim/serialize.h.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xtest::cli {
+
+/// Runs one command; writes human output to `out`, errors to `err`.
+/// Returns a process exit code.
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+}  // namespace xtest::cli
