@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_defect_library.dir/bench_fig10_defect_library.cpp.o"
+  "CMakeFiles/bench_fig10_defect_library.dir/bench_fig10_defect_library.cpp.o.d"
+  "bench_fig10_defect_library"
+  "bench_fig10_defect_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_defect_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

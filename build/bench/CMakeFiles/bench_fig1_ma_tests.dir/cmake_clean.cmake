@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_ma_tests.dir/bench_fig1_ma_tests.cpp.o"
+  "CMakeFiles/bench_fig1_ma_tests.dir/bench_fig1_ma_tests.cpp.o.d"
+  "bench_fig1_ma_tests"
+  "bench_fig1_ma_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_ma_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_ordering.dir/bench_table10_ordering.cpp.o"
+  "CMakeFiles/bench_table10_ordering.dir/bench_table10_ordering.cpp.o.d"
+  "bench_table10_ordering"
+  "bench_table10_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12_atspeed.dir/bench_table12_atspeed.cpp.o"
+  "CMakeFiles/bench_table12_atspeed.dir/bench_table12_atspeed.cpp.o.d"
+  "bench_table12_atspeed"
+  "bench_table12_atspeed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_atspeed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

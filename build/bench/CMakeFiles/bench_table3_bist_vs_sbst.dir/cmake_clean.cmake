@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_bist_vs_sbst.dir/bench_table3_bist_vs_sbst.cpp.o"
+  "CMakeFiles/bench_table3_bist_vs_sbst.dir/bench_table3_bist_vs_sbst.cpp.o.d"
+  "bench_table3_bist_vs_sbst"
+  "bench_table3_bist_vs_sbst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_bist_vs_sbst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

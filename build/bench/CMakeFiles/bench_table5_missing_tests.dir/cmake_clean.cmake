@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_missing_tests.dir/bench_table5_missing_tests.cpp.o"
+  "CMakeFiles/bench_table5_missing_tests.dir/bench_table5_missing_tests.cpp.o.d"
+  "bench_table5_missing_tests"
+  "bench_table5_missing_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_missing_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

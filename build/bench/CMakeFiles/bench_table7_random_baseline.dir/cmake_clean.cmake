@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_random_baseline.dir/bench_table7_random_baseline.cpp.o"
+  "CMakeFiles/bench_table7_random_baseline.dir/bench_table7_random_baseline.cpp.o.d"
+  "bench_table7_random_baseline"
+  "bench_table7_random_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_random_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

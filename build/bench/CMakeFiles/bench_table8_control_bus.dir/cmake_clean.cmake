@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_control_bus.dir/bench_table8_control_bus.cpp.o"
+  "CMakeFiles/bench_table8_control_bus.dir/bench_table8_control_bus.cpp.o.d"
+  "bench_table8_control_bus"
+  "bench_table8_control_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_control_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

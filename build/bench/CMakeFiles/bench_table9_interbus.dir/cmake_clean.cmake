@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_interbus.dir/bench_table9_interbus.cpp.o"
+  "CMakeFiles/bench_table9_interbus.dir/bench_table9_interbus.cpp.o.d"
+  "bench_table9_interbus"
+  "bench_table9_interbus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_interbus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_campaign.dir/coverage_campaign.cpp.o"
+  "CMakeFiles/coverage_campaign.dir/coverage_campaign.cpp.o.d"
+  "coverage_campaign"
+  "coverage_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmio_peripheral.dir/mmio_peripheral.cpp.o"
+  "CMakeFiles/mmio_peripheral.dir/mmio_peripheral.cpp.o.d"
+  "mmio_peripheral"
+  "mmio_peripheral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmio_peripheral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_session.dir/multi_session.cpp.o"
+  "CMakeFiles/multi_session.dir/multi_session.cpp.o.d"
+  "multi_session"
+  "multi_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtest_cpu.dir/assembler.cpp.o"
+  "CMakeFiles/xtest_cpu.dir/assembler.cpp.o.d"
+  "CMakeFiles/xtest_cpu.dir/cpu.cpp.o"
+  "CMakeFiles/xtest_cpu.dir/cpu.cpp.o.d"
+  "CMakeFiles/xtest_cpu.dir/isa.cpp.o"
+  "CMakeFiles/xtest_cpu.dir/isa.cpp.o.d"
+  "libxtest_cpu.a"
+  "libxtest_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtest_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtest_hwbist.dir/bist.cpp.o"
+  "CMakeFiles/xtest_hwbist.dir/bist.cpp.o.d"
+  "CMakeFiles/xtest_hwbist.dir/overtest.cpp.o"
+  "CMakeFiles/xtest_hwbist.dir/overtest.cpp.o.d"
+  "CMakeFiles/xtest_hwbist.dir/random_patterns.cpp.o"
+  "CMakeFiles/xtest_hwbist.dir/random_patterns.cpp.o.d"
+  "libxtest_hwbist.a"
+  "libxtest_hwbist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtest_hwbist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtest_sbst.dir/generator.cpp.o"
+  "CMakeFiles/xtest_sbst.dir/generator.cpp.o.d"
+  "CMakeFiles/xtest_sbst.dir/layout.cpp.o"
+  "CMakeFiles/xtest_sbst.dir/layout.cpp.o.d"
+  "CMakeFiles/xtest_sbst.dir/program.cpp.o"
+  "CMakeFiles/xtest_sbst.dir/program.cpp.o.d"
+  "libxtest_sbst.a"
+  "libxtest_sbst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtest_sbst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/campaign.cpp" "src/sim/CMakeFiles/xtest_sim.dir/campaign.cpp.o" "gcc" "src/sim/CMakeFiles/xtest_sim.dir/campaign.cpp.o.d"
+  "/root/repo/src/sim/diagnosis.cpp" "src/sim/CMakeFiles/xtest_sim.dir/diagnosis.cpp.o" "gcc" "src/sim/CMakeFiles/xtest_sim.dir/diagnosis.cpp.o.d"
+  "/root/repo/src/sim/serialize.cpp" "src/sim/CMakeFiles/xtest_sim.dir/serialize.cpp.o" "gcc" "src/sim/CMakeFiles/xtest_sim.dir/serialize.cpp.o.d"
+  "/root/repo/src/sim/signature.cpp" "src/sim/CMakeFiles/xtest_sim.dir/signature.cpp.o" "gcc" "src/sim/CMakeFiles/xtest_sim.dir/signature.cpp.o.d"
+  "/root/repo/src/sim/verify.cpp" "src/sim/CMakeFiles/xtest_sim.dir/verify.cpp.o" "gcc" "src/sim/CMakeFiles/xtest_sim.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sbst/CMakeFiles/xtest_sbst.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/xtest_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/xtalk/CMakeFiles/xtest_xtalk.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xtest_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/xtest_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

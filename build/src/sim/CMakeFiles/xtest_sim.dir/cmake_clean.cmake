@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtest_sim.dir/campaign.cpp.o"
+  "CMakeFiles/xtest_sim.dir/campaign.cpp.o.d"
+  "CMakeFiles/xtest_sim.dir/diagnosis.cpp.o"
+  "CMakeFiles/xtest_sim.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/xtest_sim.dir/serialize.cpp.o"
+  "CMakeFiles/xtest_sim.dir/serialize.cpp.o.d"
+  "CMakeFiles/xtest_sim.dir/signature.cpp.o"
+  "CMakeFiles/xtest_sim.dir/signature.cpp.o.d"
+  "CMakeFiles/xtest_sim.dir/verify.cpp.o"
+  "CMakeFiles/xtest_sim.dir/verify.cpp.o.d"
+  "libxtest_sim.a"
+  "libxtest_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtest_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

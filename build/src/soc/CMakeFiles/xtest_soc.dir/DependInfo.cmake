@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/bus.cpp" "src/soc/CMakeFiles/xtest_soc.dir/bus.cpp.o" "gcc" "src/soc/CMakeFiles/xtest_soc.dir/bus.cpp.o.d"
+  "/root/repo/src/soc/system.cpp" "src/soc/CMakeFiles/xtest_soc.dir/system.cpp.o" "gcc" "src/soc/CMakeFiles/xtest_soc.dir/system.cpp.o.d"
+  "/root/repo/src/soc/trace.cpp" "src/soc/CMakeFiles/xtest_soc.dir/trace.cpp.o" "gcc" "src/soc/CMakeFiles/xtest_soc.dir/trace.cpp.o.d"
+  "/root/repo/src/soc/waveform.cpp" "src/soc/CMakeFiles/xtest_soc.dir/waveform.cpp.o" "gcc" "src/soc/CMakeFiles/xtest_soc.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/xtest_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/xtalk/CMakeFiles/xtest_xtalk.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xtest_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtest_soc.dir/bus.cpp.o"
+  "CMakeFiles/xtest_soc.dir/bus.cpp.o.d"
+  "CMakeFiles/xtest_soc.dir/system.cpp.o"
+  "CMakeFiles/xtest_soc.dir/system.cpp.o.d"
+  "CMakeFiles/xtest_soc.dir/trace.cpp.o"
+  "CMakeFiles/xtest_soc.dir/trace.cpp.o.d"
+  "CMakeFiles/xtest_soc.dir/waveform.cpp.o"
+  "CMakeFiles/xtest_soc.dir/waveform.cpp.o.d"
+  "libxtest_soc.a"
+  "libxtest_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtest_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

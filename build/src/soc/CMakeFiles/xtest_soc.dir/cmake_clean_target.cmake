@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxtest_soc.a"
+)

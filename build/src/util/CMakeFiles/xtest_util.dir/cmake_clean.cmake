@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtest_util.dir/bitvec.cpp.o"
+  "CMakeFiles/xtest_util.dir/bitvec.cpp.o.d"
+  "CMakeFiles/xtest_util.dir/table.cpp.o"
+  "CMakeFiles/xtest_util.dir/table.cpp.o.d"
+  "libxtest_util.a"
+  "libxtest_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtest_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xtalk/defect.cpp" "src/xtalk/CMakeFiles/xtest_xtalk.dir/defect.cpp.o" "gcc" "src/xtalk/CMakeFiles/xtest_xtalk.dir/defect.cpp.o.d"
+  "/root/repo/src/xtalk/error_model.cpp" "src/xtalk/CMakeFiles/xtest_xtalk.dir/error_model.cpp.o" "gcc" "src/xtalk/CMakeFiles/xtest_xtalk.dir/error_model.cpp.o.d"
+  "/root/repo/src/xtalk/maf.cpp" "src/xtalk/CMakeFiles/xtest_xtalk.dir/maf.cpp.o" "gcc" "src/xtalk/CMakeFiles/xtest_xtalk.dir/maf.cpp.o.d"
+  "/root/repo/src/xtalk/rc_network.cpp" "src/xtalk/CMakeFiles/xtest_xtalk.dir/rc_network.cpp.o" "gcc" "src/xtalk/CMakeFiles/xtest_xtalk.dir/rc_network.cpp.o.d"
+  "/root/repo/src/xtalk/transient.cpp" "src/xtalk/CMakeFiles/xtest_xtalk.dir/transient.cpp.o" "gcc" "src/xtalk/CMakeFiles/xtest_xtalk.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xtest_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

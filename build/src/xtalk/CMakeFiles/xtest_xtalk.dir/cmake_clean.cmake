@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtest_xtalk.dir/defect.cpp.o"
+  "CMakeFiles/xtest_xtalk.dir/defect.cpp.o.d"
+  "CMakeFiles/xtest_xtalk.dir/error_model.cpp.o"
+  "CMakeFiles/xtest_xtalk.dir/error_model.cpp.o.d"
+  "CMakeFiles/xtest_xtalk.dir/maf.cpp.o"
+  "CMakeFiles/xtest_xtalk.dir/maf.cpp.o.d"
+  "CMakeFiles/xtest_xtalk.dir/rc_network.cpp.o"
+  "CMakeFiles/xtest_xtalk.dir/rc_network.cpp.o.d"
+  "CMakeFiles/xtest_xtalk.dir/transient.cpp.o"
+  "CMakeFiles/xtest_xtalk.dir/transient.cpp.o.d"
+  "libxtest_xtalk.a"
+  "libxtest_xtalk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtest_xtalk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

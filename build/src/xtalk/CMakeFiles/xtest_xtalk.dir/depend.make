@@ -1,0 +1,2 @@
+# Empty dependencies file for xtest_xtalk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atspeed.dir/test_atspeed.cpp.o"
+  "CMakeFiles/test_atspeed.dir/test_atspeed.cpp.o.d"
+  "test_atspeed"
+  "test_atspeed.pdb"
+  "test_atspeed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atspeed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control_bus.dir/test_control_bus.cpp.o"
+  "CMakeFiles/test_control_bus.dir/test_control_bus.cpp.o.d"
+  "test_control_bus"
+  "test_control_bus.pdb"
+  "test_control_bus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_defect.dir/test_defect.cpp.o"
+  "CMakeFiles/test_defect.dir/test_defect.cpp.o.d"
+  "test_defect"
+  "test_defect.pdb"
+  "test_defect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_defect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

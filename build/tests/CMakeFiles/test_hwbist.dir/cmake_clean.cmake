@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hwbist.dir/test_hwbist.cpp.o"
+  "CMakeFiles/test_hwbist.dir/test_hwbist.cpp.o.d"
+  "test_hwbist"
+  "test_hwbist.pdb"
+  "test_hwbist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hwbist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hwbist/CMakeFiles/xtest_hwbist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xtest_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sbst/CMakeFiles/xtest_sbst.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/xtest_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/xtest_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/xtalk/CMakeFiles/xtest_xtalk.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xtest_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interbus.dir/test_interbus.cpp.o"
+  "CMakeFiles/test_interbus.dir/test_interbus.cpp.o.d"
+  "test_interbus"
+  "test_interbus.pdb"
+  "test_interbus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interbus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

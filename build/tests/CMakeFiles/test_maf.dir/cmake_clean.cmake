@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maf.dir/test_maf.cpp.o"
+  "CMakeFiles/test_maf.dir/test_maf.cpp.o.d"
+  "test_maf"
+  "test_maf.pdb"
+  "test_maf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_patterns.dir/test_random_patterns.cpp.o"
+  "CMakeFiles/test_random_patterns.dir/test_random_patterns.cpp.o.d"
+  "test_random_patterns"
+  "test_random_patterns.pdb"
+  "test_random_patterns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bitvec[1]_include.cmake")
+include("/root/repo/build/tests/test_table[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_maf[1]_include.cmake")
+include("/root/repo/build/tests/test_rc_network[1]_include.cmake")
+include("/root/repo/build/tests/test_error_model[1]_include.cmake")
+include("/root/repo/build/tests/test_defect[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_assembler[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu[1]_include.cmake")
+include("/root/repo/build/tests/test_bus[1]_include.cmake")
+include("/root/repo/build/tests/test_system[1]_include.cmake")
+include("/root/repo/build/tests/test_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_generator[1]_include.cmake")
+include("/root/repo/build/tests/test_verify[1]_include.cmake")
+include("/root/repo/build/tests/test_campaign[1]_include.cmake")
+include("/root/repo/build/tests/test_hwbist[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_transient[1]_include.cmake")
+include("/root/repo/build/tests/test_diagnosis[1]_include.cmake")
+include("/root/repo/build/tests/test_waveform[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_random_patterns[1]_include.cmake")
+include("/root/repo/build/tests/test_control_bus[1]_include.cmake")
+include("/root/repo/build/tests/test_interbus[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_atspeed[1]_include.cmake")

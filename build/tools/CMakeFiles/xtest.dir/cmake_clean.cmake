@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtest.dir/xtest_main.cpp.o"
+  "CMakeFiles/xtest.dir/xtest_main.cpp.o.d"
+  "xtest"
+  "xtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtest_cli.dir/cli.cpp.o"
+  "CMakeFiles/xtest_cli.dir/cli.cpp.o.d"
+  "libxtest_cli.a"
+  "libxtest_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtest_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
