@@ -28,8 +28,11 @@ void print_fig11() {
               lib.size(), lib.attempts(), lib.config().sigma_pct,
               lib.config().cth_fF);
 
-  const sim::PerLineCoverage cov = sim::per_line_coverage(
-      cfg, soc::BusKind::kAddress, lib, sbst::GeneratorConfig{});
+  const util::ParallelConfig par = util::ParallelConfig::from_env();
+  util::CampaignStats stats;
+  const sim::PerLineCoverage cov =
+      sim::per_line_coverage(cfg, soc::BusKind::kAddress, lib,
+                             sbst::GeneratorConfig{}, 16, par, &stats);
 
   util::Table t({"line", "MA tests", "individual", "cumulative", ""});
   for (unsigned i = 0; i < 12; ++i) {
@@ -48,6 +51,7 @@ void print_fig11() {
               util::Table::pct(cov.individual[11]).c_str(),
               util::Table::pct(cov.individual[5]).c_str(),
               util::Table::pct(cov.individual[6]).c_str());
+  bench::print_campaign_stats("fig11_addr_coverage", stats);
 }
 
 void BM_DefectSimulationPerDefect(benchmark::State& state) {

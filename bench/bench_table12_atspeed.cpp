@@ -60,13 +60,16 @@ void print_speed_sweep() {
   const auto sessions =
       sbst::TestProgramGenerator::generate_sessions(sbst::GeneratorConfig{});
 
+  const util::ParallelConfig par = util::ParallelConfig::from_env();
+  util::CampaignStats stats;
   util::Table t({"clock", "coupling defects", "delay-only defects", ""});
   for (const double scale : {1.0, 1.25, 1.5, 2.0, 4.0}) {
     soc::SystemConfig cfg;
     cfg.clock_period_scale = scale;
 
     const double coupling_cov = sim::coverage(sim::run_detection_sessions(
-        cfg, sessions, soc::BusKind::kAddress, coupling_lib));
+        cfg, sessions, soc::BusKind::kAddress, coupling_lib, 16, par,
+        &stats));
 
     // Delay-only library: run per defect with the load applied.
     soc::System sys(cfg);
@@ -96,6 +99,7 @@ void print_speed_sweep() {
   std::printf("\naddress bus, %zu coupling defects + %zu delay-only "
               "(cross-load) defects:\n%s",
               coupling_lib.size(), load_lib.size(), t.render().c_str());
+  bench::print_campaign_stats("table12_atspeed", stats);
 }
 
 void BM_SlowClockDetection(benchmark::State& state) {

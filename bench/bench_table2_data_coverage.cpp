@@ -28,8 +28,11 @@ void print_data_coverage() {
               "Cth = %.1f fF\n",
               lib.size(), lib.attempts(), lib.config().cth_fF);
 
-  const sim::PerLineCoverage cov = sim::per_line_coverage(
-      cfg, soc::BusKind::kData, lib, sbst::GeneratorConfig{});
+  const util::ParallelConfig par = util::ParallelConfig::from_env();
+  util::CampaignStats stats;
+  const sim::PerLineCoverage cov =
+      sim::per_line_coverage(cfg, soc::BusKind::kData, lib,
+                             sbst::GeneratorConfig{}, 16, par, &stats);
 
   util::Table t({"line", "MA tests", "individual", "cumulative", ""});
   for (unsigned i = 0; i < 8; ++i)
@@ -51,12 +54,13 @@ void print_data_coverage() {
     gc.include_address_bus = false;
     gc.data_faults = faults;
     const auto sessions = sbst::TestProgramGenerator::generate_sessions(gc);
-    const auto det =
-        sim::run_detection_sessions(cfg, sessions, soc::BusKind::kData, lib);
+    const auto det = sim::run_detection_sessions(
+        cfg, sessions, soc::BusKind::kData, lib, 16, par, &stats);
     std::printf("  %s-direction tests alone: %s coverage\n",
                 write_dir ? "cpu->core (write)" : "core->cpu (read)",
                 util::Table::pct(sim::coverage(det)).c_str());
   }
+  bench::print_campaign_stats("table2_data_coverage", stats);
 }
 
 void BM_DataDetection(benchmark::State& state) {

@@ -33,14 +33,16 @@ void print_coverage_and_overtest() {
   const auto lib = sim::make_defect_library(cfg, soc::BusKind::kAddress,
                                             kLibrarySize, kSeed);
 
+  const util::ParallelConfig par = util::ParallelConfig::from_env();
+  util::CampaignStats stats;
   util::Table t({"address map", "BIST detects", "SBST detects",
                  "over-test only", "over-test rate"});
   for (const cpu::Addr limit : {cpu::Addr(cpu::kMemWords), cpu::Addr(0xC00),
                                 cpu::Addr(0x800)}) {
     sbst::GeneratorConfig gen;
     gen.usable_limit = limit;
-    const hwbist::OverTestResult r =
-        hwbist::analyze_overtest(cfg, soc::BusKind::kAddress, lib, gen);
+    const hwbist::OverTestResult r = hwbist::analyze_overtest(
+        cfg, soc::BusKind::kAddress, lib, gen, 6, par, &stats);
     char label[32];
     std::snprintf(label, sizeof label, "%.0f%% reachable",
                   100.0 * limit / cpu::kMemWords);
@@ -58,6 +60,7 @@ void print_coverage_and_overtest() {
               "testing); constraining the functional address space leaves "
               "BIST rejecting chips whose defects can never corrupt real "
               "operation.\n");
+  bench::print_campaign_stats("table3_bist_vs_sbst", stats);
 }
 
 void print_area_model() {

@@ -29,7 +29,7 @@ namespace {
 constexpr std::size_t kLibrarySize = 500;
 constexpr std::uint64_t kSeed = 20010618;
 
-void print_ablation(soc::BusKind bus) {
+void print_ablation(soc::BusKind bus, util::CampaignStats& stats) {
   const soc::SystemConfig cfg;
   const soc::System sys(cfg);
   const unsigned width =
@@ -60,8 +60,8 @@ void print_ablation(soc::BusKind bus) {
       }
   }
 
-  const std::vector<bool> program =
-      sim::run_detection_sessions(cfg, sessions, bus, lib);
+  const std::vector<bool> program = sim::run_detection_sessions(
+      cfg, sessions, bus, lib, 16, util::ParallelConfig::from_env(), &stats);
 
   std::size_t both = 0, only_isolated = 0, only_program = 0, neither = 0;
   for (std::size_t i = 0; i < lib.size(); ++i) {
@@ -101,11 +101,13 @@ BENCHMARK(BM_WholeProgramRun);
 int main(int argc, char** argv) {
   bench::banner("E8: fault-masking ablation",
                 "Section 5 (whole-program excitation vs isolated pairs)");
-  print_ablation(soc::BusKind::kAddress);
-  print_ablation(soc::BusKind::kData);
+  util::CampaignStats stats;
+  print_ablation(soc::BusKind::kAddress, stats);
+  print_ablation(soc::BusKind::kData, stats);
   std::printf("\nExpected: program coverage >= isolated coverage on the "
               "placed pairs (incidental activations and derailment add "
               "detections; masking, if any, shows in isolated-only).\n");
+  bench::print_campaign_stats("table4_masking_ablation", stats);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -30,14 +30,18 @@ void print_comparison() {
   const auto& nom = sys.nominal_address_network();
   const auto& model = sys.address_model();
 
+  const util::ParallelConfig par = util::ParallelConfig::from_env();
+  util::CampaignStats stats;
   util::Table t({"pattern set", "pairs", "coverage", ""});
   const hwbist::HardwareBist ma(12, false);
-  const double ma_cov = sim::coverage(ma.run_library(nom, model, lib));
+  const double ma_cov =
+      sim::coverage(ma.run_library(nom, model, lib, par, &stats));
   t.add_row({"MA tests (deterministic)", "48", util::Table::pct(ma_cov),
              bench::bar(ma_cov)});
   for (std::size_t count : {48u, 480u, 4800u, 48000u}) {
     const hwbist::RandomPatternBist rnd(12, count, kSeed);
-    const double cov = sim::coverage(rnd.run_library(nom, model, lib));
+    const double cov =
+        sim::coverage(rnd.run_library(nom, model, lib, par, &stats));
     t.add_row({"random pairs", std::to_string(count), util::Table::pct(cov),
                bench::bar(cov)});
   }
@@ -46,6 +50,7 @@ void print_comparison() {
   std::printf("\nExpected: 48 MA pairs reach 100%%; random pairs need "
               "orders of magnitude more patterns and still trail on "
               "defects just above Cth.\n");
+  bench::print_campaign_stats("table7_random_baseline", stats);
 }
 
 void BM_RandomPatternRun(benchmark::State& state) {

@@ -53,14 +53,17 @@ void print_coverage() {
   const auto lib = sim::make_defect_library(cfg, soc::BusKind::kControl,
                                             kLibrarySize, kSeed);
 
+  const util::ParallelConfig par = util::ParallelConfig::from_env();
+  util::CampaignStats stats;
   const auto sessions =
       sbst::TestProgramGenerator::generate_sessions(sbst::GeneratorConfig{});
   const auto sbst_det = sim::run_detection_sessions(
-      cfg, sessions, soc::BusKind::kControl, lib);
+      cfg, sessions, soc::BusKind::kControl, lib, 16, par, &stats);
 
   const hwbist::HardwareBist bist(soc::kControlBits, false);
-  const auto bist_det = bist.run_library(sys.nominal_control_network(),
-                                         sys.control_model(), lib);
+  const auto bist_det =
+      bist.run_library(sys.nominal_control_network(), sys.control_model(),
+                       lib, par, &stats);
 
   std::size_t overtest = 0;
   for (std::size_t i = 0; i < lib.size(); ++i)
@@ -89,6 +92,7 @@ void print_coverage() {
               "why SBST coverage stays high despite zero fully-excitable "
               "MAFs.\n",
               hist[soc::kCtrlRd], hist[soc::kCtrlWr], hist[soc::kCtrlCs]);
+  bench::print_campaign_stats("table8_control_bus", stats);
 }
 
 void print_escape_corner() {

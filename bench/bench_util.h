@@ -10,6 +10,8 @@
 #include <cstdio>
 #include <string>
 
+#include "util/parallel.h"
+
 namespace xtest::bench {
 
 inline void banner(const std::string& title, const std::string& paper_ref) {
@@ -25,6 +27,19 @@ inline std::string bar(double fraction, int width = 40) {
   std::string s(static_cast<std::size_t>(n), '#');
   s.resize(static_cast<std::size_t>(width), ' ');
   return s;
+}
+
+/// Human-readable campaign throughput line plus the machine-readable JSON
+/// record the perf trajectory scrapes ($XTEST_THREADS controls the worker
+/// count; results are bitwise identical at any setting).
+inline void print_campaign_stats(const std::string& name,
+                                 const util::CampaignStats& s) {
+  std::printf("\ncampaign stats: %zu defect simulations, %llu simulated "
+              "cycles, %.3f s wall, %.0f defects/sec, %u threads\n",
+              s.defects_simulated,
+              static_cast<unsigned long long>(s.simulated_cycles),
+              s.wall_seconds, s.defects_per_second(), s.threads);
+  std::printf("%s\n", s.json(name).c_str());
 }
 
 }  // namespace xtest::bench

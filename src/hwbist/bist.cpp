@@ -1,5 +1,7 @@
 #include "hwbist/bist.h"
 
+#include <chrono>
+
 namespace xtest::hwbist {
 
 bool HardwareBist::pattern_fails(const xtalk::RcNetwork& net,
@@ -18,11 +20,26 @@ bool HardwareBist::detects(const xtalk::RcNetwork& net,
 
 std::vector<bool> HardwareBist::run_library(
     const xtalk::RcNetwork& nominal, const xtalk::CrosstalkErrorModel& model,
-    const xtalk::DefectLibrary& library) const {
-  std::vector<bool> out;
-  out.reserve(library.size());
-  for (const xtalk::Defect& d : library.defects())
-    out.push_back(detects(d.apply(nominal), model));
+    const xtalk::DefectLibrary& library, const util::ParallelConfig& parallel,
+    util::CampaignStats* stats) const {
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t n = library.size();
+  std::vector<std::uint8_t> verdicts(n, 0);
+  util::parallel_for_chunks(
+      n, parallel, [&](std::size_t begin, std::size_t end, unsigned) {
+        for (std::size_t i = begin; i < end; ++i)
+          verdicts[i] = detects(library[i].apply(nominal), model) ? 1 : 0;
+      });
+  std::vector<bool> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = verdicts[i] != 0;
+  if (stats != nullptr) {
+    stats->threads = parallel.resolve(n);
+    stats->defects_simulated += n;
+    stats->wall_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+  }
   return out;
 }
 

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "util/parallel.h"
 #include "xtalk/defect.h"
 #include "xtalk/error_model.h"
 #include "xtalk/maf.h"
@@ -39,10 +40,14 @@ class HardwareBist {
   bool detects(const xtalk::RcNetwork& net,
                const xtalk::CrosstalkErrorModel& model) const;
 
-  /// BIST verdict over a whole library applied to `nominal`.
+  /// BIST verdict over a whole library applied to `nominal`.  Defects fan
+  /// out across workers (verdicts written by index: bitwise identical for
+  /// every thread count); `stats` accumulates when non-null.
   std::vector<bool> run_library(const xtalk::RcNetwork& nominal,
                                 const xtalk::CrosstalkErrorModel& model,
-                                const xtalk::DefectLibrary& library) const;
+                                const xtalk::DefectLibrary& library,
+                                const util::ParallelConfig& parallel = {},
+                                util::CampaignStats* stats = nullptr) const;
 
  private:
   unsigned width_;

@@ -8,7 +8,9 @@ OverTestResult analyze_overtest(const soc::SystemConfig& system_config,
                                 soc::BusKind bus,
                                 const xtalk::DefectLibrary& library,
                                 const sbst::GeneratorConfig& generator_config,
-                                int max_sessions) {
+                                int max_sessions,
+                                const util::ParallelConfig& parallel,
+                                util::CampaignStats* stats) {
   const soc::System system(system_config);
   const bool bidirectional = bus == soc::BusKind::kData;
   const unsigned width =
@@ -20,7 +22,8 @@ OverTestResult analyze_overtest(const soc::SystemConfig& system_config,
   const xtalk::CrosstalkErrorModel& model = bus == soc::BusKind::kAddress
                                                 ? system.address_model()
                                                 : system.data_model();
-  const std::vector<bool> by_bist = bist.run_library(nominal, model, library);
+  const std::vector<bool> by_bist =
+      bist.run_library(nominal, model, library, parallel, stats);
 
   sbst::GeneratorConfig gen = generator_config;
   gen.include_address_bus = bus == soc::BusKind::kAddress;
@@ -28,7 +31,7 @@ OverTestResult analyze_overtest(const soc::SystemConfig& system_config,
   const std::vector<sbst::GenerationResult> sessions =
       sbst::TestProgramGenerator::generate_sessions(gen, max_sessions);
   const std::vector<bool> by_sbst = sim::run_detection_sessions(
-      system_config, sessions, bus, library);
+      system_config, sessions, bus, library, 16, parallel, stats);
 
   OverTestResult r;
   r.library_size = library.size();

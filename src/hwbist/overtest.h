@@ -44,10 +44,14 @@ struct OverTestResult {
 /// Compares BIST and multi-session SBST detection over one bus's library.
 /// `generator_config` controls the functional side (e.g. usable_limit
 /// models a partially reachable address map, where over-testing appears).
+/// Both sides fan defects out per `parallel`; `stats` accumulates when
+/// non-null.
 OverTestResult analyze_overtest(const soc::SystemConfig& system_config,
                                 soc::BusKind bus,
                                 const xtalk::DefectLibrary& library,
                                 const sbst::GeneratorConfig& generator_config,
-                                int max_sessions = 6);
+                                int max_sessions = 6,
+                                const util::ParallelConfig& parallel = {},
+                                util::CampaignStats* stats = nullptr);
 
 }  // namespace xtest::hwbist

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "xtalk/defect.h"
 #include "xtalk/error_model.h"
@@ -30,10 +31,14 @@ class RandomPatternBist {
   bool detects(const xtalk::RcNetwork& net,
                const xtalk::CrosstalkErrorModel& model) const;
 
-  /// Verdicts over a library applied to `nominal`.
+  /// Verdicts over a library applied to `nominal`.  Defects fan out
+  /// across workers, verdicts written by index (bitwise identical for
+  /// every thread count); `stats` accumulates when non-null.
   std::vector<bool> run_library(const xtalk::RcNetwork& nominal,
                                 const xtalk::CrosstalkErrorModel& model,
-                                const xtalk::DefectLibrary& library) const;
+                                const xtalk::DefectLibrary& library,
+                                const util::ParallelConfig& parallel = {},
+                                util::CampaignStats* stats = nullptr) const;
 
  private:
   unsigned width_;

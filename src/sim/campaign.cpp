@@ -1,10 +1,17 @@
 #include "sim/campaign.h"
 
+#include <chrono>
 #include <stdexcept>
 
 namespace xtest::sim {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
 
 const xtalk::RcNetwork& nominal_net(const soc::System& system,
                                     soc::BusKind bus) {
@@ -49,20 +56,44 @@ std::vector<bool> run_detection(const soc::SystemConfig& config,
                                 const sbst::TestProgram& program,
                                 soc::BusKind bus,
                                 const xtalk::DefectLibrary& library,
-                                std::uint64_t cycle_factor) {
-  soc::System system(config);
-  const ResponseSnapshot gold = run_and_capture(system, program, 1'000'000);
+                                std::uint64_t cycle_factor,
+                                const util::ParallelConfig& parallel,
+                                util::CampaignStats* stats) {
+  const auto start = Clock::now();
+  soc::System gold_system(config);
+  const ResponseSnapshot gold =
+      run_and_capture(gold_system, program, 1'000'000);
   if (!gold.completed)
     throw std::runtime_error("gold run did not complete; bad program");
   const std::uint64_t budget = gold.cycles * cycle_factor + 1000;
 
-  std::vector<bool> detected;
-  detected.reserve(library.size());
-  for (const xtalk::Defect& d : library.defects()) {
-    apply_defect(system, bus, d);
-    const ResponseSnapshot snap = run_and_capture(system, program, budget);
-    detected.push_back(!snap.matches(gold));
-    system.clear_defects();
+  // Per-defect slots (std::vector<bool> packs bits and cannot be written
+  // concurrently); workers fill disjoint index ranges, so the result is
+  // independent of the worker count and of any interleaving.
+  const std::size_t n = library.size();
+  std::vector<std::uint8_t> verdicts(n, 0);
+  std::vector<std::uint64_t> run_cycles(n, 0);
+  util::parallel_for_chunks(
+      n, parallel, [&](std::size_t begin, std::size_t end, unsigned) {
+        soc::System system(config);  // each worker owns its simulator
+        for (std::size_t i = begin; i < end; ++i) {
+          apply_defect(system, bus, library[i]);
+          const ResponseSnapshot snap =
+              run_and_capture(system, program, budget);
+          verdicts[i] = snap.matches(gold) ? 0 : 1;
+          run_cycles[i] = snap.cycles;
+          system.clear_defects();
+        }
+      });
+
+  std::vector<bool> detected(n);
+  for (std::size_t i = 0; i < n; ++i) detected[i] = verdicts[i] != 0;
+  if (stats != nullptr) {
+    stats->threads = parallel.resolve(n);
+    stats->defects_simulated += n;
+    stats->simulated_cycles += gold.cycles;
+    for (std::uint64_t c : run_cycles) stats->simulated_cycles += c;
+    stats->wall_seconds += seconds_since(start);
   }
   return detected;
 }
@@ -70,12 +101,13 @@ std::vector<bool> run_detection(const soc::SystemConfig& config,
 std::vector<bool> run_detection_sessions(
     const soc::SystemConfig& config,
     const std::vector<sbst::GenerationResult>& sessions, soc::BusKind bus,
-    const xtalk::DefectLibrary& library, std::uint64_t cycle_factor) {
+    const xtalk::DefectLibrary& library, std::uint64_t cycle_factor,
+    const util::ParallelConfig& parallel, util::CampaignStats* stats) {
   std::vector<bool> any(library.size(), false);
   for (const sbst::GenerationResult& s : sessions) {
     if (s.program.tests.empty()) continue;
-    const std::vector<bool> det =
-        run_detection(config, s.program, bus, library, cycle_factor);
+    const std::vector<bool> det = run_detection(
+        config, s.program, bus, library, cycle_factor, parallel, stats);
     for (std::size_t i = 0; i < any.size(); ++i)
       any[i] = any[i] || det[i];
   }
@@ -86,7 +118,9 @@ PerLineCoverage per_line_coverage(const soc::SystemConfig& config,
                                   soc::BusKind bus,
                                   const xtalk::DefectLibrary& library,
                                   const sbst::GeneratorConfig& base_config,
-                                  std::uint64_t cycle_factor) {
+                                  std::uint64_t cycle_factor,
+                                  const util::ParallelConfig& parallel,
+                                  util::CampaignStats* stats) {
   const soc::System probe(config);
   const unsigned width = nominal_net(probe, bus).width();
   PerLineCoverage out;
@@ -120,7 +154,7 @@ PerLineCoverage per_line_coverage(const soc::SystemConfig& config,
         sbst::TestProgramGenerator::generate_sessions(cfg);
     for (const auto& s : minis) out.tests_placed[line] += s.program.tests.size();
     const std::vector<bool> det = run_detection_sessions(
-        config, minis, bus, library, cycle_factor);
+        config, minis, bus, library, cycle_factor, parallel, stats);
     out.individual[line] = coverage(det);
     for (std::size_t i = 0; i < cum.size(); ++i) cum[i] = cum[i] || det[i];
     out.cumulative[line] = coverage(cum);
@@ -132,8 +166,9 @@ PerLineCoverage per_line_coverage(const soc::SystemConfig& config,
   full.include_data_bus = bus == soc::BusKind::kData;
   const std::vector<sbst::GenerationResult> all =
       sbst::TestProgramGenerator::generate_sessions(full);
-  out.overall = coverage(
-      run_detection_sessions(config, all, bus, library, cycle_factor));
+  out.overall = coverage(run_detection_sessions(config, all, bus, library,
+                                                cycle_factor, parallel,
+                                                stats));
   return out;
 }
 

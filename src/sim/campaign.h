@@ -15,6 +15,7 @@
 #include "sbst/program.h"
 #include "sim/signature.h"
 #include "soc/system.h"
+#include "util/parallel.h"
 #include "xtalk/defect.h"
 
 namespace xtest::sim {
@@ -29,18 +30,28 @@ xtalk::DefectLibrary make_defect_library(const soc::SystemConfig& config,
 
 /// Runs `program` under every defect of `library` applied to `bus`.
 /// Returns one detected/undetected flag per defect.
+///
+/// Defects fan out across `parallel.resolve(library.size())` workers,
+/// each owning its own soc::System; verdicts are written by defect index,
+/// so the result is bitwise identical for every thread count (threads = 1
+/// is the exact serial path).  When `stats` is non-null the campaign's
+/// counters are *added* onto it (sessions/sweeps accumulate).
 std::vector<bool> run_detection(const soc::SystemConfig& config,
                                 const sbst::TestProgram& program,
                                 soc::BusKind bus,
                                 const xtalk::DefectLibrary& library,
-                                std::uint64_t cycle_factor = 16);
+                                std::uint64_t cycle_factor = 16,
+                                const util::ParallelConfig& parallel = {},
+                                util::CampaignStats* stats = nullptr);
 
 /// Detection by a *set* of programs (multi-session): a defect is detected
 /// when any session detects it.
 std::vector<bool> run_detection_sessions(
     const soc::SystemConfig& config,
     const std::vector<sbst::GenerationResult>& sessions, soc::BusKind bus,
-    const xtalk::DefectLibrary& library, std::uint64_t cycle_factor = 16);
+    const xtalk::DefectLibrary& library, std::uint64_t cycle_factor = 16,
+    const util::ParallelConfig& parallel = {},
+    util::CampaignStats* stats = nullptr);
 
 /// Fig. 11: individual and cumulative defect coverage of the MA tests for
 /// each interconnect of a bus.  "The MA test for interconnect i" is the
@@ -60,7 +71,9 @@ PerLineCoverage per_line_coverage(const soc::SystemConfig& config,
                                   soc::BusKind bus,
                                   const xtalk::DefectLibrary& library,
                                   const sbst::GeneratorConfig& base_config,
-                                  std::uint64_t cycle_factor = 16);
+                                  std::uint64_t cycle_factor = 16,
+                                  const util::ParallelConfig& parallel = {},
+                                  util::CampaignStats* stats = nullptr);
 
 inline double coverage(const std::vector<bool>& detected) {
   if (detected.empty()) return 0.0;

@@ -1,0 +1,90 @@
+#include "util/parallel.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+namespace xtest::util {
+
+namespace {
+
+unsigned env_threads() {
+  const char* raw = std::getenv("XTEST_THREADS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(raw, &end, 10);
+  if (end == raw || *end != '\0') return 0;
+  return static_cast<unsigned>(v);
+}
+
+}  // namespace
+
+ParallelConfig ParallelConfig::from_env() { return {env_threads()}; }
+
+unsigned ParallelConfig::resolve(std::size_t items) const {
+  if (items == 0) return 1;  // nothing to fan out, stay on the caller
+  unsigned t = threads;
+  if (t == 0) t = env_threads();
+  if (t == 0) t = std::thread::hardware_concurrency();
+  if (t == 0) t = 1;
+  if (t > items) t = static_cast<unsigned>(items);
+  return t;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> partition_range(
+    std::size_t count, unsigned chunks) {
+  if (chunks == 0) chunks = 1;
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(chunks);
+  const std::size_t base = count / chunks;
+  const std::size_t extra = count % chunks;
+  std::size_t begin = 0;
+  for (unsigned w = 0; w < chunks; ++w) {
+    const std::size_t len = base + (w < extra ? 1 : 0);
+    out.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  return out;
+}
+
+void parallel_for_chunks(
+    std::size_t count, const ParallelConfig& config,
+    const std::function<void(std::size_t, std::size_t, unsigned)>& body) {
+  const unsigned workers = config.resolve(count);
+  if (workers == 1) {
+    body(0, count, 0);
+    return;
+  }
+  const auto chunks = partition_range(count, workers);
+  std::vector<std::exception_ptr> errors(workers);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      try {
+        body(chunks[w].first, chunks[w].second, w);
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+std::string CampaignStats::json(const std::string& label) const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"campaign\":\"%s\",\"threads\":%u,\"defects\":%zu,"
+      "\"simulated_cycles\":%llu,\"wall_seconds\":%.6f,"
+      "\"defects_per_second\":%.1f}",
+      label.c_str(), threads, defects_simulated,
+      static_cast<unsigned long long>(simulated_cycles), wall_seconds,
+      defects_per_second());
+  return buf;
+}
+
+}  // namespace xtest::util

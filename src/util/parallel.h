@@ -1,0 +1,84 @@
+// Deterministic parallel campaign execution.
+//
+// Defect-simulation campaigns are embarrassingly parallel: every defect is
+// an independent whole-program simulation against the same gold run.  The
+// work pool here fans an index range out over std::thread workers with
+// chunked *static* scheduling: the partition of [0, count) into contiguous
+// chunks is a pure function of (count, thread count), and campaign code
+// writes results into pre-sized vectors by defect index.  Together these
+// make every campaign result bitwise identical for ANY thread count --
+// including threads == 1, which runs the body inline on the calling
+// thread (the exact serial path).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xtest::util {
+
+/// Thread-count policy for a campaign.
+struct ParallelConfig {
+  /// 0 = auto: $XTEST_THREADS when set and positive, else the hardware
+  /// concurrency.  1 = serial (body runs inline on the caller).
+  unsigned threads = 0;
+
+  /// Explicit env snapshot: `threads` filled from $XTEST_THREADS (0 when
+  /// unset/invalid, i.e. still auto).  `resolve` consults the env for
+  /// auto configs anyway; this exists for callers that want to log the
+  /// choice up front.
+  static ParallelConfig from_env();
+
+  /// Effective worker count for `items` work items: never 0, never more
+  /// than `items` (except that 0 items resolve to 1 so a pool can still
+  /// be formed and the serial path stays trivial).
+  unsigned resolve(std::size_t items) const;
+};
+
+/// Contiguous [begin, end) chunks, one per worker, covering [0, count)
+/// exactly once in ascending order.  Chunk lengths differ by at most one;
+/// when count < chunks the trailing chunks are empty.  `chunks` is
+/// clamped to >= 1.
+std::vector<std::pair<std::size_t, std::size_t>> partition_range(
+    std::size_t count, unsigned chunks);
+
+/// Runs `body(begin, end, worker)` over the static partition of
+/// [0, count), one invocation per worker.  The worker count comes from
+/// `config.resolve(count)`; at 1 the body is invoked directly on the
+/// calling thread with worker index 0.  All workers are joined before
+/// return; an exception thrown inside a worker is captured and re-thrown
+/// here (the lowest-index worker's exception wins), so a throwing
+/// campaign can never deadlock the pool or leak a detached thread.
+void parallel_for_chunks(
+    std::size_t count, const ParallelConfig& config,
+    const std::function<void(std::size_t, std::size_t, unsigned)>& body);
+
+/// Aggregate statistics of one campaign, or a sum over sessions: the
+/// campaign functions *add* onto an existing object so multi-session and
+/// per-line sweeps accumulate naturally.
+struct CampaignStats {
+  /// Whole-program (or whole-pattern-set) defect simulations executed.
+  std::size_t defects_simulated = 0;
+  /// Simulated clock cycles across all runs, gold runs included.  A pure
+  /// function of the campaign inputs -- identical for every thread count.
+  std::uint64_t simulated_cycles = 0;
+  /// Host wall-clock time spent inside campaign calls.
+  double wall_seconds = 0.0;
+  /// Resolved worker count of the most recent campaign call.
+  unsigned threads = 0;
+
+  double defects_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(defects_simulated) / wall_seconds
+               : 0.0;
+  }
+
+  /// One-line JSON record for the perf trajectory, keyed by `label`.
+  std::string json(const std::string& label) const;
+};
+
+}  // namespace xtest::util

@@ -102,6 +102,21 @@ TEST(Cli, CampaignReportsCoverage) {
             std::string::npos);
 }
 
+TEST(Cli, CampaignThreadsFlagKeepsCoverageIdentical) {
+  const CliRun serial = run_cli({"campaign", "--bus", "addr", "--defects",
+                                 "15", "--seed", "7", "--threads", "1"});
+  const CliRun par = run_cli({"campaign", "--bus", "addr", "--defects", "15",
+                              "--seed", "7", "--threads", "4"});
+  ASSERT_EQ(serial.code, 0) << serial.err;
+  ASSERT_EQ(par.code, 0) << par.err;
+  // The coverage line (everything before the stats line) must be bitwise
+  // identical at any thread count; only the stats line may differ.
+  EXPECT_EQ(serial.out.substr(0, serial.out.find('\n')),
+            par.out.substr(0, par.out.find('\n')));
+  EXPECT_NE(serial.out.find("threads=1 "), std::string::npos);
+  EXPECT_NE(par.out.find("threads=4 "), std::string::npos);
+}
+
 TEST(Cli, ErrorsAreReported) {
   EXPECT_EQ(run_cli({"assemble", "/nonexistent.s"}).code, 1);
   EXPECT_EQ(run_cli({"run", "/nonexistent.img", "--entry", "0"}).code, 1);

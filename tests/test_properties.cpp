@@ -245,5 +245,127 @@ TEST(SystemProperties, GroupSignaturesAreAccumulatedSums) {
   EXPECT_GT(checked, 0);
 }
 
+// ---------------------------------------------------------------------------
+// Signature-compaction properties (Sec. 4.3).
+//
+// A response group accumulates up to 8 one-hot pass values with ADD into a
+// single signature byte.  The diagnosis code relies on two arithmetic
+// facts: distinct one-hot contributions sum without carries (so the gold
+// signature is their OR, and a missing contribution flips exactly its own
+// bit), and the detection guarantee that any single wrong contribution
+// changes the byte.  Beyond 8 members the one-hot space is exhausted and
+// wrap-around aliasing becomes possible -- which is exactly why
+// GeneratorConfig::group_size must stay <= 8.
+
+TEST(SignatureCompaction, SingleFlippedPassValueAlwaysChangesSignature) {
+  // For every group size 1..8, every failing member, and every wrong
+  // contribution byte, the ADD signature differs from gold.
+  for (unsigned size = 1; size <= 8; ++size) {
+    std::uint8_t gold = 0;
+    for (unsigned k = 0; k < size; ++k)
+      gold = static_cast<std::uint8_t>(gold + (1u << k));
+    for (unsigned fail = 0; fail < size; ++fail) {
+      const std::uint8_t pass = static_cast<std::uint8_t>(1u << fail);
+      for (unsigned wrong = 0; wrong < 256; ++wrong) {
+        if (wrong == pass) continue;
+        const std::uint8_t observed =
+            static_cast<std::uint8_t>(gold - pass + wrong);
+        ASSERT_NE(observed, gold)
+            << "size " << size << " member " << fail << " wrong " << wrong;
+      }
+    }
+  }
+}
+
+TEST(SignatureCompaction, MissingContributionFlipsExactlyItsOwnBit) {
+  // Distinct one-hot values sum carry-free, so a test that never ran
+  // (contribution 0) flips precisely its one-hot bit: the XOR-overlap rule
+  // diagnose() uses implicates the failing test uniquely.
+  for (unsigned size = 1; size <= 8; ++size) {
+    std::uint8_t gold = 0;
+    for (unsigned k = 0; k < size; ++k)
+      gold = static_cast<std::uint8_t>(gold + (1u << k));
+    for (unsigned fail = 0; fail < size; ++fail) {
+      const std::uint8_t pass = static_cast<std::uint8_t>(1u << fail);
+      const std::uint8_t observed = static_cast<std::uint8_t>(gold - pass);
+      EXPECT_EQ(static_cast<std::uint8_t>(gold ^ observed), pass);
+      // No other member's one-hot value overlaps the flipped bits.
+      for (unsigned other = 0; other < size; ++other)
+        if (other != fail)
+          EXPECT_EQ((gold ^ observed) & (1u << other), 0u);
+    }
+  }
+}
+
+TEST(SignatureCompaction, NinthMemberWrapsAndAliases) {
+  // Pigeonhole: a 9th member must reuse a one-hot value, and the ADD
+  // accumulation then carries -- two different failing tests become
+  // indistinguishable (alias), so over-full groups lose diagnosability.
+  std::uint8_t gold = 0;
+  for (unsigned k = 0; k < 8; ++k)
+    gold = static_cast<std::uint8_t>(gold + (1u << k));
+  const std::uint8_t dup = 0x01;  // 9th member reuses bit 0
+  gold = static_cast<std::uint8_t>(gold + dup);  // 0xFF + 1 wraps to 0x00
+  EXPECT_EQ(gold, 0x00);  // the wrap itself: signature no longer the OR
+  // Member 0 failing (contributing 0) and the duplicate failing alias:
+  const std::uint8_t member0_fails = static_cast<std::uint8_t>(gold - 0x01);
+  const std::uint8_t dup_fails = static_cast<std::uint8_t>(gold - dup);
+  EXPECT_EQ(member0_fails, dup_fails);
+}
+
+TEST(SignatureCompaction, GeneratedGroupsStayWithinCapacity) {
+  // Generator invariant guarding the wrap hazard above: no response group
+  // ever accumulates more than group_size (8) contributions, so a fully
+  // one-hot group can never exhaust the 8 distinct slots and wrap.
+  const std::vector<sbst::GenerationResult> sessions =
+      sbst::TestProgramGenerator::generate_sessions(sbst::GeneratorConfig{});
+  std::size_t groups_checked = 0;
+  for (const auto& s : sessions) {
+    std::map<int, unsigned> counts;
+    for (const auto& t : s.program.tests)
+      if (t.group >= 0) ++counts[t.group];
+    for (const auto& [group, n] : counts) {
+      EXPECT_LE(n, 8u) << "group " << group << " over one-hot capacity";
+      ++groups_checked;
+    }
+  }
+  EXPECT_GT(groups_checked, 0u);
+}
+
+TEST(SignatureCompaction, GeneratedPureOneHotGroupsNeverAliasOrWrap) {
+  // For the Fig. 8 groups built entirely from fresh one-hot slots (the
+  // allocator's value-sharing fallback can also adopt an existing cell's
+  // arbitrary byte as a pass value; those groups are excluded exactly as
+  // in GroupSignaturesAreAccumulatedSums above), the slots must be
+  // distinct and sum carry-free: signature == OR, so a single missing
+  // contribution flips precisely its own bit and diagnosis stays sound.
+  const std::vector<sbst::GenerationResult> sessions =
+      sbst::TestProgramGenerator::generate_sessions(sbst::GeneratorConfig{});
+  std::size_t groups_checked = 0;
+  for (const auto& s : sessions) {
+    std::map<int, unsigned> sums, ors;
+    std::map<int, bool> pure;
+    for (const auto& t : s.program.tests) {
+      if (t.group < 0) continue;
+      const std::uint8_t p = t.pass_value;
+      const bool one_hot = p != 0 && (p & (p - 1)) == 0;
+      if (!pure.count(t.group)) pure[t.group] = true;
+      pure[t.group] = pure[t.group] && one_hot &&
+                      (t.scheme == sbst::Scheme::kAddrDelay ||
+                       t.scheme == sbst::Scheme::kAddrGlitch);
+      sums[t.group] += p;
+      ors[t.group] |= p;
+    }
+    for (const auto& [group, is_pure] : pure) {
+      if (!is_pure) continue;
+      EXPECT_LE(sums[group], 0xFFu) << "group " << group << " wrapped";
+      EXPECT_EQ(sums[group], ors[group])
+          << "group " << group << " has duplicate one-hot slots";
+      ++groups_checked;
+    }
+  }
+  EXPECT_GT(groups_checked, 0u);
+}
+
 }  // namespace
 }  // namespace xtest

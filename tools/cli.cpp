@@ -13,6 +13,7 @@
 #include "sim/verify.h"
 #include "soc/system.h"
 #include "soc/waveform.h"
+#include "util/parallel.h"
 #include "util/table.h"
 
 namespace xtest::cli {
@@ -65,7 +66,8 @@ int usage(std::ostream& err) {
          "  xtest assemble FILE.s [--out FILE.img]\n"
          "  xtest disasm FILE.img\n"
          "  xtest run FILE.img --entry ADDR [--trace] [--max-cycles N]\n"
-         "  xtest campaign [--bus addr|data|ctrl] [--defects N] [--seed S]\n";
+         "  xtest campaign [--bus addr|data|ctrl] [--defects N] [--seed S]\n"
+         "                 [--threads T]   (0 = auto / $XTEST_THREADS)\n";
   return 2;
 }
 
@@ -181,18 +183,29 @@ int cmd_campaign(const Parsed& p, std::ostream& out) {
   const std::uint64_t seed =
       p.options.count("seed") ? std::stoull(p.options.at("seed"))
                               : 20010618ull;
+  util::ParallelConfig par = util::ParallelConfig::from_env();
+  if (p.options.count("threads"))
+    par.threads =
+        static_cast<unsigned>(std::stoul(p.options.at("threads")));
 
   const soc::SystemConfig cfg;
   const auto lib = sim::make_defect_library(cfg, bus, defects, seed);
   const auto sessions =
       sbst::TestProgramGenerator::generate_sessions(sbst::GeneratorConfig{});
-  const auto det = sim::run_detection_sessions(cfg, sessions, bus, lib);
-  char buf[128];
+  util::CampaignStats stats;
+  const auto det =
+      sim::run_detection_sessions(cfg, sessions, bus, lib, 16, par, &stats);
+  char buf[256];
   std::snprintf(buf, sizeof buf,
-                "bus=%s defects=%zu coverage=%.1f%% (seed %llu)\n",
+                "bus=%s defects=%zu coverage=%.1f%% (seed %llu)\n"
+                "threads=%u simulations=%zu cycles=%llu wall=%.3fs "
+                "defects/sec=%.0f\n",
                 soc::to_string(bus).c_str(), lib.size(),
                 100.0 * sim::coverage(det),
-                static_cast<unsigned long long>(seed));
+                static_cast<unsigned long long>(seed), stats.threads,
+                stats.defects_simulated,
+                static_cast<unsigned long long>(stats.simulated_cycles),
+                stats.wall_seconds, stats.defects_per_second());
   out << buf;
   return 0;
 }
