@@ -60,8 +60,11 @@ void print_ablation(soc::BusKind bus, util::CampaignStats& stats) {
       }
   }
 
-  const std::vector<bool> program = sim::run_detection_sessions(
+  const std::vector<sim::Verdict> verdicts = sim::run_detection_sessions(
       cfg, sessions, bus, lib, 16, util::ParallelConfig::from_env(), &stats);
+  std::vector<bool> program(lib.size(), false);
+  for (std::size_t i = 0; i < lib.size(); ++i)
+    program[i] = sim::is_detected(verdicts[i]);
 
   std::size_t both = 0, only_isolated = 0, only_program = 0, neither = 0;
   for (std::size_t i = 0; i < lib.size(); ++i) {

@@ -67,7 +67,7 @@ void print_coverage() {
 
   std::size_t overtest = 0;
   for (std::size_t i = 0; i < lib.size(); ++i)
-    overtest += bist_det[i] && !sbst_det[i];
+    overtest += sim::is_detected(bist_det[i]) && !sim::is_detected(sbst_det[i]);
 
   util::Table t({"method", "coverage", "notes"});
   t.add_row({"SBST (functional mode)",

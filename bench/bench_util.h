@@ -39,6 +39,10 @@ inline void print_campaign_stats(const std::string& name,
               s.defects_simulated,
               static_cast<unsigned long long>(s.simulated_cycles),
               s.wall_seconds, s.defects_per_second(), s.threads);
+  if (s.sim_errors || s.retries || s.restored_from_checkpoint)
+    std::printf("campaign health: %zu sim errors, %zu retries, %zu verdicts "
+                "restored from checkpoint\n",
+                s.sim_errors, s.retries, s.restored_from_checkpoint);
   std::printf("%s\n", s.json(name).c_str());
 }
 

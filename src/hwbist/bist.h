@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "sim/verdict.h"
 #include "util/parallel.h"
 #include "xtalk/defect.h"
 #include "xtalk/error_model.h"
@@ -42,12 +43,16 @@ class HardwareBist {
 
   /// BIST verdict over a whole library applied to `nominal`.  Defects fan
   /// out across workers (verdicts written by index: bitwise identical for
-  /// every thread count); `stats` accumulates when non-null.
-  std::vector<bool> run_library(const xtalk::RcNetwork& nominal,
-                                const xtalk::CrosstalkErrorModel& model,
-                                const xtalk::DefectLibrary& library,
-                                const util::ParallelConfig& parallel = {},
-                                util::CampaignStats* stats = nullptr) const;
+  /// every thread count); a defect whose evaluation throws is quarantined
+  /// as kSimError instead of aborting the sweep; `stats` accumulates when
+  /// non-null.  BIST has no timeout mechanism, so verdicts are only
+  /// kDetected / kUndetected / kSimError.
+  std::vector<sim::Verdict> run_library(
+      const xtalk::RcNetwork& nominal,
+      const xtalk::CrosstalkErrorModel& model,
+      const xtalk::DefectLibrary& library,
+      const util::ParallelConfig& parallel = {},
+      util::CampaignStats* stats = nullptr) const;
 
  private:
   unsigned width_;

@@ -22,7 +22,7 @@ OverTestResult analyze_overtest(const soc::SystemConfig& system_config,
   const xtalk::CrosstalkErrorModel& model = bus == soc::BusKind::kAddress
                                                 ? system.address_model()
                                                 : system.data_model();
-  const std::vector<bool> by_bist =
+  const std::vector<sim::Verdict> by_bist =
       bist.run_library(nominal, model, library, parallel, stats);
 
   sbst::GeneratorConfig gen = generator_config;
@@ -30,16 +30,23 @@ OverTestResult analyze_overtest(const soc::SystemConfig& system_config,
   gen.include_data_bus = bus == soc::BusKind::kData;
   const std::vector<sbst::GenerationResult> sessions =
       sbst::TestProgramGenerator::generate_sessions(gen, max_sessions);
-  const std::vector<bool> by_sbst = sim::run_detection_sessions(
+  const std::vector<sim::Verdict> by_sbst = sim::run_detection_sessions(
       system_config, sessions, bus, library, 16, parallel, stats);
 
   OverTestResult r;
   r.library_size = library.size();
   for (std::size_t i = 0; i < library.size(); ++i) {
-    r.bist_detected += by_bist[i];
-    r.functional_detected += by_sbst[i];
-    r.overtest_only += by_bist[i] && !by_sbst[i];
-    r.functional_only += by_sbst[i] && !by_bist[i];
+    if (by_bist[i] == sim::Verdict::kSimError ||
+        by_sbst[i] == sim::Verdict::kSimError) {
+      ++r.sim_errors;
+      continue;
+    }
+    const bool b = sim::is_detected(by_bist[i]);
+    const bool f = sim::is_detected(by_sbst[i]);
+    r.bist_detected += b;
+    r.functional_detected += f;
+    r.overtest_only += b && !f;
+    r.functional_only += f && !b;
   }
   return r;
 }

@@ -32,6 +32,9 @@ struct OverTestResult {
   /// Detected functionally but missed by BIST (should be 0: BIST applies
   /// the complete MA set).
   std::size_t functional_only = 0;
+  /// Defects quarantined as kSimError on either side; excluded from the
+  /// over-test comparison (their behaviour is unknown).
+  std::size_t sim_errors = 0;
 
   double overtest_fraction() const {
     return bist_detected == 0

@@ -24,23 +24,29 @@ bool RandomPatternBist::detects(const xtalk::RcNetwork& net,
   return false;
 }
 
-std::vector<bool> RandomPatternBist::run_library(
+std::vector<sim::Verdict> RandomPatternBist::run_library(
     const xtalk::RcNetwork& nominal, const xtalk::CrosstalkErrorModel& model,
     const xtalk::DefectLibrary& library, const util::ParallelConfig& parallel,
     util::CampaignStats* stats) const {
   const auto start = std::chrono::steady_clock::now();
   const std::size_t n = library.size();
-  std::vector<std::uint8_t> verdicts(n, 0);
-  util::parallel_for_chunks(
-      n, parallel, [&](std::size_t begin, std::size_t end, unsigned) {
-        for (std::size_t i = begin; i < end; ++i)
-          verdicts[i] = detects(library[i].apply(nominal), model) ? 1 : 0;
+  std::vector<sim::Verdict> out(n, sim::Verdict::kUndetected);
+  const std::vector<util::ItemError> errors = util::parallel_for_items(
+      n, parallel, [&](std::size_t i, unsigned) {
+        out[i] = detects(library[i].apply(nominal), model)
+                     ? sim::Verdict::kDetected
+                     : sim::Verdict::kUndetected;
       });
-  std::vector<bool> out(n);
-  for (std::size_t i = 0; i < n; ++i) out[i] = verdicts[i] != 0;
+  for (const util::ItemError& e : errors) {
+    out[e.index] = sim::Verdict::kSimError;
+    if (stats != nullptr)
+      stats->error_log.push_back("defect " + std::to_string(e.index) + ": " +
+                                 e.message);
+  }
   if (stats != nullptr) {
     stats->threads = parallel.resolve(n);
     stats->defects_simulated += n;
+    sim::tally_verdicts(out, *stats);
     stats->wall_seconds +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "sim/verdict.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "xtalk/defect.h"
@@ -33,12 +34,14 @@ class RandomPatternBist {
 
   /// Verdicts over a library applied to `nominal`.  Defects fan out
   /// across workers, verdicts written by index (bitwise identical for
-  /// every thread count); `stats` accumulates when non-null.
-  std::vector<bool> run_library(const xtalk::RcNetwork& nominal,
-                                const xtalk::CrosstalkErrorModel& model,
-                                const xtalk::DefectLibrary& library,
-                                const util::ParallelConfig& parallel = {},
-                                util::CampaignStats* stats = nullptr) const;
+  /// every thread count); throwing defects are quarantined as kSimError;
+  /// `stats` accumulates when non-null.
+  std::vector<sim::Verdict> run_library(
+      const xtalk::RcNetwork& nominal,
+      const xtalk::CrosstalkErrorModel& model,
+      const xtalk::DefectLibrary& library,
+      const util::ParallelConfig& parallel = {},
+      util::CampaignStats* stats = nullptr) const;
 
  private:
   unsigned width_;

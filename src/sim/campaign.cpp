@@ -1,7 +1,12 @@
 #include "sim/campaign.h"
 
 #include <chrono>
+#include <cstdio>
+#include <memory>
+#include <optional>
 #include <stdexcept>
+
+#include "sim/checkpoint.h"
 
 namespace xtest::sim {
 
@@ -33,6 +38,19 @@ void apply_defect(soc::System& system, soc::BusKind bus,
   }
 }
 
+/// One whole-program defect simulation: apply, run, classify, restore.
+Verdict simulate_one(soc::System& system, soc::BusKind bus,
+                     const xtalk::Defect& defect,
+                     const sbst::TestProgram& program,
+                     const ResponseSnapshot& gold, std::uint64_t budget,
+                     std::uint64_t& cycles) {
+  apply_defect(system, bus, defect);
+  const ResponseSnapshot snap = run_and_capture(system, program, budget);
+  cycles = snap.cycles;
+  system.clear_defects();
+  return classify(gold, snap);
+}
+
 }  // namespace
 
 xtalk::DefectLibrary make_defect_library(const soc::SystemConfig& config,
@@ -52,66 +70,159 @@ xtalk::DefectLibrary make_defect_library(const soc::SystemConfig& config,
   return xtalk::DefectLibrary::generate(nominal_net(system, bus), dc);
 }
 
-std::vector<bool> run_detection(const soc::SystemConfig& config,
-                                const sbst::TestProgram& program,
-                                soc::BusKind bus,
-                                const xtalk::DefectLibrary& library,
-                                std::uint64_t cycle_factor,
-                                const util::ParallelConfig& parallel,
-                                util::CampaignStats* stats) {
+std::string default_checkpoint_key(soc::BusKind bus,
+                                   const xtalk::DefectLibrary& library) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "bus=%s count=%zu seed=%llu sigma=%.17g cth=%.17g",
+                soc::to_string(bus).c_str(), library.size(),
+                static_cast<unsigned long long>(library.config().seed),
+                library.config().sigma_pct, library.config().cth_fF);
+  return buf;
+}
+
+std::vector<Verdict> run_detection(const soc::SystemConfig& config,
+                                   const sbst::TestProgram& program,
+                                   soc::BusKind bus,
+                                   const xtalk::DefectLibrary& library,
+                                   const CampaignOptions& options) {
   const auto start = Clock::now();
   soc::System gold_system(config);
   const ResponseSnapshot gold =
       run_and_capture(gold_system, program, 1'000'000);
   if (!gold.completed)
     throw std::runtime_error("gold run did not complete; bad program");
-  const std::uint64_t budget = gold.cycles * cycle_factor + 1000;
+  const std::uint64_t budget = gold.cycles * options.cycle_factor + 1000;
 
-  // Per-defect slots (std::vector<bool> packs bits and cannot be written
-  // concurrently); workers fill disjoint index ranges, so the result is
-  // independent of the worker count and of any interleaving.
   const std::size_t n = library.size();
-  std::vector<std::uint8_t> verdicts(n, 0);
+  std::vector<Verdict> verdicts(n, Verdict::kUndetected);
   std::vector<std::uint64_t> run_cycles(n, 0);
-  util::parallel_for_chunks(
-      n, parallel, [&](std::size_t begin, std::size_t end, unsigned) {
-        soc::System system(config);  // each worker owns its simulator
-        for (std::size_t i = begin; i < end; ++i) {
-          apply_defect(system, bus, library[i]);
-          const ResponseSnapshot snap =
-              run_and_capture(system, program, budget);
-          verdicts[i] = snap.matches(gold) ? 0 : 1;
-          run_cycles[i] = snap.cycles;
-          system.clear_defects();
-        }
+  // Slots already carrying a verdict from a previous (interrupted) run.
+  std::vector<std::uint8_t> restored(n, 0);
+  std::size_t restored_count = 0;
+
+  std::unique_ptr<CampaignCheckpoint> checkpoint;
+  if (!options.checkpoint_path.empty()) {
+    checkpoint = std::make_unique<CampaignCheckpoint>(
+        options.checkpoint_path,
+        options.checkpoint_key.empty() ? default_checkpoint_key(bus, library)
+                                       : options.checkpoint_key,
+        options.checkpoint_every);
+    const auto slots = checkpoint->restore(options.checkpoint_section, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!slots[i]) continue;
+      verdicts[i] = *slots[i];
+      restored[i] = 1;
+      ++restored_count;
+    }
+  }
+
+  // Each worker lazily owns its private simulator; verdict slots are
+  // written by defect index, so the result is independent of the worker
+  // count and of any interleaving.
+  const unsigned workers = options.parallel.resolve(n);
+  std::vector<std::optional<soc::System>> systems(workers);
+  const std::vector<util::ItemError> errors = util::parallel_for_items(
+      n, options.parallel, [&](std::size_t i, unsigned w) {
+        if (restored[i]) return;
+        if (!systems[w]) systems[w].emplace(config);
+        verdicts[i] = simulate_one(*systems[w], bus, library[i], program,
+                                   gold, budget, run_cycles[i]);
+        if (checkpoint)
+          checkpoint->record(options.checkpoint_section, i, verdicts[i]);
       });
 
-  std::vector<bool> detected(n);
-  for (std::size_t i = 0; i < n; ++i) detected[i] = verdicts[i] != 0;
-  if (stats != nullptr) {
-    stats->threads = parallel.resolve(n);
-    stats->defects_simulated += n;
-    stats->simulated_cycles += gold.cycles;
-    for (std::uint64_t c : run_cycles) stats->simulated_cycles += c;
-    stats->wall_seconds += seconds_since(start);
+  // Quarantine: each failed defect is retried once serially on a fresh
+  // simulator (a transient poisoned-worker state cannot recur there); a
+  // second failure is recorded as kSimError and the campaign still
+  // completes with every other verdict intact.
+  std::size_t retries = 0;
+  for (const util::ItemError& e : errors) {
+    std::string message = e.message;
+    bool recovered = false;
+    if (options.retry_errors) {
+      ++retries;
+      try {
+        soc::System system(config);
+        verdicts[e.index] = simulate_one(system, bus, library[e.index],
+                                         program, gold, budget,
+                                         run_cycles[e.index]);
+        recovered = true;
+      } catch (const std::exception& retry_error) {
+        message = retry_error.what();
+      } catch (...) {
+        message = "unknown exception";
+      }
+    }
+    if (!recovered) {
+      verdicts[e.index] = Verdict::kSimError;
+      run_cycles[e.index] = 0;
+      if (options.stats != nullptr)
+        options.stats->error_log.push_back(
+            "defect " + std::to_string(e.index) + ": " + message);
+    }
+    if (checkpoint)
+      checkpoint->record(options.checkpoint_section, e.index,
+                         verdicts[e.index]);
   }
-  return detected;
+  if (checkpoint) checkpoint->flush();
+
+  if (options.stats != nullptr) {
+    util::CampaignStats& stats = *options.stats;
+    stats.threads = workers;
+    stats.defects_simulated += n - restored_count;
+    stats.restored_from_checkpoint += restored_count;
+    stats.retries += retries;
+    stats.simulated_cycles += gold.cycles;
+    for (std::uint64_t c : run_cycles) stats.simulated_cycles += c;
+    tally_verdicts(verdicts, stats);
+    stats.wall_seconds += seconds_since(start);
+  }
+  return verdicts;
 }
 
-std::vector<bool> run_detection_sessions(
+std::vector<Verdict> run_detection(const soc::SystemConfig& config,
+                                   const sbst::TestProgram& program,
+                                   soc::BusKind bus,
+                                   const xtalk::DefectLibrary& library,
+                                   std::uint64_t cycle_factor,
+                                   const util::ParallelConfig& parallel,
+                                   util::CampaignStats* stats) {
+  CampaignOptions options;
+  options.cycle_factor = cycle_factor;
+  options.parallel = parallel;
+  options.stats = stats;
+  return run_detection(config, program, bus, library, options);
+}
+
+std::vector<Verdict> run_detection_sessions(
+    const soc::SystemConfig& config,
+    const std::vector<sbst::GenerationResult>& sessions, soc::BusKind bus,
+    const xtalk::DefectLibrary& library, const CampaignOptions& options) {
+  std::vector<Verdict> merged(library.size(), Verdict::kUndetected);
+  for (std::size_t s = 0; s < sessions.size(); ++s) {
+    if (sessions[s].program.tests.empty()) continue;
+    CampaignOptions session_options = options;
+    if (!options.checkpoint_path.empty())
+      session_options.checkpoint_section = "session" + std::to_string(s);
+    const std::vector<Verdict> det = run_detection(
+        config, sessions[s].program, bus, library, session_options);
+    for (std::size_t i = 0; i < merged.size(); ++i)
+      merged[i] = merge_verdicts(merged[i], det[i]);
+  }
+  return merged;
+}
+
+std::vector<Verdict> run_detection_sessions(
     const soc::SystemConfig& config,
     const std::vector<sbst::GenerationResult>& sessions, soc::BusKind bus,
     const xtalk::DefectLibrary& library, std::uint64_t cycle_factor,
     const util::ParallelConfig& parallel, util::CampaignStats* stats) {
-  std::vector<bool> any(library.size(), false);
-  for (const sbst::GenerationResult& s : sessions) {
-    if (s.program.tests.empty()) continue;
-    const std::vector<bool> det = run_detection(
-        config, s.program, bus, library, cycle_factor, parallel, stats);
-    for (std::size_t i = 0; i < any.size(); ++i)
-      any[i] = any[i] || det[i];
-  }
-  return any;
+  CampaignOptions options;
+  options.cycle_factor = cycle_factor;
+  options.parallel = parallel;
+  options.stats = stats;
+  return run_detection_sessions(config, sessions, bus, library, options);
 }
 
 PerLineCoverage per_line_coverage(const soc::SystemConfig& config,
@@ -129,7 +240,7 @@ PerLineCoverage per_line_coverage(const soc::SystemConfig& config,
   out.cumulative.resize(width, 0.0);
   out.tests_placed.resize(width, 0);
 
-  std::vector<bool> cum(library.size(), false);
+  std::vector<Verdict> cum(library.size(), Verdict::kUndetected);
   for (unsigned line = 0; line < width; ++line) {
     // The MA tests for interconnect `line`: all MAF types, both directions
     // for the data bus.
@@ -153,10 +264,11 @@ PerLineCoverage per_line_coverage(const soc::SystemConfig& config,
     const std::vector<sbst::GenerationResult> minis =
         sbst::TestProgramGenerator::generate_sessions(cfg);
     for (const auto& s : minis) out.tests_placed[line] += s.program.tests.size();
-    const std::vector<bool> det = run_detection_sessions(
+    const std::vector<Verdict> det = run_detection_sessions(
         config, minis, bus, library, cycle_factor, parallel, stats);
     out.individual[line] = coverage(det);
-    for (std::size_t i = 0; i < cum.size(); ++i) cum[i] = cum[i] || det[i];
+    for (std::size_t i = 0; i < cum.size(); ++i)
+      cum[i] = merge_verdicts(cum[i], det[i]);
     out.cumulative[line] = coverage(cum);
   }
 

@@ -5,15 +5,23 @@
 // tester-visible responses against the gold run.  Because the *whole*
 // program executes under the defect, fault masking and incidental
 // activations are accounted for, exactly as the paper argues.
+//
+// Campaigns are resilient: per-defect verdicts carry the full taxonomy of
+// sim/verdict.h, a defect whose simulation throws is quarantined as
+// kSimError (optionally retried once serially) instead of aborting the
+// sweep, and a checkpoint file lets an interrupted campaign resume with
+// bitwise-identical results at any thread count.
 
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sbst/generator.h"
 #include "sbst/program.h"
 #include "sim/signature.h"
+#include "sim/verdict.h"
 #include "soc/system.h"
 #include "util/parallel.h"
 #include "xtalk/defect.h"
@@ -28,30 +36,75 @@ xtalk::DefectLibrary make_defect_library(const soc::SystemConfig& config,
                                          std::uint64_t seed,
                                          double sigma_pct = 50.0);
 
-/// Runs `program` under every defect of `library` applied to `bus`.
-/// Returns one detected/undetected flag per defect.
-///
-/// Defects fan out across `parallel.resolve(library.size())` workers,
-/// each owning its own soc::System; verdicts are written by defect index,
-/// so the result is bitwise identical for every thread count (threads = 1
-/// is the exact serial path).  When `stats` is non-null the campaign's
-/// counters are *added* onto it (sessions/sweeps accumulate).
-std::vector<bool> run_detection(const soc::SystemConfig& config,
-                                const sbst::TestProgram& program,
-                                soc::BusKind bus,
-                                const xtalk::DefectLibrary& library,
-                                std::uint64_t cycle_factor = 16,
-                                const util::ParallelConfig& parallel = {},
-                                util::CampaignStats* stats = nullptr);
+/// Resilience and scheduling knobs for one campaign call.
+struct CampaignOptions {
+  /// Faulty-run cycle budget = gold cycles * cycle_factor + 1000; a run
+  /// exhausting it is a tester timeout (kDetectedByTimeout).
+  std::uint64_t cycle_factor = 16;
+  util::ParallelConfig parallel;
+  /// When non-null the campaign's counters are *added* onto it (sessions
+  /// and sweeps accumulate).
+  util::CampaignStats* stats = nullptr;
+  /// Retry a quarantined defect once, serially on the calling thread,
+  /// before recording kSimError.
+  bool retry_errors = true;
+  /// Non-empty enables checkpointing: completed verdicts are periodically
+  /// flushed to this file (atomic write-tmp-then-rename) and restored on
+  /// the next run with the same file.
+  std::string checkpoint_path;
+  /// Completed verdicts between automatic checkpoint flushes.
+  std::size_t checkpoint_every = 32;
+  /// Campaign identity guard stored in the checkpoint; resuming with a
+  /// different key throws.  Empty = derived from the bus and library.
+  std::string checkpoint_key;
+  /// Section name inside the checkpoint file (multi-session campaigns use
+  /// one section per session).
+  std::string checkpoint_section = "campaign";
+};
 
-/// Detection by a *set* of programs (multi-session): a defect is detected
-/// when any session detects it.
-std::vector<bool> run_detection_sessions(
+/// Runs `program` under every defect of `library` applied to `bus`.
+/// Returns one Verdict per defect.
+///
+/// Defects fan out across `options.parallel.resolve(library.size())`
+/// workers, each owning its own soc::System; verdicts are written by
+/// defect index, so the result is bitwise identical for every thread
+/// count (threads = 1 is the exact serial path) and for any
+/// interrupt/resume schedule.
+std::vector<Verdict> run_detection(const soc::SystemConfig& config,
+                                   const sbst::TestProgram& program,
+                                   soc::BusKind bus,
+                                   const xtalk::DefectLibrary& library,
+                                   const CampaignOptions& options);
+
+/// Positional convenience overload (pre-resilience call sites).
+std::vector<Verdict> run_detection(const soc::SystemConfig& config,
+                                   const sbst::TestProgram& program,
+                                   soc::BusKind bus,
+                                   const xtalk::DefectLibrary& library,
+                                   std::uint64_t cycle_factor = 16,
+                                   const util::ParallelConfig& parallel = {},
+                                   util::CampaignStats* stats = nullptr);
+
+/// Detection by a *set* of programs (multi-session): per-session verdicts
+/// are merged with merge_verdicts (a defect is detected when any session
+/// detects it).  With checkpointing enabled each session gets its own
+/// section ("session<i>") in the same file.
+std::vector<Verdict> run_detection_sessions(
+    const soc::SystemConfig& config,
+    const std::vector<sbst::GenerationResult>& sessions, soc::BusKind bus,
+    const xtalk::DefectLibrary& library, const CampaignOptions& options);
+
+std::vector<Verdict> run_detection_sessions(
     const soc::SystemConfig& config,
     const std::vector<sbst::GenerationResult>& sessions, soc::BusKind bus,
     const xtalk::DefectLibrary& library, std::uint64_t cycle_factor = 16,
     const util::ParallelConfig& parallel = {},
     util::CampaignStats* stats = nullptr);
+
+/// Default checkpoint identity for a (bus, library) pair; a campaign
+/// resumed against a different bus, size, seed, sigma, or Cth is rejected.
+std::string default_checkpoint_key(soc::BusKind bus,
+                                   const xtalk::DefectLibrary& library);
 
 /// Fig. 11: individual and cumulative defect coverage of the MA tests for
 /// each interconnect of a bus.  "The MA test for interconnect i" is the
@@ -74,12 +127,5 @@ PerLineCoverage per_line_coverage(const soc::SystemConfig& config,
                                   std::uint64_t cycle_factor = 16,
                                   const util::ParallelConfig& parallel = {},
                                   util::CampaignStats* stats = nullptr);
-
-inline double coverage(const std::vector<bool>& detected) {
-  if (detected.empty()) return 0.0;
-  std::size_t n = 0;
-  for (bool d : detected) n += d;
-  return static_cast<double>(n) / static_cast<double>(detected.size());
-}
 
 }  // namespace xtest::sim

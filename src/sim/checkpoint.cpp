@@ -1,0 +1,143 @@
+#include "sim/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace xtest::sim {
+
+namespace {
+
+constexpr const char* kMagic = "xtest-checkpoint v1";
+
+[[noreturn]] void malformed(const std::string& path, const std::string& why) {
+  throw std::runtime_error("checkpoint " + path + ": " + why);
+}
+
+}  // namespace
+
+CampaignCheckpoint::CampaignCheckpoint(std::string path, std::string key,
+                                       std::size_t flush_every)
+    : path_(std::move(path)),
+      key_(std::move(key)),
+      flush_every_(flush_every == 0 ? 1 : flush_every) {
+  std::ifstream in(path_);
+  if (!in) return;  // fresh campaign, nothing to resume
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  load(ss.str());
+}
+
+void CampaignCheckpoint::load(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic)
+    malformed(path_, "not a checkpoint file (bad magic line)");
+  if (!std::getline(is, line) || line.rfind("key ", 0) != 0)
+    malformed(path_, "missing key line");
+  const std::string stored_key = line.substr(4);
+  if (stored_key != key_)
+    malformed(path_, "key mismatch: file was written for '" + stored_key +
+                         "' but this campaign is '" + key_ +
+                         "' (delete the file to start over)");
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream hs(line);
+    std::string word, name;
+    std::size_t count = 0;
+    if (!(hs >> word >> name >> count) || word != "section")
+      malformed(path_, "expected 'section <name> <count>', got '" + line + "'");
+    std::string slots;
+    if (!std::getline(is, slots) || slots.size() != count)
+      malformed(path_, "section '" + name + "' slot line has " +
+                           std::to_string(slots.size()) + " chars, expected " +
+                           std::to_string(count));
+    Verdict v;
+    for (char c : slots)
+      if (c != '.' && !verdict_from_char(c, v))
+        malformed(path_, "section '" + name + "' has unknown verdict code '" +
+                             std::string(1, c) + "'");
+    sections_.emplace_back(name, std::vector<char>(slots.begin(), slots.end()));
+  }
+}
+
+std::vector<char>* CampaignCheckpoint::find_locked(const std::string& section) {
+  for (auto& [name, slots] : sections_)
+    if (name == section) return &slots;
+  return nullptr;
+}
+
+std::vector<std::optional<Verdict>> CampaignCheckpoint::restore(
+    const std::string& section, std::size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<char>* slots = find_locked(section);
+  if (slots == nullptr) {
+    sections_.emplace_back(section, std::vector<char>(count, '.'));
+    return std::vector<std::optional<Verdict>>(count);
+  }
+  if (slots->size() != count)
+    malformed(path_, "section '" + section + "' has " +
+                         std::to_string(slots->size()) +
+                         " slots but the campaign needs " +
+                         std::to_string(count) +
+                         " (different library?)");
+  std::vector<std::optional<Verdict>> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Verdict v;
+    if (verdict_from_char((*slots)[i], v)) out[i] = v;
+  }
+  return out;
+}
+
+void CampaignCheckpoint::record(const std::string& section, std::size_t index,
+                                Verdict v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<char>* slots = find_locked(section);
+  if (slots == nullptr || index >= slots->size())
+    throw std::logic_error("CampaignCheckpoint::record: unknown slot " +
+                           section + "[" + std::to_string(index) + "]");
+  (*slots)[index] = to_char(v);
+  if (++dirty_ >= flush_every_) flush_locked();
+}
+
+void CampaignCheckpoint::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_locked();
+}
+
+std::size_t CampaignCheckpoint::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [name, slots] : sections_)
+    for (char c : slots) n += c != '.';
+  return n;
+}
+
+std::string CampaignCheckpoint::render_locked() const {
+  std::ostringstream os;
+  os << kMagic << '\n' << "key " << key_ << '\n';
+  for (const auto& [name, slots] : sections_) {
+    os << "section " << name << ' ' << slots.size() << '\n';
+    os.write(slots.data(), static_cast<std::streamsize>(slots.size()));
+    os << '\n';
+  }
+  return os.str();
+}
+
+void CampaignCheckpoint::flush_locked() {
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("checkpoint: cannot write " + tmp);
+    out << render_locked();
+    out.flush();
+    if (!out) throw std::runtime_error("checkpoint: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0)
+    throw std::runtime_error("checkpoint: cannot rename " + tmp + " to " +
+                             path_);
+  dirty_ = 0;
+}
+
+}  // namespace xtest::sim

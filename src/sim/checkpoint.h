@@ -1,0 +1,79 @@
+// Campaign checkpoint/resume.
+//
+// Long campaigns (the production target is millions of defect simulations)
+// must survive interruption: a killed run restarts from its last flushed
+// checkpoint instead of from zero, and -- because every verdict is a pure
+// function of (system config, program, bus, defect) -- the resumed run is
+// bitwise identical to an uninterrupted one at any thread count.
+//
+// The file is plain text, diffable, and written atomically (write the full
+// state to "<path>.tmp", then rename over <path>), so a crash mid-flush
+// leaves the previous consistent checkpoint in place:
+//
+//   xtest-checkpoint v1
+//   key <free-form campaign identity line>
+//   section <name> <count>
+//   <count verdict chars: U D T E, '.' = pending>
+//
+// Sections let one file cover a multi-session campaign (one section per
+// session program).  The key line guards against resuming with the wrong
+// library/bus/seed: a mismatch throws instead of silently mixing results.
+
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/verdict.h"
+
+namespace xtest::sim {
+
+class CampaignCheckpoint {
+ public:
+  /// Opens `path`: loads the existing checkpoint when the file exists
+  /// (throwing std::runtime_error on a malformed file or a key mismatch),
+  /// starts empty otherwise.  `flush_every` is the number of record()
+  /// calls between automatic atomic flushes.
+  CampaignCheckpoint(std::string path, std::string key,
+                     std::size_t flush_every = 32);
+
+  const std::string& path() const { return path_; }
+  const std::string& key() const { return key_; }
+
+  /// Returns the previously completed verdicts of `section` (nullopt =
+  /// still pending), registering the section at `count` slots if it is
+  /// new.  Throws if the stored section has a different slot count.
+  std::vector<std::optional<Verdict>> restore(const std::string& section,
+                                              std::size_t count);
+
+  /// Records one completed verdict.  Thread-safe; flushes the whole state
+  /// atomically every `flush_every` records.  The section must have been
+  /// registered via restore().
+  void record(const std::string& section, std::size_t index, Verdict v);
+
+  /// Atomic write-tmp-then-rename of the full state.  Thread-safe.
+  void flush();
+
+  /// Completed slots across all sections (for reporting).
+  std::size_t completed() const;
+
+ private:
+  void load(const std::string& text);
+  void flush_locked();
+  std::string render_locked() const;
+  std::vector<char>* find_locked(const std::string& section);
+
+  std::string path_;
+  std::string key_;
+  std::size_t flush_every_;
+  std::size_t dirty_ = 0;
+  mutable std::mutex mu_;
+  /// Insertion-ordered sections; slot chars as in the file format.
+  std::vector<std::pair<std::string, std::vector<char>>> sections_;
+};
+
+}  // namespace xtest::sim

@@ -1,5 +1,6 @@
 #include "sim/serialize.h"
 
+#include <cmath>
 #include <cstdio>
 #include <iomanip>
 #include <limits>
@@ -24,12 +25,28 @@ cpu::MemoryImage image_from_text(const std::string& text) {
   cpu::MemoryImage image;
   std::istringstream is(text);
   std::string line;
+  std::size_t lineno = 0;
   while (std::getline(is, line)) {
+    ++lineno;
     if (line.empty()) continue;
     unsigned addr = 0, byte = 0;
-    if (std::sscanf(line.c_str(), "0x%x: %x", &addr, &byte) != 2 ||
-        addr >= cpu::kMemWords || byte > 0xFF)
-      throw std::runtime_error("image_from_text: bad line '" + line + "'");
+    if (std::sscanf(line.c_str(), "0x%x: %x", &addr, &byte) != 2)
+      throw std::runtime_error("image_from_text: line " +
+                               std::to_string(lineno) + ": bad line '" +
+                               line + "'");
+    if (addr >= cpu::kMemWords) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf,
+                    "image_from_text: line %zu: address 0x%x outside the "
+                    "%u-bit address space",
+                    lineno, addr, cpu::kAddrBits);
+      throw std::runtime_error(buf);
+    }
+    if (byte > 0xFF)
+      throw std::runtime_error("image_from_text: line " +
+                               std::to_string(lineno) +
+                               ": byte value wider than 8 bits in '" + line +
+                               "'");
     image.set(static_cast<cpu::Addr>(addr),
               static_cast<std::uint8_t>(byte));
   }
@@ -73,21 +90,61 @@ LoadedLibrary library_from_csv(const std::string& csv) {
       throw std::runtime_error("library_from_csv: bad header");
     out.config.count = count;
   }
+  // An archived library that fails these is corrupt, not merely odd: a
+  // zero/one-wire bus has no coupling pairs, and non-finite calibration
+  // values poison every downstream comparison.
+  if (width < 2 || width > 64)
+    throw std::runtime_error("library_from_csv: header width " +
+                             std::to_string(width) +
+                             " outside the supported 2..64 line range");
+  if (!std::isfinite(out.config.sigma_pct) || out.config.sigma_pct < 0.0)
+    throw std::runtime_error(
+        "library_from_csv: header sigma_pct is negative or non-finite");
+  if (!std::isfinite(out.config.cth_fF) || out.config.cth_fF <= 0.0)
+    throw std::runtime_error(
+        "library_from_csv: header cth_fF must be finite and positive");
+
   const std::size_t npairs =
       static_cast<std::size_t>(width) * (width - 1) / 2;
+  std::size_t row = 1;  // header is row 1; defect rows start at 2
   while (std::getline(is, line)) {
+    ++row;
     if (line.empty()) continue;
     std::vector<double> factors;
     factors.reserve(npairs);
     std::istringstream ls(line);
     std::string cell;
-    while (std::getline(ls, cell, ',')) factors.push_back(std::stod(cell));
+    while (std::getline(ls, cell, ',')) {
+      double f = 0.0;
+      try {
+        std::size_t used = 0;
+        f = std::stod(cell, &used);
+        if (used != cell.size())
+          throw std::invalid_argument("trailing garbage");
+      } catch (const std::exception&) {
+        throw std::runtime_error("library_from_csv: row " +
+                                 std::to_string(row) + ": bad value '" +
+                                 cell + "'");
+      }
+      if (!std::isfinite(f) || f < 0.0)
+        throw std::runtime_error(
+            "library_from_csv: row " + std::to_string(row) + ": column " +
+            std::to_string(factors.size() + 1) +
+            ": coupling factor is NaN/inf/negative ('" + cell + "')");
+      factors.push_back(f);
+    }
     if (factors.size() != npairs)
-      throw std::runtime_error("library_from_csv: bad row width");
+      throw std::runtime_error(
+          "library_from_csv: row " + std::to_string(row) + ": " +
+          std::to_string(factors.size()) + " factors, expected " +
+          std::to_string(npairs) + " for width " + std::to_string(width));
     out.defects.emplace_back(width, std::move(factors));
   }
   if (out.defects.size() != count)
-    throw std::runtime_error("library_from_csv: row count mismatch");
+    throw std::runtime_error(
+        "library_from_csv: header promises " + std::to_string(count) +
+        " defects but " + std::to_string(out.defects.size()) +
+        " rows were read");
   return out;
 }
 

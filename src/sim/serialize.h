@@ -19,7 +19,8 @@ namespace xtest::sim {
 /// Image -> text ("0x010: 2f\n...").  Only defined bytes are emitted.
 std::string image_to_text(const cpu::MemoryImage& image);
 
-/// Text -> image.  Throws std::runtime_error on malformed input.
+/// Text -> image.  Throws std::runtime_error on malformed input, naming
+/// the offending line (out-of-range addresses and wide bytes included).
 cpu::MemoryImage image_from_text(const std::string& text);
 
 /// Library -> CSV ("width,sigma_pct,cth_fF,count,seed" header then one
@@ -28,6 +29,8 @@ std::string library_to_csv(const xtalk::DefectLibrary& library,
                            unsigned width);
 
 /// CSV -> defects (the config line is restored into the returned pair).
+/// Throws std::runtime_error naming the offending row for NaN/inf/negative
+/// coupling factors, wrong row widths, and corrupt headers.
 struct LoadedLibrary {
   xtalk::DefectConfig config;
   std::vector<xtalk::Defect> defects;

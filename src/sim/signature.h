@@ -12,6 +12,7 @@
 
 #include "cpu/cpu.h"
 #include "sbst/program.h"
+#include "sim/verdict.h"
 #include "soc/system.h"
 
 namespace xtest::sim {
@@ -37,5 +38,16 @@ struct ResponseSnapshot {
 ResponseSnapshot run_and_capture(soc::System& system,
                                  const sbst::TestProgram& program,
                                  std::uint64_t max_cycles);
+
+/// Tester-visible verdict for one faulty run against the gold run: a run
+/// that never signals completion is a timeout detection (the paper's
+/// control-derailment case), a completed run with differing response bytes
+/// is a plain detection, and a matching run is undetected.
+inline Verdict classify(const ResponseSnapshot& gold,
+                        const ResponseSnapshot& observed) {
+  if (observed.matches(gold)) return Verdict::kUndetected;
+  if (!observed.completed) return Verdict::kDetectedByTimeout;
+  return Verdict::kDetected;
+}
 
 }  // namespace xtest::sim

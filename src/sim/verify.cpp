@@ -11,12 +11,15 @@ VerificationResult verify_program(const sbst::TestProgram& program,
   result.gold = run_and_capture(system, program, 1'000'000);
   result.max_cycles = result.gold.cycles * cycle_factor + 1000;
 
+  result.verdicts.reserve(program.tests.size());
   for (std::size_t i = 0; i < program.tests.size(); ++i) {
     const sbst::PlannedTest& t = program.tests[i];
     system.set_forced_maf(soc::ForcedMaf{t.bus, t.fault});
     const ResponseSnapshot snap =
         run_and_capture(system, program, result.max_cycles);
-    if (snap.matches(result.gold)) result.ineffective.push_back(i);
+    const Verdict v = classify(result.gold, snap);
+    result.verdicts.push_back(v);
+    if (!is_detected(v)) result.ineffective.push_back(i);
     system.set_forced_maf(std::nullopt);
   }
   return result;

@@ -25,6 +25,11 @@ namespace xtest::sim {
 struct VerificationResult {
   ResponseSnapshot gold;
   std::uint64_t max_cycles = 0;
+  /// Per-test verdict of the forced-MAF run, parallel to program.tests:
+  /// kDetected when the fault showed up in a response cell, and
+  /// kDetectedByTimeout when it derailed control flow so the program never
+  /// reached HLT (the tester-timeout mechanism of the paper).
+  std::vector<Verdict> verdicts;
   /// Indices into program.tests whose forced fault was NOT observed.
   std::vector<std::size_t> ineffective;
 

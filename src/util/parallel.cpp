@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <iterator>
 #include <thread>
 
 namespace xtest::util {
@@ -74,16 +75,42 @@ void parallel_for_chunks(
     if (e) std::rethrow_exception(e);
 }
 
+std::vector<ItemError> parallel_for_items(
+    std::size_t count, const ParallelConfig& config,
+    const std::function<void(std::size_t, unsigned)>& body) {
+  std::vector<std::vector<ItemError>> per_worker(config.resolve(count));
+  parallel_for_chunks(
+      count, config, [&](std::size_t begin, std::size_t end, unsigned w) {
+        for (std::size_t i = begin; i < end; ++i) {
+          try {
+            body(i, w);
+          } catch (const std::exception& e) {
+            per_worker[w].push_back({i, e.what()});
+          } catch (...) {
+            per_worker[w].push_back({i, "unknown exception"});
+          }
+        }
+      });
+  std::vector<ItemError> errors;
+  for (std::vector<ItemError>& v : per_worker)
+    errors.insert(errors.end(), std::make_move_iterator(v.begin()),
+                  std::make_move_iterator(v.end()));
+  return errors;
+}
+
 std::string CampaignStats::json(const std::string& label) const {
-  char buf[256];
+  char buf[512];
   std::snprintf(
       buf, sizeof buf,
       "{\"campaign\":\"%s\",\"threads\":%u,\"defects\":%zu,"
       "\"simulated_cycles\":%llu,\"wall_seconds\":%.6f,"
-      "\"defects_per_second\":%.1f}",
+      "\"defects_per_second\":%.1f,\"detected\":%zu,"
+      "\"detected_by_timeout\":%zu,\"undetected\":%zu,\"sim_errors\":%zu,"
+      "\"retries\":%zu,\"restored_from_checkpoint\":%zu}",
       label.c_str(), threads, defects_simulated,
       static_cast<unsigned long long>(simulated_cycles), wall_seconds,
-      defects_per_second());
+      defects_per_second(), detected, detected_by_timeout, undetected,
+      sim_errors, retries, restored_from_checkpoint);
   return buf;
 }
 

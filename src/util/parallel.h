@@ -57,6 +57,24 @@ void parallel_for_chunks(
     std::size_t count, const ParallelConfig& config,
     const std::function<void(std::size_t, std::size_t, unsigned)>& body);
 
+/// One quarantined work item: the index whose body threw, plus the
+/// exception message.
+struct ItemError {
+  std::size_t index = 0;
+  std::string message;
+};
+
+/// Fault-contained variant of parallel_for_chunks: runs `body(i, worker)`
+/// for every i of the worker's chunk, and an exception thrown for item i
+/// is captured as an ItemError instead of killing the sweep -- the worker
+/// continues with i + 1 and every other item still runs.  Returned errors
+/// are in ascending index order (chunks are contiguous and ascending, so
+/// the order is identical for every thread count).  Non-std exceptions are
+/// recorded with a generic message.
+std::vector<ItemError> parallel_for_items(
+    std::size_t count, const ParallelConfig& config,
+    const std::function<void(std::size_t, unsigned)>& body);
+
 /// Aggregate statistics of one campaign, or a sum over sessions: the
 /// campaign functions *add* onto an existing object so multi-session and
 /// per-line sweeps accumulate naturally.
@@ -70,6 +88,21 @@ struct CampaignStats {
   double wall_seconds = 0.0;
   /// Resolved worker count of the most recent campaign call.
   unsigned threads = 0;
+
+  // Verdict breakdown (filled by campaigns that classify their results; a
+  // pure function of the campaign inputs, like simulated_cycles).
+  std::size_t detected = 0;
+  std::size_t detected_by_timeout = 0;
+  std::size_t undetected = 0;
+  /// Defects whose simulation threw (quarantined, never aborting the
+  /// campaign); the accompanying messages are appended to `error_log`.
+  std::size_t sim_errors = 0;
+  /// Serial retry attempts made for quarantined defects.
+  std::size_t retries = 0;
+  /// Verdicts restored from a checkpoint instead of being simulated.
+  std::size_t restored_from_checkpoint = 0;
+  /// One "defect <index>: <message>" line per quarantined simulation.
+  std::vector<std::string> error_log;
 
   double defects_per_second() const {
     return wall_seconds > 0.0

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace xtest::xtalk {
 
@@ -12,8 +14,18 @@ double recommended_cth(const RcNetwork& nominal, double ratio) {
 
 Defect::Defect(unsigned width, std::vector<double> factors)
     : width_(width), factors_(std::move(factors)) {
-  assert(factors_.size() ==
-         static_cast<std::size_t>(width_) * (width_ - 1) / 2);
+  const std::size_t expected =
+      static_cast<std::size_t>(width_) * (width_ - 1) / 2;
+  if (factors_.size() != expected)
+    throw std::invalid_argument(
+        "Defect: " + std::to_string(factors_.size()) + " factors for width " +
+        std::to_string(width_) + " (expected " + std::to_string(expected) +
+        ")");
+  for (std::size_t k = 0; k < factors_.size(); ++k)
+    if (!std::isfinite(factors_[k]) || factors_[k] < 0.0)
+      throw std::invalid_argument(
+          "Defect: factor " + std::to_string(k) +
+          " is negative or non-finite (" + std::to_string(factors_[k]) + ")");
 }
 
 std::size_t Defect::tri_index(unsigned i, unsigned j) const {
@@ -30,7 +42,10 @@ double Defect::factor(unsigned i, unsigned j) const {
 }
 
 RcNetwork Defect::apply(const RcNetwork& nominal) const {
-  assert(nominal.width() == width_);
+  if (nominal.width() != width_)
+    throw std::invalid_argument(
+        "Defect::apply: defect width " + std::to_string(width_) +
+        " does not match bus width " + std::to_string(nominal.width()));
   RcNetwork net = nominal;
   for (unsigned i = 0; i < width_; ++i)
     for (unsigned j = i + 1; j < width_; ++j)
@@ -73,6 +88,14 @@ DefectLibrary DefectLibrary::generate(const RcNetwork& nominal,
       defects.push_back(std::move(candidate));
   }
   return DefectLibrary(config, std::move(defects), attempts);
+}
+
+DefectLibrary DefectLibrary::from_defects(const DefectConfig& config,
+                                          std::vector<Defect> defects) {
+  DefectConfig c = config;
+  c.count = defects.size();
+  const std::size_t attempts = defects.size();
+  return DefectLibrary(c, std::move(defects), attempts);
 }
 
 std::vector<std::size_t> DefectLibrary::defective_wire_histogram(

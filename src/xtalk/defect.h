@@ -42,13 +42,17 @@ double recommended_cth(const RcNetwork& nominal, double ratio = 1.6);
 /// pair (i < j), row-major in the upper triangle.
 class Defect {
  public:
+  /// Throws std::invalid_argument when the factor count does not match the
+  /// width or any factor is negative or non-finite (defects loaded from
+  /// archived CSVs must fail loudly, not poison a campaign).
   Defect(unsigned width, std::vector<double> factors);
 
   unsigned width() const { return width_; }
 
   double factor(unsigned i, unsigned j) const;
 
-  /// The nominal network with this defect's perturbation applied.
+  /// The nominal network with this defect's perturbation applied.  Throws
+  /// std::invalid_argument on a width mismatch.
   RcNetwork apply(const RcNetwork& nominal) const;
 
   /// Wires whose net coupling exceeds `cth_fF` under this defect.
@@ -69,6 +73,12 @@ class DefectLibrary {
   /// if `max_attempts` candidates do not yield enough defects.
   static DefectLibrary generate(const RcNetwork& nominal,
                                 const DefectConfig& config);
+
+  /// Wraps an explicit defect list (e.g. reloaded from CSV) as a library.
+  /// The defects are taken as-is; a width that does not match the target
+  /// bus surfaces at apply() time, where the campaign quarantines it.
+  static DefectLibrary from_defects(const DefectConfig& config,
+                                    std::vector<Defect> defects);
 
   const std::vector<Defect>& defects() const { return defects_; }
   std::size_t size() const { return defects_.size(); }

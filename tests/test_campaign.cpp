@@ -102,13 +102,18 @@ TEST(Campaign, SingleSessionWeakerThanUnion) {
   const auto all =
       run_detection_sessions(cfg, sessions, soc::BusKind::kAddress, lib);
   for (std::size_t i = 0; i < lib.size(); ++i)
-    EXPECT_LE(single[i], all[i]);
+    EXPECT_LE(is_detected(single[i]), is_detected(all[i])) << i;
 }
 
 TEST(Campaign, CoverageHelper) {
-  EXPECT_DOUBLE_EQ(coverage({}), 0.0);
-  EXPECT_DOUBLE_EQ(coverage({true, false, true, false}), 0.5);
-  EXPECT_DOUBLE_EQ(coverage({true}), 1.0);
+  EXPECT_DOUBLE_EQ(coverage(std::vector<Verdict>{}), 0.0);
+  EXPECT_DOUBLE_EQ(coverage({Verdict::kDetected, Verdict::kUndetected,
+                             Verdict::kDetectedByTimeout,
+                             Verdict::kSimError}),
+                   0.5);
+  EXPECT_DOUBLE_EQ(coverage({Verdict::kDetected}), 1.0);
+  // Legacy flat-bool overload still answers the same question.
+  EXPECT_DOUBLE_EQ(coverage(std::vector<bool>{true, false}), 0.5);
 }
 
 TEST(Campaign, MaskingAwareWholeProgramStillDetects) {
@@ -123,7 +128,7 @@ TEST(Campaign, MaskingAwareWholeProgramStillDetects) {
       sbst::TestProgramGenerator::generate_sessions(sbst::GeneratorConfig{});
   const auto det =
       run_detection_sessions(cfg, sessions, soc::BusKind::kAddress, lib);
-  for (bool d : det) EXPECT_TRUE(d);
+  for (const Verdict v : det) EXPECT_TRUE(is_detected(v)) << to_string(v);
 }
 
 }  // namespace

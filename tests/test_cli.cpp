@@ -118,12 +118,49 @@ TEST(Cli, CampaignThreadsFlagKeepsCoverageIdentical) {
 }
 
 TEST(Cli, ErrorsAreReported) {
-  EXPECT_EQ(run_cli({"assemble", "/nonexistent.s"}).code, 1);
-  EXPECT_EQ(run_cli({"run", "/nonexistent.img", "--entry", "0"}).code, 1);
-  EXPECT_EQ(run_cli({"campaign", "--bus", "bogus"}).code, 1);
+  // I/O failures and usage mistakes get distinct exit codes.
+  EXPECT_EQ(run_cli({"assemble", "/nonexistent.s"}).code, kExitIo);
+  EXPECT_EQ(run_cli({"run", "/nonexistent.img", "--entry", "0"}).code,
+            kExitIo);
+  EXPECT_EQ(run_cli({"campaign", "--bus", "bogus"}).code, kExitUsage);
+  EXPECT_EQ(run_cli({"campaign", "--defects", "lots"}).code, kExitUsage);
+  EXPECT_EQ(run_cli({"run", "x.img"}).code, kExitUsage);  // missing --entry
   const CliRun r = run_cli({"run"});
-  EXPECT_EQ(r.code, 1);
+  EXPECT_EQ(r.code, kExitUsage);
   EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+TEST(Cli, CorruptImageIsSimulationError) {
+  const std::string img = temp_path("corrupt.img");
+  {
+    std::ofstream f(img);
+    f << "0x010: zz\n";
+  }
+  const CliRun r = run_cli({"run", img, "--entry", "0x010"});
+  EXPECT_EQ(r.code, kExitSim);
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
+  EXPECT_NE(r.err.find("line 1"), std::string::npos);
+}
+
+TEST(Cli, CampaignCheckpointResumesAndReportsRestored) {
+  const std::string ckpt = temp_path("cli_campaign.ckpt");
+  std::remove(ckpt.c_str());
+  const std::vector<std::string> args = {"campaign",  "--bus",
+                                         "data",      "--defects",
+                                         "12",        "--seed",
+                                         "7",         "--checkpoint",
+                                         ckpt};
+  const CliRun first = run_cli(args);
+  ASSERT_EQ(first.code, 0) << first.err;
+  EXPECT_NE(first.out.find("restored=0\n"), std::string::npos);
+
+  // Second invocation finds every verdict already on disk.
+  const CliRun second = run_cli(args);
+  ASSERT_EQ(second.code, 0) << second.err;
+  EXPECT_EQ(second.out.find("restored=0\n"), std::string::npos);
+  EXPECT_EQ(first.out.substr(0, first.out.find('\n')),
+            second.out.substr(0, second.out.find('\n')));
+  std::remove(ckpt.c_str());
 }
 
 }  // namespace

@@ -67,7 +67,7 @@ TEST(HardwareBist, LibraryCoverageIsComplete) {
   const HardwareBist bist(12, false);
   const auto det = bist.run_library(sys.nominal_address_network(),
                                     sys.address_model(), lib);
-  for (bool d : det) EXPECT_TRUE(d);
+  for (const sim::Verdict v : det) EXPECT_EQ(v, sim::Verdict::kDetected);
 }
 
 TEST(HardwareBist, PatternFailsIdentifiesVictim) {

@@ -142,6 +142,55 @@ TEST(ParallelFor, AllWorkersThrowingStillJoinsAndRethrows) {
 }
 
 // ---------------------------------------------------------------------------
+// Per-item fault containment.
+
+TEST(ParallelForItems, ExceptionQuarantinesOnlyTheOffendingItem) {
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    std::vector<int> visits(64, 0);
+    const auto errors =
+        parallel_for_items(64, {threads}, [&](std::size_t i, unsigned) {
+          if (i == 11) throw std::runtime_error("defect 11 exploded");
+          ++visits[i];
+        });
+    ASSERT_EQ(errors.size(), 1u) << "threads=" << threads;
+    EXPECT_EQ(errors[0].index, 11u);
+    EXPECT_EQ(errors[0].message, "defect 11 exploded");
+    for (std::size_t i = 0; i < visits.size(); ++i)
+      EXPECT_EQ(visits[i], i == 11 ? 0 : 1) << i;
+  }
+}
+
+TEST(ParallelForItems, ErrorsComeBackInAscendingIndexOrder) {
+  for (unsigned threads : {1u, 3u, 8u}) {
+    const auto errors =
+        parallel_for_items(100, {threads}, [&](std::size_t i, unsigned) {
+          if (i % 7 == 0) throw std::runtime_error("boom");
+        });
+    ASSERT_EQ(errors.size(), 15u);
+    for (std::size_t k = 1; k < errors.size(); ++k)
+      EXPECT_LT(errors[k - 1].index, errors[k].index);
+  }
+}
+
+TEST(ParallelForItems, NonStdExceptionIsCapturedToo) {
+  const auto errors =
+      parallel_for_items(4, {2}, [&](std::size_t i, unsigned) {
+        if (i == 2) throw 42;  // not derived from std::exception
+      });
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].index, 2u);
+  EXPECT_FALSE(errors[0].message.empty());
+}
+
+TEST(ParallelForItems, CleanRunReturnsNoErrors) {
+  std::vector<int> visits(37, 0);
+  const auto errors = parallel_for_items(
+      37, {4}, [&](std::size_t i, unsigned) { ++visits[i]; });
+  EXPECT_TRUE(errors.empty());
+  for (int v : visits) EXPECT_EQ(v, 1);
+}
+
+// ---------------------------------------------------------------------------
 // Configuration resolution.
 
 TEST(ParallelConfigTest, ExplicitThreadsWinAndClampToItems) {
@@ -182,12 +231,18 @@ TEST(CampaignStatsTest, ThroughputAndJson) {
   s.wall_seconds = 2.0;
   s.threads = 4;
   EXPECT_DOUBLE_EQ(s.defects_per_second(), 250.0);
+  s.detected = 490;
+  s.sim_errors = 2;
+  s.retries = 1;
   const std::string j = s.json("unit");
   EXPECT_NE(j.find("\"campaign\":\"unit\""), std::string::npos);
   EXPECT_NE(j.find("\"threads\":4"), std::string::npos);
   EXPECT_NE(j.find("\"defects\":500"), std::string::npos);
   EXPECT_NE(j.find("\"simulated_cycles\":123456"), std::string::npos);
   EXPECT_NE(j.find("\"defects_per_second\":250.0"), std::string::npos);
+  EXPECT_NE(j.find("\"detected\":490"), std::string::npos);
+  EXPECT_NE(j.find("\"sim_errors\":2"), std::string::npos);
+  EXPECT_NE(j.find("\"retries\":1"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,310 @@
+// Campaign resilience: verdict taxonomy, defect quarantine, and
+// checkpoint/resume equivalence.
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/campaign.h"
+#include "sim/checkpoint.h"
+#include "sim/signature.h"
+#include "sim/verdict.h"
+
+namespace xtest::sim {
+namespace {
+
+constexpr std::uint64_t kSeed = 20010618;
+
+std::string temp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// ---------------------------------------------------------------------------
+// Verdict taxonomy.
+
+TEST(Verdicts, ClassifyCoversAllThreeTesterOutcomes) {
+  ResponseSnapshot gold;
+  gold.completed = true;
+  gold.values = {0x42, 0x17};
+
+  ResponseSnapshot same = gold;
+  EXPECT_EQ(classify(gold, same), Verdict::kUndetected);
+
+  ResponseSnapshot mismatch = gold;
+  mismatch.values[1] = 0x18;
+  EXPECT_EQ(classify(gold, mismatch), Verdict::kDetected);
+
+  // Never reached HLT: the tester times out -- even if the response cells
+  // happen to hold the expected values.
+  ResponseSnapshot hung = gold;
+  hung.completed = false;
+  EXPECT_EQ(classify(gold, hung), Verdict::kDetectedByTimeout);
+}
+
+TEST(Verdicts, CharCodesRoundTrip) {
+  for (const Verdict v : {Verdict::kUndetected, Verdict::kDetected,
+                          Verdict::kDetectedByTimeout, Verdict::kSimError}) {
+    Verdict back = Verdict::kUndetected;
+    ASSERT_TRUE(verdict_from_char(to_char(v), back));
+    EXPECT_EQ(back, v);
+  }
+  Verdict unused;
+  EXPECT_FALSE(verdict_from_char('x', unused));
+  EXPECT_FALSE(verdict_from_char('.', unused));
+}
+
+TEST(Verdicts, MergePrefersStrongerEvidence) {
+  using V = Verdict;
+  EXPECT_EQ(merge_verdicts(V::kUndetected, V::kDetected), V::kDetected);
+  EXPECT_EQ(merge_verdicts(V::kDetected, V::kDetectedByTimeout),
+            V::kDetected);
+  EXPECT_EQ(merge_verdicts(V::kUndetected, V::kDetectedByTimeout),
+            V::kDetectedByTimeout);
+  // A failed simulation must not be laundered into a clean pass.
+  EXPECT_EQ(merge_verdicts(V::kSimError, V::kUndetected), V::kSimError);
+  EXPECT_EQ(merge_verdicts(V::kSimError, V::kDetected), V::kDetected);
+}
+
+TEST(Verdicts, SimErrorIsNotCountedAsCoverage) {
+  EXPECT_FALSE(is_detected(Verdict::kSimError));
+  EXPECT_FALSE(is_detected(Verdict::kUndetected));
+  EXPECT_TRUE(is_detected(Verdict::kDetected));
+  EXPECT_TRUE(is_detected(Verdict::kDetectedByTimeout));
+}
+
+// ---------------------------------------------------------------------------
+// Control-flow derailment is a timeout detection.
+
+TEST(Resilience, DerailedJumpClassifiesAsDetectedByTimeout) {
+  // A two-instruction program: JMP to a HLT.  The JMP's byte-2 fetch at v1
+  // followed by the target fetch at v2 is exactly the MA test of a rising
+  // delay on address line 5, so forcing that MAF corrupts the target
+  // address: the victim bit stays low and the fetch lands at 0x000 in
+  // undefined memory.  Undefined bytes read 0x00 = LDA, so the derailed
+  // core executes an endless load sled and never reaches HLT -- the tester
+  // sees a timeout, not a response mismatch.
+  const xtalk::MafFault fault{5, xtalk::MafType::kRisingDelay,
+                              xtalk::BusDirection::kCpuToCore};
+  const xtalk::VectorPair pair = ma_test(cpu::kAddrBits, fault);
+  const auto v1 = static_cast<cpu::Addr>(pair.v1.bits());
+  const auto v2 = static_cast<cpu::Addr>(pair.v2.bits());
+
+  sbst::TestProgram prog;
+  prog.entry = static_cast<cpu::Addr>(v1 - 1);
+  const auto jmp = cpu::encode_memref(cpu::Opcode::kJmp, v2);
+  prog.image.set(prog.entry, jmp[0]);
+  prog.image.set(v1, jmp[1]);
+  prog.image.set(v2, cpu::encode_single(cpu::SingleOp::kHlt));
+  prog.image.set(0x080, 0x42);
+  prog.response_cells = {0x080};
+
+  soc::System sys;
+  const ResponseSnapshot gold = run_and_capture(sys, prog, 10'000);
+  ASSERT_TRUE(gold.completed);
+  ASSERT_EQ(gold.reason, cpu::HaltReason::kHltInstruction);
+
+  sys.set_forced_maf(soc::ForcedMaf{soc::BusKind::kAddress, fault});
+  const ResponseSnapshot hung =
+      run_and_capture(sys, prog, gold.cycles * 16 + 1000);
+  EXPECT_FALSE(hung.completed);
+  EXPECT_EQ(hung.reason, cpu::HaltReason::kRunning);
+  EXPECT_EQ(classify(gold, hung), Verdict::kDetectedByTimeout);
+}
+
+// ---------------------------------------------------------------------------
+// Fault containment: a throwing defect is quarantined, not fatal.
+
+xtalk::DefectLibrary poisoned_library(const xtalk::DefectLibrary& clean,
+                                      std::size_t bad_index) {
+  // A defect of the wrong bus width: constructible (4 wires, 6 factors),
+  // but apply() on the 12-wire address bus throws -- deterministically, on
+  // the first attempt and on the retry.
+  std::vector<xtalk::Defect> defects = clean.defects();
+  defects[bad_index] =
+      xtalk::Defect(4, std::vector<double>(6, 1.0));
+  return xtalk::DefectLibrary::from_defects(clean.config(), defects);
+}
+
+TEST(Resilience, ThrowingDefectIsQuarantinedAsSimError) {
+  const soc::SystemConfig cfg;
+  const auto clean_lib =
+      make_defect_library(cfg, soc::BusKind::kAddress, 12, kSeed);
+  const auto prog =
+      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+  const std::vector<Verdict> clean =
+      run_detection(cfg, prog.program, soc::BusKind::kAddress, clean_lib);
+
+  constexpr std::size_t kBad = 5;
+  const auto lib = poisoned_library(clean_lib, kBad);
+
+  for (const unsigned threads : {1u, 4u}) {
+    util::CampaignStats stats;
+    CampaignOptions options;
+    options.parallel = {threads};
+    options.stats = &stats;
+    const std::vector<Verdict> det =
+        run_detection(cfg, prog.program, soc::BusKind::kAddress, lib,
+                      options);
+
+    // The campaign completed with exactly one quarantined defect; every
+    // other verdict is untouched by its neighbour's failure.
+    ASSERT_EQ(det.size(), lib.size());
+    EXPECT_EQ(count_verdicts(det).sim_errors, 1u) << "threads=" << threads;
+    EXPECT_EQ(det[kBad], Verdict::kSimError);
+    for (std::size_t i = 0; i < det.size(); ++i)
+      if (i != kBad) EXPECT_EQ(det[i], clean[i]) << i;
+
+    EXPECT_EQ(stats.retries, 1u);     // retried once, serially
+    EXPECT_EQ(stats.sim_errors, 1u);  // ...and still failed
+    ASSERT_EQ(stats.error_log.size(), 1u);
+    EXPECT_NE(stats.error_log[0].find("defect 5"), std::string::npos)
+        << stats.error_log[0];
+  }
+}
+
+TEST(Resilience, NoRetrySkipsTheSecondAttempt) {
+  const soc::SystemConfig cfg;
+  const auto clean_lib =
+      make_defect_library(cfg, soc::BusKind::kAddress, 8, kSeed);
+  const auto lib = poisoned_library(clean_lib, 2);
+  const auto prog =
+      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+
+  util::CampaignStats stats;
+  CampaignOptions options;
+  options.stats = &stats;
+  options.retry_errors = false;
+  const std::vector<Verdict> det =
+      run_detection(cfg, prog.program, soc::BusKind::kAddress, lib, options);
+  EXPECT_EQ(det[2], Verdict::kSimError);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.error_log.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/resume.
+
+TEST(Checkpoint, RecordsRestoreAndSurviveReopen) {
+  const std::string path = temp_path("ckpt_roundtrip");
+  std::remove(path.c_str());
+  {
+    CampaignCheckpoint ck(path, "unit-test-key", /*flush_every=*/2);
+    auto slots = ck.restore("campaign", 4);
+    ASSERT_EQ(slots.size(), 4u);
+    for (const auto& s : slots) EXPECT_FALSE(s.has_value());
+    ck.record("campaign", 1, Verdict::kDetected);
+    ck.record("campaign", 3, Verdict::kDetectedByTimeout);
+    ck.flush();
+    EXPECT_EQ(ck.completed(), 2u);
+  }
+  {
+    CampaignCheckpoint ck(path, "unit-test-key");
+    const auto slots = ck.restore("campaign", 4);
+    EXPECT_FALSE(slots[0].has_value());
+    EXPECT_EQ(slots[1], Verdict::kDetected);
+    EXPECT_FALSE(slots[2].has_value());
+    EXPECT_EQ(slots[3], Verdict::kDetectedByTimeout);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsKeyMismatchAndGarbage) {
+  const std::string path = temp_path("ckpt_mismatch");
+  std::remove(path.c_str());
+  {
+    CampaignCheckpoint ck(path, "bus=addr count=10 seed=1");
+    ck.restore("campaign", 10);
+    ck.flush();
+  }
+  EXPECT_THROW(CampaignCheckpoint(path, "bus=data count=10 seed=1"),
+               std::runtime_error);
+  {
+    std::ofstream f(path);
+    f << "not a checkpoint at all\n";
+  }
+  EXPECT_THROW(CampaignCheckpoint(path, "bus=addr count=10 seed=1"),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Resilience, ResumedCampaignIsBitwiseIdenticalToUninterrupted) {
+  // Simulate a campaign killed halfway: the checkpoint holds the first
+  // half of the verdicts, then a fresh run resumes from the file.  The
+  // resumed verdict vector must be bitwise identical to an uninterrupted
+  // run -- for every bus and at every thread count.
+  const soc::SystemConfig cfg;
+  const auto prog =
+      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+
+  for (const soc::BusKind bus : {soc::BusKind::kAddress, soc::BusKind::kData,
+                                 soc::BusKind::kControl}) {
+    const auto lib = make_defect_library(cfg, bus, 10, kSeed);
+    const std::vector<Verdict> uninterrupted =
+        run_detection(cfg, prog.program, bus, lib);
+
+    for (const unsigned threads : {1u, 4u}) {
+      const std::string path =
+          temp_path("ckpt_resume_" + soc::to_string(bus) + "_" +
+                    std::to_string(threads));
+      std::remove(path.c_str());
+      {
+        CampaignCheckpoint half(path, default_checkpoint_key(bus, lib));
+        half.restore("campaign", lib.size());
+        for (std::size_t i = 0; i < lib.size() / 2; ++i)
+          half.record("campaign", i, uninterrupted[i]);
+        half.flush();
+      }
+
+      util::CampaignStats stats;
+      CampaignOptions options;
+      options.parallel = {threads};
+      options.stats = &stats;
+      options.checkpoint_path = path;
+      const std::vector<Verdict> resumed =
+          run_detection(cfg, prog.program, bus, lib, options);
+
+      EXPECT_EQ(resumed, uninterrupted)
+          << soc::to_string(bus) << " threads=" << threads;
+      EXPECT_EQ(stats.restored_from_checkpoint, lib.size() / 2);
+      EXPECT_EQ(stats.defects_simulated, lib.size() - lib.size() / 2);
+
+      // The finished checkpoint restores every slot.
+      CampaignCheckpoint done(path, default_checkpoint_key(bus, lib));
+      const auto slots = done.restore("campaign", lib.size());
+      for (std::size_t i = 0; i < lib.size(); ++i)
+        EXPECT_EQ(slots[i], uninterrupted[i]) << i;
+      std::remove(path.c_str());
+    }
+  }
+}
+
+TEST(Resilience, SessionCampaignResumesWithPerSessionSections) {
+  const soc::SystemConfig cfg;
+  const auto lib = make_defect_library(cfg, soc::BusKind::kData, 8, kSeed);
+  const auto sessions =
+      sbst::TestProgramGenerator::generate_sessions(sbst::GeneratorConfig{});
+  const std::vector<Verdict> uninterrupted =
+      run_detection_sessions(cfg, sessions, soc::BusKind::kData, lib);
+
+  const std::string path = temp_path("ckpt_sessions");
+  std::remove(path.c_str());
+  for (const unsigned threads : {1u, 4u}) {
+    util::CampaignStats stats;
+    CampaignOptions options;
+    options.parallel = {threads};
+    options.stats = &stats;
+    options.checkpoint_path = path;
+    const std::vector<Verdict> det = run_detection_sessions(
+        cfg, sessions, soc::BusKind::kData, lib, options);
+    EXPECT_EQ(det, uninterrupted) << "threads=" << threads;
+  }
+  // The second loop iteration restored every session section of the first.
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace xtest::sim

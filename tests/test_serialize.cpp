@@ -77,5 +77,56 @@ TEST(Serialize, LibraryRejectsMalformedCsv) {
                std::runtime_error);
 }
 
+std::string tiny_csv(const std::string& cell) {
+  // width 2 -> exactly one coupling pair per row.
+  return "2,50,700,2,1\n1.0\n" + cell + "\n";
+}
+
+TEST(Serialize, LibraryRejectsNonFiniteAndNegativeFactors) {
+  for (const char* bad : {"nan", "inf", "-inf", "-1.0"}) {
+    try {
+      library_from_csv(tiny_csv(bad));
+      FAIL() << "accepted factor '" << bad << "'";
+    } catch (const std::runtime_error& e) {
+      // The message must name the offending row (row 3: second defect).
+      EXPECT_NE(std::string(e.what()).find("row 3"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(Serialize, LibraryRejectsUnparsableCellNamingRow) {
+  try {
+    library_from_csv(tiny_csv("0.5x"));
+    FAIL() << "accepted trailing garbage";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("row 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("0.5x"), std::string::npos);
+  }
+}
+
+TEST(Serialize, LibraryRejectsRowCountMismatch) {
+  EXPECT_THROW(library_from_csv("2,50,700,3\n1.0\n1.0\n"),
+               std::runtime_error);  // corrupt header (missing seed)
+  EXPECT_THROW(library_from_csv("2,50,700,3,1\n1.0\n1.0\n"),
+               std::runtime_error);  // promises 3 rows, has 2
+}
+
+TEST(Serialize, LibraryRejectsCorruptHeaderCalibration) {
+  EXPECT_THROW(library_from_csv("1,50,700,0,1\n"), std::runtime_error);
+  EXPECT_THROW(library_from_csv("2,nan,700,0,1\n"), std::runtime_error);
+  EXPECT_THROW(library_from_csv("2,50,-700,0,1\n"), std::runtime_error);
+  EXPECT_THROW(library_from_csv("2,50,0,0,1\n"), std::runtime_error);
+}
+
+TEST(Serialize, ImageErrorsNameTheLine) {
+  try {
+    image_from_text("0x010: 2f\n0x1000: 00\n");
+    FAIL() << "accepted out-of-range address";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace xtest::sim

@@ -48,7 +48,7 @@ Parsed parse(const std::vector<std::string>& args) {
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open " + path);
+  if (!in) throw IoError("cannot open " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
@@ -56,7 +56,7 @@ std::string read_file(const std::string& path) {
 
 void write_file(const std::string& path, const std::string& content) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write " + path);
+  if (!out) throw IoError("cannot write " + path);
   out << content;
 }
 
@@ -67,15 +67,28 @@ int usage(std::ostream& err) {
          "  xtest disasm FILE.img\n"
          "  xtest run FILE.img --entry ADDR [--trace] [--max-cycles N]\n"
          "  xtest campaign [--bus addr|data|ctrl] [--defects N] [--seed S]\n"
-         "                 [--threads T]   (0 = auto / $XTEST_THREADS)\n";
-  return 2;
+         "                 [--threads T]   (0 = auto / $XTEST_THREADS)\n"
+         "                 [--checkpoint FILE] [--no-retry]\n"
+         "exit codes: 0 ok, 2 usage, 3 I/O, 4 simulation\n";
+  return kExitUsage;
 }
 
 soc::BusKind parse_bus(const std::string& name) {
   if (name == "addr" || name == "address") return soc::BusKind::kAddress;
   if (name == "data") return soc::BusKind::kData;
   if (name == "ctrl" || name == "control") return soc::BusKind::kControl;
-  throw std::runtime_error("unknown bus '" + name + "'");
+  throw UsageError("unknown bus '" + name + "'");
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(value, &used, 0);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw UsageError("--" + flag + ": not a number: '" + value + "'");
+  }
 }
 
 int cmd_generate(const Parsed& p, std::ostream& out) {
@@ -111,7 +124,7 @@ int cmd_generate(const Parsed& p, std::ostream& out) {
 
 int cmd_assemble(const Parsed& p, std::ostream& out) {
   if (p.positional.empty())
-    throw std::runtime_error("assemble: missing source file");
+    throw UsageError("assemble: missing source file");
   const cpu::AsmResult r = cpu::assemble(read_file(p.positional[0]));
   const std::string text = sim::image_to_text(r.image);
   if (p.options.count("out")) {
@@ -128,7 +141,7 @@ int cmd_assemble(const Parsed& p, std::ostream& out) {
 
 int cmd_disasm(const Parsed& p, std::ostream& out) {
   if (p.positional.empty())
-    throw std::runtime_error("disasm: missing image file");
+    throw UsageError("disasm: missing image file");
   const cpu::MemoryImage img =
       sim::image_from_text(read_file(p.positional[0]));
   out << cpu::disassemble_image(img);
@@ -137,16 +150,16 @@ int cmd_disasm(const Parsed& p, std::ostream& out) {
 
 int cmd_run(const Parsed& p, std::ostream& out) {
   if (p.positional.empty())
-    throw std::runtime_error("run: missing image file");
+    throw UsageError("run: missing image file");
   if (!p.options.count("entry"))
-    throw std::runtime_error("run: --entry required");
+    throw UsageError("run: --entry required");
   const cpu::MemoryImage img =
       sim::image_from_text(read_file(p.positional[0]));
-  const auto entry = static_cast<cpu::Addr>(
-      std::stoul(p.options.at("entry"), nullptr, 0));
+  const auto entry =
+      static_cast<cpu::Addr>(parse_u64("entry", p.options.at("entry")));
   const std::uint64_t max_cycles =
       p.options.count("max-cycles")
-          ? std::stoull(p.options.at("max-cycles"))
+          ? parse_u64("max-cycles", p.options.at("max-cycles"))
           : 1'000'000;
 
   soc::System sys;
@@ -173,41 +186,61 @@ int cmd_run(const Parsed& p, std::ostream& out) {
   return 0;
 }
 
-int cmd_campaign(const Parsed& p, std::ostream& out) {
+int cmd_campaign(const Parsed& p, std::ostream& out, std::ostream& err) {
   const soc::BusKind bus = parse_bus(
       p.options.count("bus") ? p.options.at("bus") : "addr");
   const std::size_t defects =
       p.options.count("defects")
-          ? static_cast<std::size_t>(std::stoull(p.options.at("defects")))
+          ? static_cast<std::size_t>(
+                parse_u64("defects", p.options.at("defects")))
           : 200;
   const std::uint64_t seed =
-      p.options.count("seed") ? std::stoull(p.options.at("seed"))
+      p.options.count("seed") ? parse_u64("seed", p.options.at("seed"))
                               : 20010618ull;
   util::ParallelConfig par = util::ParallelConfig::from_env();
   if (p.options.count("threads"))
-    par.threads =
-        static_cast<unsigned>(std::stoul(p.options.at("threads")));
+    par.threads = static_cast<unsigned>(
+        parse_u64("threads", p.options.at("threads")));
 
   const soc::SystemConfig cfg;
   const auto lib = sim::make_defect_library(cfg, bus, defects, seed);
   const auto sessions =
       sbst::TestProgramGenerator::generate_sessions(sbst::GeneratorConfig{});
   util::CampaignStats stats;
-  const auto det =
-      sim::run_detection_sessions(cfg, sessions, bus, lib, 16, par, &stats);
-  char buf[256];
+
+  sim::CampaignOptions opts;
+  opts.parallel = par;
+  opts.stats = &stats;
+  opts.retry_errors = !p.options.count("no-retry");
+  if (p.options.count("checkpoint")) {
+    opts.checkpoint_path = p.options.at("checkpoint");
+    if (opts.checkpoint_path.empty())
+      throw UsageError("--checkpoint: missing file name");
+    opts.checkpoint_key = sim::default_checkpoint_key(bus, lib);
+  }
+  const std::vector<sim::Verdict> det =
+      sim::run_detection_sessions(cfg, sessions, bus, lib, opts);
+
+  const sim::VerdictCounts vc = sim::count_verdicts(det);
+  char buf[512];
   std::snprintf(buf, sizeof buf,
                 "bus=%s defects=%zu coverage=%.1f%% (seed %llu)\n"
+                "detected=%zu timeout=%zu undetected=%zu sim_errors=%zu "
+                "retries=%zu restored=%zu\n"
                 "threads=%u simulations=%zu cycles=%llu wall=%.3fs "
                 "defects/sec=%.0f\n",
                 soc::to_string(bus).c_str(), lib.size(),
                 100.0 * sim::coverage(det),
-                static_cast<unsigned long long>(seed), stats.threads,
+                static_cast<unsigned long long>(seed), vc.detected,
+                vc.detected_by_timeout, vc.undetected, vc.sim_errors,
+                stats.retries, stats.restored_from_checkpoint, stats.threads,
                 stats.defects_simulated,
                 static_cast<unsigned long long>(stats.simulated_cycles),
                 stats.wall_seconds, stats.defects_per_second());
   out << buf;
-  return 0;
+  for (const std::string& e : stats.error_log)
+    err << "warning: " << e << '\n';
+  return kExitOk;
 }
 
 }  // namespace
@@ -220,11 +253,20 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (p.command == "assemble") return cmd_assemble(p, out);
     if (p.command == "disasm") return cmd_disasm(p, out);
     if (p.command == "run") return cmd_run(p, out);
-    if (p.command == "campaign") return cmd_campaign(p, out);
+    if (p.command == "campaign") return cmd_campaign(p, out, err);
     return usage(err);
+  } catch (const UsageError& e) {
+    err << "error: " << e.what() << '\n';
+    return kExitUsage;
+  } catch (const IoError& e) {
+    err << "error: " << e.what() << '\n';
+    return kExitIo;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << '\n';
-    return 1;
+    return kExitSim;
+  } catch (...) {
+    err << "error: unknown failure\n";
+    return kExitSim;
   }
 }
 

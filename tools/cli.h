@@ -7,6 +7,7 @@
 //   xtest disasm FILE.img                         list an image
 //   xtest run FILE.img --entry ADDR [--trace]     execute on the system
 //   xtest campaign [--bus addr|data|ctrl] [--defects N] [--seed S]
+//                  [--threads T] [--checkpoint FILE] [--no-retry]
 //                                                 defect-coverage campaign
 //
 // Images use the text format of sim/serialize.h.
@@ -14,13 +15,35 @@
 #pragma once
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace xtest::cli {
 
+/// Exit codes: every failure mode has its own code so scripts and CI can
+/// distinguish a typo from a broken file from a failed simulation.
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitUsage = 2;  // bad command line
+inline constexpr int kExitIo = 3;     // cannot read/write a file
+inline constexpr int kExitSim = 4;    // simulation/campaign failure
+
+/// Bad command line: unknown flag value, missing operand, unparsable
+/// number.  Mapped to kExitUsage at the run() boundary.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Filesystem failure: unreadable input, unwritable output.  Mapped to
+/// kExitIo at the run() boundary.
+struct IoError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 /// Runs one command; writes human output to `out`, errors to `err`.
-/// Returns a process exit code.
+/// Returns a process exit code.  Never lets an exception escape: every
+/// failure is reported as a one-line "error: ..." on `err` plus the
+/// matching exit code.
 int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err);
 

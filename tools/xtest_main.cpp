@@ -1,10 +1,21 @@
+#include <exception>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "tools/cli.h"
 
+// cli::run already maps every failure to an exit code, but keep a belt
+// here so a bug in that mapping can never escalate to std::terminate.
 int main(int argc, char** argv) {
-  std::vector<std::string> args(argv + 1, argv + argc);
-  return xtest::cli::run(args, std::cout, std::cerr);
+  try {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return xtest::cli::run(args, std::cout, std::cerr);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return xtest::cli::kExitSim;
+  } catch (...) {
+    std::cerr << "error: unknown failure\n";
+    return xtest::cli::kExitSim;
+  }
 }
