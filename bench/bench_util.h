@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <string>
 
+#include "util/fault_injector.h"
 #include "util/parallel.h"
 
 namespace xtest::bench {
@@ -34,15 +35,28 @@ inline std::string bar(double fraction, int width = 40) {
 /// count; results are bitwise identical at any setting).
 inline void print_campaign_stats(const std::string& name,
                                  const util::CampaignStats& s) {
+  // A failed stats emit (fault-injection site "bench.emit" stands in for
+  // a broken pipe / full disk on the scrape path) must not take down the
+  // bench: the reproduction tables already printed.
+  try {
+    util::FaultInjector::global().maybe_fail("bench.emit");
+  } catch (const util::InjectedFault& e) {
+    std::fprintf(stderr, "warning: campaign stats emit skipped: %s\n",
+                 e.what());
+    return;
+  }
   std::printf("\ncampaign stats: %zu defect simulations, %llu simulated "
               "cycles, %.3f s wall, %.0f defects/sec, %u threads\n",
               s.defects_simulated,
               static_cast<unsigned long long>(s.simulated_cycles),
               s.wall_seconds, s.defects_per_second(), s.threads);
-  if (s.sim_errors || s.retries || s.restored_from_checkpoint)
+  if (s.sim_errors || s.retries || s.restored_from_checkpoint ||
+      s.salvaged_sections || s.dropped_slots || s.flush_failures)
     std::printf("campaign health: %zu sim errors, %zu retries, %zu verdicts "
-                "restored from checkpoint\n",
-                s.sim_errors, s.retries, s.restored_from_checkpoint);
+                "restored from checkpoint, %zu sections salvaged, %zu "
+                "completed slots dropped, %zu deferred flushes\n",
+                s.sim_errors, s.retries, s.restored_from_checkpoint,
+                s.salvaged_sections, s.dropped_slots, s.flush_failures);
   std::printf("%s\n", s.json(name).c_str());
 }
 

@@ -1,5 +1,6 @@
 #include "sim/campaign.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -7,6 +8,7 @@
 #include <stdexcept>
 
 #include "sim/checkpoint.h"
+#include "util/fault_injector.h"
 
 namespace xtest::sim {
 
@@ -43,9 +45,15 @@ Verdict simulate_one(soc::System& system, soc::BusKind bus,
                      const xtalk::Defect& defect,
                      const sbst::TestProgram& program,
                      const ResponseSnapshot& gold, std::uint64_t budget,
-                     std::uint64_t& cycles) {
+                     std::uint64_t deadline_ms, std::uint64_t& cycles) {
   apply_defect(system, bus, defect);
-  const ResponseSnapshot snap = run_and_capture(system, program, budget);
+  ResponseSnapshot snap;
+  try {
+    snap = run_and_capture(system, program, budget, deadline_ms);
+  } catch (...) {
+    system.clear_defects();  // keep the worker's simulator reusable
+    throw;
+  }
   cycles = snap.cycles;
   system.clear_defects();
   return classify(gold, snap);
@@ -108,6 +116,16 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
         options.checkpoint_key.empty() ? default_checkpoint_key(bus, library)
                                        : options.checkpoint_key,
         options.checkpoint_every);
+    const SalvageReport& sr = checkpoint->salvage();
+    if (sr.salvaged && options.stats != nullptr) {
+      options.stats->salvaged_sections += sr.sections_kept;
+      options.stats->dropped_slots += sr.dropped_slots;
+      options.stats->error_log.push_back(
+          "checkpoint " + options.checkpoint_path + ": salvaged " +
+          std::to_string(sr.sections_kept) + " section(s), dropped " +
+          std::to_string(sr.dropped_slots) +
+          " completed slot(s) from a corrupt tail");
+    }
     const auto slots = checkpoint->restore(options.checkpoint_section, n);
     for (std::size_t i = 0; i < n; ++i) {
       if (!slots[i]) continue;
@@ -117,19 +135,42 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
     }
   }
 
+  // Cooperative cancellation: set by the operator (options.cancel, wired
+  // to a SIGINT/SIGTERM flag) or by the chaos-soak injection sites.
+  // "campaign.kill" is a graceful kill (final flush happens, resumable
+  // from every completed verdict); "campaign.crash" models a hard kill
+  // (no final flush -- only periodically flushed state survives, exactly
+  // like a real SIGKILL mid-campaign).
+  std::atomic<bool> killed{false};
+  std::atomic<bool> crashed{false};
+  const auto cancelled = [&] {
+    return killed.load(std::memory_order_relaxed) ||
+           (options.cancel != nullptr &&
+            options.cancel->load(std::memory_order_relaxed));
+  };
+
   // Each worker lazily owns its private simulator; verdict slots are
   // written by defect index, so the result is independent of the worker
   // count and of any interleaving.
   const unsigned workers = options.parallel.resolve(n);
   std::vector<std::optional<soc::System>> systems(workers);
+  std::atomic<std::size_t> simulated{0};
   const std::vector<util::ItemError> errors = util::parallel_for_items(
       n, options.parallel, [&](std::size_t i, unsigned w) {
-        if (restored[i]) return;
+        if (restored[i] || cancelled()) return;
         if (!systems[w]) systems[w].emplace(config);
-        verdicts[i] = simulate_one(*systems[w], bus, library[i], program,
-                                   gold, budget, run_cycles[i]);
+        verdicts[i] =
+            simulate_one(*systems[w], bus, library[i], program, gold, budget,
+                         options.defect_deadline_ms, run_cycles[i]);
+        simulated.fetch_add(1, std::memory_order_relaxed);
         if (checkpoint)
           checkpoint->record(options.checkpoint_section, i, verdicts[i]);
+        util::FaultInjector& inj = util::FaultInjector::global();
+        if (inj.fire("campaign.kill")) killed.store(true);
+        if (inj.fire("campaign.crash")) {
+          crashed.store(true);
+          killed.store(true);
+        }
       });
 
   // Quarantine: each failed defect is retried once serially on a fresh
@@ -138,15 +179,16 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
   // completes with every other verdict intact.
   std::size_t retries = 0;
   for (const util::ItemError& e : errors) {
+    if (cancelled()) break;  // unrecorded items re-run on resume
     std::string message = e.message;
     bool recovered = false;
     if (options.retry_errors) {
       ++retries;
       try {
         soc::System system(config);
-        verdicts[e.index] = simulate_one(system, bus, library[e.index],
-                                         program, gold, budget,
-                                         run_cycles[e.index]);
+        verdicts[e.index] =
+            simulate_one(system, bus, library[e.index], program, gold, budget,
+                         options.defect_deadline_ms, run_cycles[e.index]);
         recovered = true;
       } catch (const std::exception& retry_error) {
         message = retry_error.what();
@@ -164,20 +206,45 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
     if (checkpoint)
       checkpoint->record(options.checkpoint_section, e.index,
                          verdicts[e.index]);
+    simulated.fetch_add(1, std::memory_order_relaxed);
   }
-  if (checkpoint) checkpoint->flush();
+
+  const bool interrupted = cancelled();
+  if (checkpoint && !crashed.load()) {
+    // The final flush is best-effort: the in-memory verdicts are the
+    // campaign result, a full disk must not turn them into a failure.
+    try {
+      checkpoint->flush();
+    } catch (const std::exception& e) {
+      if (options.stats != nullptr)
+        options.stats->error_log.push_back(
+            std::string("checkpoint final flush failed: ") + e.what());
+    }
+  }
 
   if (options.stats != nullptr) {
     util::CampaignStats& stats = *options.stats;
     stats.threads = workers;
-    stats.defects_simulated += n - restored_count;
+    stats.defects_simulated += simulated.load();
     stats.restored_from_checkpoint += restored_count;
     stats.retries += retries;
     stats.simulated_cycles += gold.cycles;
     for (std::uint64_t c : run_cycles) stats.simulated_cycles += c;
-    tally_verdicts(verdicts, stats);
+    if (checkpoint) stats.flush_failures += checkpoint->flush_failures();
+    if (!interrupted) tally_verdicts(verdicts, stats);
     stats.wall_seconds += seconds_since(start);
   }
+  if (interrupted)
+    throw CampaignInterrupted(
+        "campaign interrupted after " + std::to_string(simulated.load()) +
+        " new verdict(s)" +
+        (checkpoint ? (crashed.load()
+                           ? "; simulated crash, last periodic checkpoint "
+                             "flush survives"
+                           : "; checkpoint flushed to " +
+                                 options.checkpoint_path)
+                    : "; no checkpoint configured") +
+        " -- rerun the same command to resume");
   return verdicts;
 }
 

@@ -14,7 +14,9 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -35,6 +37,16 @@ xtalk::DefectLibrary make_defect_library(const soc::SystemConfig& config,
                                          soc::BusKind bus, std::size_t count,
                                          std::uint64_t seed,
                                          double sigma_pct = 50.0);
+
+/// Thrown when a campaign is cancelled cooperatively (operator SIGINT /
+/// SIGTERM via CampaignOptions::cancel, or fault-injection site
+/// "campaign.kill" / "campaign.crash").  On the graceful path the final
+/// checkpoint has already been flushed when this escapes, so the run is
+/// resumable; the CLI maps it to its own exit code so wrappers can tell
+/// "interrupted, resumable" from failure.
+struct CampaignInterrupted : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 /// Resilience and scheduling knobs for one campaign call.
 struct CampaignOptions {
@@ -60,6 +72,15 @@ struct CampaignOptions {
   /// Section name inside the checkpoint file (multi-session campaigns use
   /// one section per session).
   std::string checkpoint_section = "campaign";
+  /// Cooperative cancellation: when non-null and set, workers stop picking
+  /// up new defects, the checkpoint is flushed, and the campaign throws
+  /// CampaignInterrupted.  Wire a signal handler's flag here for graceful
+  /// SIGINT/SIGTERM shutdown.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Per-defect wall-clock watchdog in milliseconds (0 = off): a single
+  /// defect simulation exceeding this is quarantined as kSimError instead
+  /// of wedging its worker for the whole cycle budget.
+  std::uint64_t defect_deadline_ms = 0;
 };
 
 /// Runs `program` under every defect of `library` applied to `bus`.

@@ -1,18 +1,78 @@
 #include "sim/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/crc32.h"
+#include "util/fault_injector.h"
 
 namespace xtest::sim {
 
 namespace {
 
-constexpr const char* kMagic = "xtest-checkpoint v1";
+constexpr const char* kMagicV1 = "xtest-checkpoint v1";
+constexpr const char* kMagicV2 = "xtest-checkpoint v2";
 
 [[noreturn]] void malformed(const std::string& path, const std::string& why) {
   throw std::runtime_error("checkpoint " + path + ": " + why);
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+bool parse_crc_line(const std::string& line, std::uint32_t& out) {
+  if (line.size() != 12 || line.rfind("crc ", 0) != 0) return false;
+  out = 0;
+  for (std::size_t i = 4; i < 12; ++i) {
+    const char c = line[i];
+    std::uint32_t digit = 0;
+    if (c >= '0' && c <= '9') digit = static_cast<std::uint32_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      digit = static_cast<std::uint32_t>(c - 'a' + 10);
+    else
+      return false;
+    out = (out << 4) | digit;
+  }
+  return true;
+}
+
+std::string crc_line(const std::string& covered) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "crc %08x", util::crc32(covered));
+  return buf;
+}
+
+bool parse_section_header(const std::string& line, std::string& name,
+                          std::size_t& count) {
+  std::istringstream hs(line);
+  std::string word;
+  if (!(hs >> word >> name >> count) || word != "section") return false;
+  return true;
+}
+
+bool valid_slots(const std::string& slots) {
+  Verdict v;
+  for (const char c : slots)
+    if (c != '.' && !verdict_from_char(c, v)) return false;
+  return true;
+}
+
+/// A line that looks like a section slot line: only verdict chars and '.'.
+bool slot_like(const std::string& line) {
+  return !line.empty() && valid_slots(line);
 }
 
 }  // namespace
@@ -22,43 +82,133 @@ CampaignCheckpoint::CampaignCheckpoint(std::string path, std::string key,
     : path_(std::move(path)),
       key_(std::move(key)),
       flush_every_(flush_every == 0 ? 1 : flush_every) {
-  std::ifstream in(path_);
+  cleanup_stale_tmps();
+  std::ifstream in(path_, std::ios::binary);
   if (!in) return;  // fresh campaign, nothing to resume
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  load(ss.str());
+  std::string text;
+  char buf[4096];
+  while (in.read(buf, sizeof buf)) text.append(buf, sizeof buf);
+  text.append(buf, static_cast<std::size_t>(in.gcount()));
+  // A half-read file must not be mistaken for a short checkpoint: a
+  // stream-level read error is I/O trouble, not campaign state.
+  if (in.bad())
+    malformed(path_, "read error: " + std::string(std::strerror(errno)));
+  if (text.empty()) return;  // e.g. crashed during the very first create
+  load(text);
 }
 
 void CampaignCheckpoint::load(const std::string& text) {
-  std::istringstream is(text);
-  std::string line;
-  if (!std::getline(is, line) || line != kMagic)
-    malformed(path_, "not a checkpoint file (bad magic line)");
-  if (!std::getline(is, line) || line.rfind("key ", 0) != 0)
-    malformed(path_, "missing key line");
-  const std::string stored_key = line.substr(4);
+  const std::vector<std::string> lines = split_lines(text);
+  if (lines.empty()) return;
+  if (lines[0] == kMagicV2) {
+    load_v2(lines);
+    return;
+  }
+  if (lines[0] == kMagicV1) {
+    load_v1(lines);
+    return;
+  }
+  // A truncation can cut the file anywhere, including inside the magic
+  // line; a strict prefix of either magic is corruption to recover from,
+  // anything else is some other file we must refuse to overwrite.
+  if (lines.size() == 1 &&
+      (std::string(kMagicV2).rfind(lines[0], 0) == 0 ||
+       std::string(kMagicV1).rfind(lines[0], 0) == 0)) {
+    salvage_.salvaged = true;
+    return;
+  }
+  malformed(path_, "not a checkpoint file (bad magic line)");
+}
+
+void CampaignCheckpoint::load_v2(const std::vector<std::string>& lines) {
+  std::uint32_t stored = 0;
+  if (lines.size() < 3 || lines[1].rfind("key ", 0) != 0 ||
+      !parse_crc_line(lines[2], stored) ||
+      util::crc32(lines[0] + '\n' + lines[1] + '\n') != stored) {
+    // Header unverifiable: the whole file is untrustworthy.  Restart
+    // cleanly rather than resume from (or mis-reject on) a corrupt key.
+    drop_tail(lines, 1);
+    return;
+  }
+  const std::string stored_key = lines[1].substr(4);
   if (stored_key != key_)
     malformed(path_, "key mismatch: file was written for '" + stored_key +
                          "' but this campaign is '" + key_ +
                          "' (delete the file to start over)");
-  while (std::getline(is, line)) {
-    if (line.empty()) continue;
-    std::istringstream hs(line);
-    std::string word, name;
+  std::size_t i = 3;
+  while (i < lines.size()) {
+    std::string name;
     std::size_t count = 0;
-    if (!(hs >> word >> name >> count) || word != "section")
-      malformed(path_, "expected 'section <name> <count>', got '" + line + "'");
-    std::string slots;
-    if (!std::getline(is, slots) || slots.size() != count)
-      malformed(path_, "section '" + name + "' slot line has " +
-                           std::to_string(slots.size()) + " chars, expected " +
-                           std::to_string(count));
-    Verdict v;
-    for (char c : slots)
-      if (c != '.' && !verdict_from_char(c, v))
-        malformed(path_, "section '" + name + "' has unknown verdict code '" +
-                             std::string(1, c) + "'");
-    sections_.emplace_back(name, std::vector<char>(slots.begin(), slots.end()));
+    std::uint32_t crc = 0;
+    if (!parse_section_header(lines[i], name, count) ||
+        i + 2 >= lines.size() || lines[i + 1].size() != count ||
+        !valid_slots(lines[i + 1]) || !parse_crc_line(lines[i + 2], crc) ||
+        util::crc32(lines[i] + '\n' + lines[i + 1] + '\n') != crc) {
+      drop_tail(lines, i);
+      return;
+    }
+    sections_.emplace_back(
+        name, std::vector<char>(lines[i + 1].begin(), lines[i + 1].end()));
+    ++salvage_.sections_kept;
+    i += 3;
+  }
+}
+
+void CampaignCheckpoint::load_v1(const std::vector<std::string>& lines) {
+  if (lines.size() < 2 || lines[1].rfind("key ", 0) != 0) {
+    drop_tail(lines, 1);
+    return;
+  }
+  const std::string stored_key = lines[1].substr(4);
+  if (stored_key != key_)
+    malformed(path_, "key mismatch: file was written for '" + stored_key +
+                         "' but this campaign is '" + key_ +
+                         "' (delete the file to start over)");
+  std::size_t i = 2;
+  while (i < lines.size()) {
+    if (lines[i].empty()) {
+      ++i;
+      continue;
+    }
+    std::string name;
+    std::size_t count = 0;
+    if (!parse_section_header(lines[i], name, count) ||
+        i + 1 >= lines.size() || lines[i + 1].size() != count ||
+        !valid_slots(lines[i + 1])) {
+      drop_tail(lines, i);
+      return;
+    }
+    sections_.emplace_back(
+        name, std::vector<char>(lines[i + 1].begin(), lines[i + 1].end()));
+    ++salvage_.sections_kept;
+    i += 2;
+  }
+}
+
+void CampaignCheckpoint::drop_tail(const std::vector<std::string>& lines,
+                                   std::size_t from) {
+  salvage_.salvaged = true;
+  for (std::size_t j = from; j < lines.size(); ++j) {
+    if (lines[j].rfind("section ", 0) == 0) {
+      ++salvage_.sections_dropped;
+    } else if (slot_like(lines[j])) {
+      for (const char c : lines[j]) salvage_.dropped_slots += c != '.';
+    }
+  }
+}
+
+void CampaignCheckpoint::cleanup_stale_tmps() const {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path p(path_);
+  const fs::path dir = p.parent_path().empty() ? fs::path(".")
+                                               : p.parent_path();
+  const std::string prefix = p.filename().string() + ".tmp";
+  fs::directory_iterator it(dir, ec);
+  if (ec) return;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) == 0) fs::remove(entry.path(), ec);
   }
 }
 
@@ -98,12 +248,26 @@ void CampaignCheckpoint::record(const std::string& section, std::size_t index,
     throw std::logic_error("CampaignCheckpoint::record: unknown slot " +
                            section + "[" + std::to_string(index) + "]");
   (*slots)[index] = to_char(v);
-  if (++dirty_ >= flush_every_) flush_locked();
+  if (++dirty_ >= flush_every_) {
+    try {
+      flush_locked();
+    } catch (const std::exception&) {
+      // A failed periodic flush costs durability, not correctness: keep
+      // the in-memory verdicts, retry after another flush_every_ records.
+      ++flush_failures_;
+      dirty_ = 0;
+    }
+  }
 }
 
 void CampaignCheckpoint::flush() {
   std::lock_guard<std::mutex> lock(mu_);
   flush_locked();
+}
+
+std::size_t CampaignCheckpoint::flush_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flush_failures_;
 }
 
 std::size_t CampaignCheckpoint::completed() const {
@@ -116,27 +280,72 @@ std::size_t CampaignCheckpoint::completed() const {
 
 std::string CampaignCheckpoint::render_locked() const {
   std::ostringstream os;
-  os << kMagic << '\n' << "key " << key_ << '\n';
+  const std::string header =
+      std::string(kMagicV2) + '\n' + "key " + key_ + '\n';
+  os << header << crc_line(header) << '\n';
   for (const auto& [name, slots] : sections_) {
-    os << "section " << name << ' ' << slots.size() << '\n';
-    os.write(slots.data(), static_cast<std::streamsize>(slots.size()));
-    os << '\n';
+    std::string group = "section " + name + ' ' +
+                        std::to_string(slots.size()) + '\n';
+    group.append(slots.data(), slots.size());
+    group += '\n';
+    os << group << crc_line(group) << '\n';
   }
   return os.str();
 }
 
 void CampaignCheckpoint::flush_locked() {
-  const std::string tmp = path_ + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) throw std::runtime_error("checkpoint: cannot write " + tmp);
-    out << render_locked();
-    out.flush();
-    if (!out) throw std::runtime_error("checkpoint: write failed for " + tmp);
+  util::FaultInjector& inj = util::FaultInjector::global();
+  const std::string data = render_locked();
+  const std::string tmp =
+      path_ + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  int fd = -1;
+  try {
+    inj.maybe_fail("checkpoint.open");
+    fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0)
+      throw std::runtime_error("checkpoint: cannot open " + tmp + ": " +
+                               std::strerror(errno));
+    std::size_t off = 0;
+    while (off < data.size()) {
+      inj.maybe_fail("checkpoint.write");
+      const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error("checkpoint: write failed for " + tmp +
+                                 ": " + std::strerror(errno));
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    // The rename below publishes the file; without this fsync a crash
+    // could publish a name whose *contents* never reached the disk.
+    inj.maybe_fail("checkpoint.fsync");
+    if (::fsync(fd) != 0)
+      throw std::runtime_error("checkpoint: fsync failed for " + tmp + ": " +
+                               std::strerror(errno));
+    if (::close(fd) != 0) {
+      fd = -1;
+      throw std::runtime_error("checkpoint: close failed for " + tmp + ": " +
+                               std::strerror(errno));
+    }
+    fd = -1;
+    inj.maybe_fail("checkpoint.rename");
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0)
+      throw std::runtime_error("checkpoint: cannot rename " + tmp + " to " +
+                               path_ + ": " + std::strerror(errno));
+  } catch (...) {
+    if (fd >= 0) ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
   }
-  if (std::rename(tmp.c_str(), path_.c_str()) != 0)
-    throw std::runtime_error("checkpoint: cannot rename " + tmp + " to " +
-                             path_);
+  // Make the rename itself durable (best effort -- some filesystems
+  // refuse to open a directory for fsync).
+  const std::filesystem::path parent = std::filesystem::path(path_).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
   dirty_ = 0;
 }
 

@@ -6,18 +6,29 @@
 // function of (system config, program, bus, defect) -- the resumed run is
 // bitwise identical to an uninterrupted one at any thread count.
 //
-// The file is plain text, diffable, and written atomically (write the full
-// state to "<path>.tmp", then rename over <path>), so a crash mid-flush
-// leaves the previous consistent checkpoint in place:
+// The file is plain text, diffable, and crash-durable: the full state is
+// written to a pid-unique "<path>.tmp.<pid>", fsync'd, renamed over
+// <path>, and the directory entry is fsync'd, so a crash at any point
+// leaves either the previous or the new complete checkpoint -- never a
+// torn one.  Stale tmp files from a previous crash are removed on open.
 //
-//   xtest-checkpoint v1
+//   xtest-checkpoint v2
 //   key <free-form campaign identity line>
+//   crc <8 hex digits over the two lines above>
 //   section <name> <count>
 //   <count verdict chars: U D T E, '.' = pending>
+//   crc <8 hex digits over the section header + slot line>
+//
+// Every line group carries a CRC-32 trailer, which makes the file
+// *salvageable*: a load that finds a truncated or corrupted tail keeps the
+// longest valid prefix of sections (dropping only the damaged suffix,
+// reported via salvage()) instead of throwing the whole run away.  A
+// legacy v1 file (no CRCs) still loads; the next flush rewrites it as v2.
 //
 // Sections let one file cover a multi-session campaign (one section per
 // session program).  The key line guards against resuming with the wrong
-// library/bus/seed: a mismatch throws instead of silently mixing results.
+// library/bus/seed: a *CRC-valid* mismatching key throws instead of
+// silently mixing results (a corrupt key line is salvage, not mismatch).
 
 #pragma once
 
@@ -32,17 +43,36 @@
 
 namespace xtest::sim {
 
+/// What a salvage load recovered and what it had to drop.
+struct SalvageReport {
+  /// True when the file was damaged and a prefix (possibly empty) was
+  /// recovered instead of loading cleanly.
+  bool salvaged = false;
+  /// Sections recovered intact (the valid prefix).
+  std::size_t sections_kept = 0;
+  /// Section headers seen in the dropped tail (damaged or unverifiable).
+  std::size_t sections_dropped = 0;
+  /// Completed verdict chars visible in the dropped tail: work lost to
+  /// the corruption that the resumed campaign re-simulates.
+  std::size_t dropped_slots = 0;
+};
+
 class CampaignCheckpoint {
  public:
-  /// Opens `path`: loads the existing checkpoint when the file exists
-  /// (throwing std::runtime_error on a malformed file or a key mismatch),
-  /// starts empty otherwise.  `flush_every` is the number of record()
+  /// Opens `path`: removes stale tmp files from a previous crash, then
+  /// loads the existing checkpoint when the file exists.  A damaged file
+  /// is salvaged (see salvage()); std::runtime_error is thrown only for a
+  /// file that is not a checkpoint at all, an unreadable file, or a
+  /// CRC-valid key mismatch.  `flush_every` is the number of record()
   /// calls between automatic atomic flushes.
   CampaignCheckpoint(std::string path, std::string key,
                      std::size_t flush_every = 32);
 
   const std::string& path() const { return path_; }
   const std::string& key() const { return key_; }
+
+  /// Result of the constructor's load: clean, fresh, or salvaged.
+  const SalvageReport& salvage() const { return salvage_; }
 
   /// Returns the previously completed verdicts of `section` (nullopt =
   /// still pending), registering the section at `count` slots if it is
@@ -51,18 +81,29 @@ class CampaignCheckpoint {
                                               std::size_t count);
 
   /// Records one completed verdict.  Thread-safe; flushes the whole state
-  /// atomically every `flush_every` records.  The section must have been
-  /// registered via restore().
+  /// atomically every `flush_every` records.  A *periodic* flush that
+  /// fails (ENOSPC, injected fault) is swallowed and counted in
+  /// flush_failures() -- the campaign's in-memory verdicts outrank one
+  /// missed flush, and the next flush retries.  The section must have
+  /// been registered via restore().
   void record(const std::string& section, std::size_t index, Verdict v);
 
-  /// Atomic write-tmp-then-rename of the full state.  Thread-safe.
+  /// Durable write: tmp + fsync + rename (+ directory fsync).  Throws on
+  /// failure.  Thread-safe.
   void flush();
+
+  /// Periodic flushes from record() that failed and were deferred.
+  std::size_t flush_failures() const;
 
   /// Completed slots across all sections (for reporting).
   std::size_t completed() const;
 
  private:
   void load(const std::string& text);
+  void load_v2(const std::vector<std::string>& lines);
+  void load_v1(const std::vector<std::string>& lines);
+  void drop_tail(const std::vector<std::string>& lines, std::size_t from);
+  void cleanup_stale_tmps() const;
   void flush_locked();
   std::string render_locked() const;
   std::vector<char>* find_locked(const std::string& section);
@@ -71,6 +112,8 @@ class CampaignCheckpoint {
   std::string key_;
   std::size_t flush_every_;
   std::size_t dirty_ = 0;
+  std::size_t flush_failures_ = 0;
+  SalvageReport salvage_;
   mutable std::mutex mu_;
   /// Insertion-ordered sections; slot chars as in the file format.
   std::vector<std::pair<std::string, std::vector<char>>> sections_;

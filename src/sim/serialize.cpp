@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/fault_injector.h"
+
 namespace xtest::sim {
 
 std::string image_to_text(const cpu::MemoryImage& image) {
@@ -22,6 +24,7 @@ std::string image_to_text(const cpu::MemoryImage& image) {
 }
 
 cpu::MemoryImage image_from_text(const std::string& text) {
+  util::FaultInjector::global().maybe_fail("serialize.image");
   cpu::MemoryImage image;
   std::istringstream is(text);
   std::string line;
@@ -74,6 +77,7 @@ std::string library_to_csv(const xtalk::DefectLibrary& library,
 }
 
 LoadedLibrary library_from_csv(const std::string& csv) {
+  util::FaultInjector::global().maybe_fail("serialize.library");
   std::istringstream is(csv);
   std::string line;
   if (!std::getline(is, line))

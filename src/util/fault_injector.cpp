@@ -1,0 +1,186 @@
+#include "util/fault_injector.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace xtest::util {
+
+namespace {
+
+// FNV-1a, to fold a site name into the decision hash.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// SplitMix64 finaliser: a well-mixed pure function of its input, so each
+// (seed, site, hit) triple gets an independent uniform decision.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  throw std::invalid_argument("fault spec '" + spec + "': " + why);
+}
+
+bool all_digits(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s)
+    if (c < '0' || c > '9') return false;
+  return true;
+}
+
+}  // namespace
+
+void FaultInjector::configure(const std::string& spec) {
+  std::map<std::string, Rule> rules;
+  std::uint64_t seed = 0;
+
+  std::string entries = spec;
+  // A trailing ":<digits>" is the seed; site names never contain ':'.
+  const std::size_t colon = entries.rfind(':');
+  if (colon != std::string::npos) {
+    const std::string tail = entries.substr(colon + 1);
+    if (!all_digits(tail))
+      bad_spec(spec, "seed '" + tail + "' is not a number");
+    seed = std::strtoull(tail.c_str(), nullptr, 10);
+    entries.resize(colon);
+  }
+
+  std::istringstream is(entries);
+  std::string entry;
+  while (std::getline(is, entry, ',')) {
+    if (entry.empty()) continue;
+    Rule rule;
+    std::string site = entry;
+    const std::size_t at = entry.find('@');
+    const std::size_t pct = entry.find('%');
+    if (at != std::string::npos && pct != std::string::npos)
+      bad_spec(spec, "entry '" + entry + "' mixes '@' and '%'");
+    if (at != std::string::npos) {
+      site = entry.substr(0, at);
+      const std::string n = entry.substr(at + 1);
+      if (!all_digits(n) || n == "0")
+        bad_spec(spec, "entry '" + entry + "': '@' needs a hit index >= 1");
+      rule.mode = Rule::Mode::kNth;
+      rule.nth = std::strtoull(n.c_str(), nullptr, 10);
+    } else if (pct != std::string::npos) {
+      site = entry.substr(0, pct);
+      const std::string prob = entry.substr(pct + 1);
+      char* end = nullptr;
+      rule.mode = Rule::Mode::kProb;
+      rule.prob = std::strtod(prob.c_str(), &end);
+      if (prob.empty() || end != prob.c_str() + prob.size() ||
+          rule.prob < 0.0 || rule.prob > 1.0)
+        bad_spec(spec,
+                 "entry '" + entry + "': '%' needs a probability in [0,1]");
+    }
+    if (site.empty()) bad_spec(spec, "entry '" + entry + "' has no site");
+    rules[site] = rule;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_ = std::move(rules);
+  seed_ = seed;
+  counts_.clear();
+  armed_.store(!rules_.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+  counts_.clear();
+  seed_ = 0;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+const FaultInjector::Rule* FaultInjector::match_locked(
+    const std::string& site) const {
+  const auto exact = rules_.find(site);
+  if (exact != rules_.end()) return &exact->second;
+  for (const auto& [key, rule] : rules_) {
+    if (key.empty() || key.back() != '*') continue;
+    if (site.compare(0, key.size() - 1, key, 0, key.size() - 1) == 0)
+      return &rule;
+  }
+  return nullptr;
+}
+
+bool FaultInjector::fire(const std::string& site) {
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  Counter& c = counts_[site];
+  ++c.hits;
+  const Rule* rule = match_locked(site);
+  if (rule == nullptr) return false;
+  bool fires = false;
+  switch (rule->mode) {
+    case Rule::Mode::kAlways: fires = true; break;
+    case Rule::Mode::kNth: fires = c.hits == rule->nth; break;
+    case Rule::Mode::kProb: {
+      const std::uint64_t h = mix(seed_ ^ fnv1a(site) ^ c.hits);
+      fires = static_cast<double>(h >> 11) * 0x1.0p-53 < rule->prob;
+      break;
+    }
+  }
+  if (fires) ++c.fired;
+  return fires;
+}
+
+void FaultInjector::maybe_fail(const std::string& site) {
+  if (!fire(site)) return;
+  std::size_t hit = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hit = counts_[site].hits;
+  }
+  throw InjectedFault("injected fault at " + site + " (hit " +
+                      std::to_string(hit) + ")");
+}
+
+std::size_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counts_.find(site);
+  return it == counts_.end() ? 0 : it->second.hits;
+}
+
+std::size_t FaultInjector::fired(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counts_.find(site);
+  return it == counts_.end() ? 0 : it->second.fired;
+}
+
+std::string FaultInjector::summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [site, c] : counts_)
+    os << site << " hits=" << c.hits << " fired=" << c.fired << '\n';
+  return os.str();
+}
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector* injector = [] {
+    auto* inj = new FaultInjector();
+    if (const char* env = std::getenv("XTEST_FAULTS");
+        env != nullptr && *env != '\0') {
+      try {
+        inj->configure(env);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "warning: ignoring XTEST_FAULTS: %s\n",
+                     e.what());
+      }
+    }
+    return inj;
+  }();
+  return *injector;
+}
+
+}  // namespace xtest::util

@@ -6,6 +6,8 @@
 #include <iterator>
 #include <thread>
 
+#include "util/fault_injector.h"
+
 namespace xtest::util {
 
 namespace {
@@ -83,6 +85,7 @@ std::vector<ItemError> parallel_for_items(
       count, config, [&](std::size_t begin, std::size_t end, unsigned w) {
         for (std::size_t i = begin; i < end; ++i) {
           try {
+            FaultInjector::global().maybe_fail("parallel.item");
             body(i, w);
           } catch (const std::exception& e) {
             per_worker[w].push_back({i, e.what()});
@@ -99,18 +102,21 @@ std::vector<ItemError> parallel_for_items(
 }
 
 std::string CampaignStats::json(const std::string& label) const {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof buf,
       "{\"campaign\":\"%s\",\"threads\":%u,\"defects\":%zu,"
       "\"simulated_cycles\":%llu,\"wall_seconds\":%.6f,"
       "\"defects_per_second\":%.1f,\"detected\":%zu,"
       "\"detected_by_timeout\":%zu,\"undetected\":%zu,\"sim_errors\":%zu,"
-      "\"retries\":%zu,\"restored_from_checkpoint\":%zu}",
+      "\"retries\":%zu,\"restored_from_checkpoint\":%zu,"
+      "\"salvaged_sections\":%zu,\"dropped_slots\":%zu,"
+      "\"flush_failures\":%zu}",
       label.c_str(), threads, defects_simulated,
       static_cast<unsigned long long>(simulated_cycles), wall_seconds,
       defects_per_second(), detected, detected_by_timeout, undetected,
-      sim_errors, retries, restored_from_checkpoint);
+      sim_errors, retries, restored_from_checkpoint, salvaged_sections,
+      dropped_slots, flush_failures);
   return buf;
 }
 

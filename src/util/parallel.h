@@ -70,7 +70,9 @@ struct ItemError {
 /// continues with i + 1 and every other item still runs.  Returned errors
 /// are in ascending index order (chunks are contiguous and ascending, so
 /// the order is identical for every thread count).  Non-std exceptions are
-/// recorded with a generic message.
+/// recorded with a generic message.  Each item consults fault-injection
+/// site "parallel.item" before running, so an armed injector exercises
+/// exactly this quarantine path.
 std::vector<ItemError> parallel_for_items(
     std::size_t count, const ParallelConfig& config,
     const std::function<void(std::size_t, unsigned)>& body);
@@ -101,6 +103,14 @@ struct CampaignStats {
   std::size_t retries = 0;
   /// Verdicts restored from a checkpoint instead of being simulated.
   std::size_t restored_from_checkpoint = 0;
+  /// Sections recovered intact from a damaged checkpoint file (the valid
+  /// prefix kept by the salvage loader).
+  std::size_t salvaged_sections = 0;
+  /// Completed verdicts lost to a damaged checkpoint tail and re-simulated.
+  std::size_t dropped_slots = 0;
+  /// Periodic checkpoint flushes that failed (ENOSPC, injected fault, ...)
+  /// and were deferred to the next flush instead of aborting the campaign.
+  std::size_t flush_failures = 0;
   /// One "defect <index>: <message>" line per quarantined simulation.
   std::vector<std::string> error_log;
 

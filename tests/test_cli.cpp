@@ -142,6 +142,54 @@ TEST(Cli, CorruptImageIsSimulationError) {
   EXPECT_NE(r.err.find("line 1"), std::string::npos);
 }
 
+TEST(Cli, BadFaultSpecIsAUsageError) {
+  const CliRun r = run_cli({"campaign", "--bus", "data", "--defects", "4",
+                            "--faults", "site@@"});
+  EXPECT_EQ(r.code, kExitUsage);
+  EXPECT_NE(r.err.find("fault spec"), std::string::npos) << r.err;
+}
+
+TEST(Cli, FaultsFlagInjectsAndTheRetryPathAbsorbsIt) {
+  const CliRun r = run_cli({"campaign", "--bus", "data", "--defects", "10",
+                            "--seed", "7", "--threads", "1", "--faults",
+                            "parallel.item@3"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("retries=1 "), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("sim_errors=0 "), std::string::npos) << r.out;
+}
+
+TEST(Cli, InterruptFlagExitsWithCode5AndResumeCompletes) {
+  const std::string ckpt = temp_path("cli_interrupt.ckpt");
+  std::remove(ckpt.c_str());
+  const std::vector<std::string> args = {"campaign",  "--bus",
+                                         "data",      "--defects",
+                                         "10",        "--seed",
+                                         "7",         "--checkpoint",
+                                         ckpt};
+  interrupt_flag().store(true);
+  const CliRun stopped = run_cli(args);
+  interrupt_flag().store(false);
+  EXPECT_EQ(stopped.code, kExitInterrupted);
+  EXPECT_NE(stopped.err.find("interrupted"), std::string::npos)
+      << stopped.err;
+  EXPECT_NE(stopped.err.find("resume"), std::string::npos) << stopped.err;
+
+  const CliRun resumed = run_cli(args);
+  ASSERT_EQ(resumed.code, 0) << resumed.err;
+  EXPECT_NE(resumed.out.find("coverage=100.0%"), std::string::npos)
+      << resumed.out;
+  std::remove(ckpt.c_str());
+}
+
+TEST(Cli, ChaosSoakSmokeRunPasses) {
+  const CliRun r = run_cli({"chaos", "--bus", "data", "--defects", "6",
+                            "--cycles", "3", "--threads", "1", "--seed",
+                            "7"});
+  ASSERT_EQ(r.code, 0) << r.err << r.out;
+  EXPECT_NE(r.out.find("verdicts identical"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("chaos soak passed"), std::string::npos) << r.out;
+}
+
 TEST(Cli, CampaignCheckpointResumesAndReportsRestored) {
   const std::string ckpt = temp_path("cli_campaign.ckpt");
   std::remove(ckpt.c_str());
@@ -152,12 +200,12 @@ TEST(Cli, CampaignCheckpointResumesAndReportsRestored) {
                                          ckpt};
   const CliRun first = run_cli(args);
   ASSERT_EQ(first.code, 0) << first.err;
-  EXPECT_NE(first.out.find("restored=0\n"), std::string::npos);
+  EXPECT_NE(first.out.find("restored=0 "), std::string::npos);
 
   // Second invocation finds every verdict already on disk.
   const CliRun second = run_cli(args);
   ASSERT_EQ(second.code, 0) << second.err;
-  EXPECT_EQ(second.out.find("restored=0\n"), std::string::npos);
+  EXPECT_EQ(second.out.find("restored=0 "), std::string::npos);
   EXPECT_EQ(first.out.substr(0, first.out.find('\n')),
             second.out.substr(0, second.out.find('\n')));
   std::remove(ckpt.c_str());

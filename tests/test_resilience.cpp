@@ -1,10 +1,13 @@
 // Campaign resilience: verdict taxonomy, defect quarantine, and
 // checkpoint/resume equivalence.
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -13,6 +16,7 @@
 #include "sim/checkpoint.h"
 #include "sim/signature.h"
 #include "sim/verdict.h"
+#include "util/fault_injector.h"
 
 namespace xtest::sim {
 namespace {
@@ -303,6 +307,548 @@ TEST(Resilience, SessionCampaignResumesWithPerSessionSections) {
     EXPECT_EQ(det, uninterrupted) << "threads=" << threads;
   }
   // The second loop iteration restored every session section of the first.
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint corruption matrix: every damaged file either salvages a valid
+// prefix or restarts cleanly -- never an unhandled exception, and never a
+// wrong verdict.
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+TEST(Checkpoint, TruncatedMidSectionSalvagesLongestValidPrefix) {
+  const std::string path = temp_path("ckpt_truncate_mid");
+  std::remove(path.c_str());
+  {
+    CampaignCheckpoint ck(path, "k");
+    for (const char* s : {"s0", "s1", "s2"}) ck.restore(s, 4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      ck.record("s0", i, Verdict::kDetected);
+      ck.record("s1", i, Verdict::kUndetected);
+      ck.record("s2", i, Verdict::kDetectedByTimeout);
+    }
+    ck.flush();
+  }
+  const std::string full = read_file(path);
+  const std::size_t cut = full.find("section s2");
+  ASSERT_NE(cut, std::string::npos);
+  write_file(path, full.substr(0, cut + 5));  // mid "section s2" header
+
+  CampaignCheckpoint ck(path, "k");
+  EXPECT_TRUE(ck.salvage().salvaged);
+  EXPECT_EQ(ck.salvage().sections_kept, 2u);
+  const auto s0 = ck.restore("s0", 4);
+  const auto s2 = ck.restore("s2", 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(s0[i], Verdict::kDetected) << i;
+    EXPECT_FALSE(s2[i].has_value()) << i;  // lost tail re-simulates
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, FlippedVerdictCharFailsTheSectionCrc) {
+  const std::string path = temp_path("ckpt_bitflip");
+  std::remove(path.c_str());
+  {
+    CampaignCheckpoint ck(path, "k");
+    ck.restore("campaign", 6);
+    for (std::size_t i = 0; i < 6; ++i)
+      ck.record("campaign", i, Verdict::kDetected);
+    ck.flush();
+  }
+  // Flip one verdict char to another *valid* char: only the CRC can tell.
+  std::string text = read_file(path);
+  const std::size_t crc2 = text.rfind("crc ");
+  ASSERT_NE(crc2, std::string::npos);
+  const std::size_t slot0 = crc2 - 7;  // 6 slot chars + newline before it
+  ASSERT_EQ(text[slot0], 'D');
+  text[slot0] = 'U';
+  write_file(path, text);
+
+  CampaignCheckpoint ck(path, "k");
+  EXPECT_TRUE(ck.salvage().salvaged);
+  EXPECT_EQ(ck.salvage().sections_kept, 0u);
+  // Every completed verdict in the damaged tail is counted as lost work.
+  EXPECT_EQ(ck.salvage().dropped_slots, 6u);
+  for (const auto& slot : ck.restore("campaign", 6))
+    EXPECT_FALSE(slot.has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, CorruptHeaderRestartsCleanlyInsteadOfMisreportingTheKey) {
+  const std::string path = temp_path("ckpt_badheader");
+  std::remove(path.c_str());
+  {
+    CampaignCheckpoint ck(path, "key-one");
+    ck.restore("campaign", 4);
+    ck.record("campaign", 0, Verdict::kDetected);
+    ck.flush();
+  }
+  std::string text = read_file(path);
+  const std::size_t crc_digit = text.find("\ncrc ") + 5;
+  text[crc_digit] = text[crc_digit] == '0' ? '1' : '0';
+  write_file(path, text);
+
+  // A corrupt header means the stored key is unverifiable: even a
+  // *different* campaign key must restart cleanly, not throw "mismatch"
+  // against garbage.
+  for (const char* key : {"key-one", "key-two"}) {
+    CampaignCheckpoint ck(path, key);
+    EXPECT_TRUE(ck.salvage().salvaged) << key;
+    EXPECT_EQ(ck.salvage().sections_kept, 0u) << key;
+    EXPECT_EQ(ck.completed(), 0u) << key;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, EmptyFileStartsFresh) {
+  const std::string path = temp_path("ckpt_empty");
+  write_file(path, "");
+  CampaignCheckpoint ck(path, "k");
+  EXPECT_FALSE(ck.salvage().salvaged);
+  EXPECT_EQ(ck.completed(), 0u);
+  for (const auto& slot : ck.restore("campaign", 3))
+    EXPECT_FALSE(slot.has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, LegacyV1FileLoadsAndTheNextFlushUpgradesToV2) {
+  const std::string path = temp_path("ckpt_v1");
+  write_file(path,
+             "xtest-checkpoint v1\n"
+             "key k\n"
+             "section campaign 4\n"
+             "UD..\n");
+  {
+    CampaignCheckpoint ck(path, "k");
+    EXPECT_FALSE(ck.salvage().salvaged);
+    const auto slots = ck.restore("campaign", 4);
+    EXPECT_EQ(slots[0], Verdict::kUndetected);
+    EXPECT_EQ(slots[1], Verdict::kDetected);
+    EXPECT_FALSE(slots[2].has_value());
+    ck.flush();
+  }
+  const std::string text = read_file(path);
+  EXPECT_EQ(text.rfind("xtest-checkpoint v2\n", 0), 0u) << text;
+  {
+    CampaignCheckpoint ck(path, "k");
+    const auto slots = ck.restore("campaign", 4);
+    EXPECT_EQ(slots[1], Verdict::kDetected);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, V1KeyMismatchStillThrows) {
+  const std::string path = temp_path("ckpt_v1_mismatch");
+  write_file(path, "xtest-checkpoint v1\nkey k\n");
+  EXPECT_THROW(CampaignCheckpoint(path, "other"), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncationAtEveryByteOffsetSalvagesOrRestartsNeverThrows) {
+  // The acceptance bar of the resilience layer: cut a valid v2 file at
+  // *any* byte offset and reopening must yield a usable checkpoint whose
+  // every restored verdict matches what was recorded -- a slot is allowed
+  // to be forgotten (re-simulated on resume), never wrong.
+  const std::string path = temp_path("ckpt_everyoffset_src");
+  std::remove(path.c_str());
+  const Verdict v[4] = {Verdict::kDetected, Verdict::kUndetected,
+                        Verdict::kDetectedByTimeout, Verdict::kSimError};
+  {
+    CampaignCheckpoint ck(path, "k");
+    ck.restore("alpha", 4);
+    ck.restore("beta", 4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      ck.record("alpha", i, v[i]);
+      ck.record("beta", i, v[3 - i]);
+    }
+    ck.flush();
+  }
+  const std::string full = read_file(path);
+  ASSERT_GT(full.size(), 40u);
+
+  const std::string cut_path = temp_path("ckpt_everyoffset_cut");
+  for (std::size_t len = 0; len <= full.size(); ++len) {
+    write_file(cut_path, full.substr(0, len));
+    try {
+      CampaignCheckpoint ck(cut_path, "k");
+      const auto alpha = ck.restore("alpha", 4);
+      const auto beta = ck.restore("beta", 4);
+      for (std::size_t i = 0; i < 4; ++i) {
+        if (alpha[i]) {
+          EXPECT_EQ(*alpha[i], v[i]) << "len=" << len;
+        }
+        if (beta[i]) {
+          EXPECT_EQ(*beta[i], v[3 - i]) << "len=" << len;
+        }
+      }
+      if (len + 1 < full.size()) {
+        // A real truncation (more than the trailing newline) always cuts
+        // the last group's CRC line: something is salvaged or dropped.
+        EXPECT_TRUE(ck.salvage().salvaged || ck.completed() < 8u)
+            << "len=" << len;
+      }
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "truncation at byte " << len
+                    << " threw: " << e.what();
+    }
+  }
+  std::remove(path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+TEST(Checkpoint, ConcurrentRecordsAndFlushesStaySerializable) {
+  const std::string path = temp_path("ckpt_concurrent");
+  std::remove(path.c_str());
+  constexpr std::size_t kSlots = 64;
+  {
+    CampaignCheckpoint ck(path, "k", /*flush_every=*/5);
+    ck.restore("a", kSlots);
+    ck.restore("b", kSlots);
+    // Two recorders plus a flusher hammering the same file -- the model of
+    // a signal-triggered final flush racing in-flight workers.
+    std::thread ra([&] {
+      for (std::size_t i = 0; i < kSlots; ++i)
+        ck.record("a", i, Verdict::kDetected);
+    });
+    std::thread rb([&] {
+      for (std::size_t i = 0; i < kSlots; ++i)
+        ck.record("b", i, Verdict::kUndetected);
+    });
+    std::thread fl([&] {
+      for (int i = 0; i < 25; ++i) ck.flush();
+    });
+    ra.join();
+    rb.join();
+    fl.join();
+    ck.flush();
+    EXPECT_EQ(ck.completed(), 2 * kSlots);
+  }
+  CampaignCheckpoint ck(path, "k");
+  EXPECT_FALSE(ck.salvage().salvaged);
+  const auto a = ck.restore("a", kSlots);
+  const auto b = ck.restore("b", kSlots);
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    EXPECT_EQ(a[i], Verdict::kDetected) << i;
+    EXPECT_EQ(b[i], Verdict::kUndetected) << i;
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection through the campaign layers.
+
+/// Disarms the process-wide injector even when a test fails mid-way:
+/// leaked injector state would poison every later test in this binary.
+struct GlobalInjectorGuard {
+  ~GlobalInjectorGuard() { util::FaultInjector::global().disarm(); }
+};
+
+TEST(Resilience, InjectedWorkerFaultIsRetriedAndRecovers) {
+  GlobalInjectorGuard guard;
+  const soc::SystemConfig cfg;
+  const auto lib = make_defect_library(cfg, soc::BusKind::kData, 8, kSeed);
+  const auto prog =
+      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+  const std::vector<Verdict> clean =
+      run_detection(cfg, prog.program, soc::BusKind::kData, lib);
+
+  // The 5th simulation body throws once; the serial retry on a fresh
+  // simulator must absorb it without a trace in the verdicts.
+  util::FaultInjector::global().configure("parallel.item@5");
+  util::CampaignStats stats;
+  CampaignOptions options;
+  options.parallel = {1u};
+  options.stats = &stats;
+  const std::vector<Verdict> det =
+      run_detection(cfg, prog.program, soc::BusKind::kData, lib, options);
+  EXPECT_EQ(det, clean);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.sim_errors, 0u);
+  EXPECT_TRUE(stats.error_log.empty());
+}
+
+TEST(Resilience, InjectedFaultWithoutRetryQuarantinesAsSimError) {
+  GlobalInjectorGuard guard;
+  const soc::SystemConfig cfg;
+  const auto lib = make_defect_library(cfg, soc::BusKind::kData, 6, kSeed);
+  const auto prog =
+      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+
+  util::FaultInjector::global().configure("parallel.item@2");
+  util::CampaignStats stats;
+  CampaignOptions options;
+  options.parallel = {1u};
+  options.stats = &stats;
+  options.retry_errors = false;
+  const std::vector<Verdict> det =
+      run_detection(cfg, prog.program, soc::BusKind::kData, lib, options);
+  EXPECT_EQ(det[1], Verdict::kSimError);
+  ASSERT_EQ(stats.error_log.size(), 1u);
+  EXPECT_NE(stats.error_log[0].find("injected fault at parallel.item"),
+            std::string::npos)
+      << stats.error_log[0];
+}
+
+TEST(Resilience, GracefulKillFlushesACheckpointAndResumeMatches) {
+  GlobalInjectorGuard guard;
+  const soc::SystemConfig cfg;
+  const auto lib = make_defect_library(cfg, soc::BusKind::kData, 10, kSeed);
+  const auto prog =
+      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+  const std::vector<Verdict> reference =
+      run_detection(cfg, prog.program, soc::BusKind::kData, lib);
+
+  const std::string path = temp_path("ckpt_graceful_kill");
+  std::remove(path.c_str());
+  CampaignOptions options;
+  options.parallel = {1u};
+  options.checkpoint_path = path;
+
+  util::FaultInjector::global().configure("campaign.kill@3");
+  try {
+    run_detection(cfg, prog.program, soc::BusKind::kData, lib, options);
+    FAIL() << "expected CampaignInterrupted";
+  } catch (const CampaignInterrupted& e) {
+    EXPECT_NE(std::string(e.what()).find("checkpoint flushed"),
+              std::string::npos)
+        << e.what();
+  }
+  util::FaultInjector::global().disarm();
+
+  util::CampaignStats stats;
+  options.stats = &stats;
+  const std::vector<Verdict> resumed =
+      run_detection(cfg, prog.program, soc::BusKind::kData, lib, options);
+  EXPECT_EQ(resumed, reference);
+  EXPECT_EQ(stats.restored_from_checkpoint, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(Resilience, HardCrashKeepsOnlyPeriodicallyFlushedVerdicts) {
+  GlobalInjectorGuard guard;
+  const soc::SystemConfig cfg;
+  const auto lib = make_defect_library(cfg, soc::BusKind::kData, 10, kSeed);
+  const auto prog =
+      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+  const std::vector<Verdict> reference =
+      run_detection(cfg, prog.program, soc::BusKind::kData, lib);
+
+  const std::string path = temp_path("ckpt_hard_crash");
+  std::remove(path.c_str());
+  CampaignOptions options;
+  options.parallel = {1u};
+  options.checkpoint_path = path;
+  options.checkpoint_every = 2;
+
+  // Crash after the 5th new verdict: records 1-4 were flushed in pairs,
+  // record 5 lived only in memory and dies with the "process".
+  util::FaultInjector::global().configure("campaign.crash@5");
+  try {
+    run_detection(cfg, prog.program, soc::BusKind::kData, lib, options);
+    FAIL() << "expected CampaignInterrupted";
+  } catch (const CampaignInterrupted& e) {
+    EXPECT_NE(std::string(e.what()).find("simulated crash"),
+              std::string::npos)
+        << e.what();
+  }
+  util::FaultInjector::global().disarm();
+
+  util::CampaignStats stats;
+  options.stats = &stats;
+  const std::vector<Verdict> resumed =
+      run_detection(cfg, prog.program, soc::BusKind::kData, lib, options);
+  EXPECT_EQ(resumed, reference);
+  EXPECT_EQ(stats.restored_from_checkpoint, 4u);
+  std::remove(path.c_str());
+}
+
+TEST(Resilience, CancelFlagStopsTheCampaignBeforeNewWork) {
+  const soc::SystemConfig cfg;
+  const auto lib = make_defect_library(cfg, soc::BusKind::kData, 6, kSeed);
+  const auto prog =
+      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+
+  std::atomic<bool> cancel{true};
+  util::CampaignStats stats;
+  CampaignOptions options;
+  options.stats = &stats;
+  options.cancel = &cancel;
+  EXPECT_THROW(
+      run_detection(cfg, prog.program, soc::BusKind::kData, lib, options),
+      CampaignInterrupted);
+  EXPECT_EQ(stats.defects_simulated, 0u);
+}
+
+TEST(Resilience, SalvagedCheckpointResumeIsBitwiseIdentical) {
+  const soc::SystemConfig cfg;
+  const auto lib = make_defect_library(cfg, soc::BusKind::kData, 8, kSeed);
+  const auto prog =
+      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+  const std::vector<Verdict> reference =
+      run_detection(cfg, prog.program, soc::BusKind::kData, lib);
+
+  const std::string path = temp_path("ckpt_salvage_resume");
+  std::remove(path.c_str());
+  CampaignOptions options;
+  options.checkpoint_path = path;
+  run_detection(cfg, prog.program, soc::BusKind::kData, lib, options);
+
+  // Chop the tail off the finished checkpoint: the resumed campaign must
+  // notice, report the loss, re-simulate the dropped slots, and land on
+  // the exact same verdicts.
+  const std::string full = read_file(path);
+  write_file(path, full.substr(0, full.size() - 4));
+
+  util::CampaignStats stats;
+  options.stats = &stats;
+  const std::vector<Verdict> resumed =
+      run_detection(cfg, prog.program, soc::BusKind::kData, lib, options);
+  EXPECT_EQ(resumed, reference);
+  EXPECT_GT(stats.dropped_slots, 0u);
+  ASSERT_FALSE(stats.error_log.empty());
+  EXPECT_NE(stats.error_log[0].find("salvaged"), std::string::npos)
+      << stats.error_log[0];
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Per-defect watchdog.
+
+sbst::TestProgram endless_program() {
+  // JMP to self: never reaches HLT no matter the cycle budget.
+  sbst::TestProgram prog;
+  prog.entry = 0x010;
+  const auto jmp = cpu::encode_memref(cpu::Opcode::kJmp, prog.entry);
+  prog.image.set(prog.entry, jmp[0]);
+  prog.image.set(static_cast<cpu::Addr>(prog.entry + 1), jmp[1]);
+  prog.image.set(0x080, 0x42);
+  prog.response_cells = {0x080};
+  return prog;
+}
+
+TEST(Resilience, WatchdogDeadlineSiteFiresDeterministically) {
+  GlobalInjectorGuard guard;
+  util::FaultInjector::global().configure("campaign.deadline@1");
+  soc::System sys;
+  // Huge wall-clock budget: only the injection site can trip the check,
+  // at the first slice boundary.
+  EXPECT_THROW(run_and_capture(sys, endless_program(), 1'000'000, 10'000),
+               DeadlineExceeded);
+}
+
+TEST(Resilience, WatchdogConvertsAWedgedSimulationIntoAnException) {
+  soc::System sys;
+  EXPECT_THROW(run_and_capture(sys, endless_program(), 200'000'000, 1),
+               DeadlineExceeded);
+}
+
+TEST(Resilience, ZeroDeadlineDisablesTheWatchdog) {
+  soc::System sys;
+  const ResponseSnapshot snap =
+      run_and_capture(sys, endless_program(), 10'000, 0);
+  EXPECT_FALSE(snap.completed);
+  EXPECT_GE(snap.cycles, 10'000u);
+}
+
+TEST(Resilience, CampaignDeadlineOptionPreservesVerdicts) {
+  // The sliced runner must be cycle-for-cycle identical to the plain one
+  // when nothing times out.
+  const soc::SystemConfig cfg;
+  const auto lib = make_defect_library(cfg, soc::BusKind::kAddress, 8, kSeed);
+  const auto prog =
+      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+  const std::vector<Verdict> plain =
+      run_detection(cfg, prog.program, soc::BusKind::kAddress, lib);
+
+  CampaignOptions options;
+  options.defect_deadline_ms = 100'000;
+  const std::vector<Verdict> guarded =
+      run_detection(cfg, prog.program, soc::BusKind::kAddress, lib, options);
+  EXPECT_EQ(guarded, plain);
+}
+
+// ---------------------------------------------------------------------------
+// FaultEnv: tolerant checks CI runs with $XTEST_FAULTS exported (ambient
+// probabilistic injection, plus ASan/UBSan).  They assert survival
+// invariants -- no crash, no wrong verdict, bounded retries -- rather than
+// exact outcomes, so they pass under any injected-fault schedule and
+// trivially when the injector is disarmed.
+
+TEST(FaultEnv, CampaignCompletesUnderAmbientInjection) {
+  const soc::SystemConfig cfg;
+  const auto lib = make_defect_library(cfg, soc::BusKind::kData, 12, kSeed);
+  const auto prog =
+      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+
+  const std::string path = temp_path("ckpt_faultenv");
+  std::remove(path.c_str());
+  util::CampaignStats stats;
+  CampaignOptions options;
+  options.stats = &stats;
+  options.checkpoint_path = path;
+  options.checkpoint_every = 4;
+
+  std::vector<Verdict> det;
+  bool completed = false;
+  for (int attempt = 0; attempt < 50 && !completed; ++attempt) {
+    try {
+      det = run_detection(cfg, prog.program, soc::BusKind::kData, lib,
+                          options);
+      completed = true;
+    } catch (const CampaignInterrupted&) {
+      // ambient campaign.kill/crash: resume from the checkpoint
+    } catch (const util::InjectedFault&) {
+      // ambient fault outside the quarantine (e.g. the gold run): retry
+    }
+  }
+  ASSERT_TRUE(completed) << "campaign never completed in 50 attempts";
+  ASSERT_EQ(det.size(), lib.size());
+  for (const Verdict v : det) {
+    Verdict roundtrip;
+    EXPECT_TRUE(verdict_from_char(to_char(v), roundtrip));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FaultEnv, CheckpointNeverRestoresAWrongVerdictUnderInjection) {
+  const std::string path = temp_path("ckpt_faultenv_record");
+  std::remove(path.c_str());
+  constexpr std::size_t kSlots = 24;
+  {
+    CampaignCheckpoint ck(path, "k", /*flush_every=*/1);
+    ck.restore("campaign", kSlots);
+    for (std::size_t i = 0; i < kSlots; ++i)
+      ck.record("campaign", i, Verdict::kDetected);  // failed flushes defer
+    try {
+      ck.flush();
+    } catch (const std::exception&) {
+      // an injected flush failure loses durability, nothing else
+    }
+    EXPECT_EQ(ck.completed(), kSlots);  // in-memory state is never lost
+  }
+  // Whatever subset of flushes survived, a restored slot is either still
+  // pending or holds exactly the recorded verdict.
+  std::ifstream exists(path);
+  if (!exists.good()) return;  // every flush failed: a fresh start is fine
+  CampaignCheckpoint ck(path, "k");
+  for (const auto& slot : ck.restore("campaign", kSlots)) {
+    if (slot) {
+      EXPECT_EQ(*slot, Verdict::kDetected);
+    }
+  }
   std::remove(path.c_str());
 }
 

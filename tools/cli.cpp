@@ -1,5 +1,7 @@
 #include "tools/cli.h"
 
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -13,7 +15,9 @@
 #include "sim/verify.h"
 #include "soc/system.h"
 #include "soc/waveform.h"
+#include "util/fault_injector.h"
 #include "util/parallel.h"
+#include "util/rng.h"
 #include "util/table.h"
 
 namespace xtest::cli {
@@ -69,9 +73,39 @@ int usage(std::ostream& err) {
          "  xtest campaign [--bus addr|data|ctrl] [--defects N] [--seed S]\n"
          "                 [--threads T]   (0 = auto / $XTEST_THREADS)\n"
          "                 [--checkpoint FILE] [--no-retry]\n"
-         "exit codes: 0 ok, 2 usage, 3 I/O, 4 simulation\n";
+         "                 [--faults SPEC] (or $XTEST_FAULTS; "
+         "site[@N|%P],...[:seed])\n"
+         "                 [--defect-deadline-ms N] (watchdog, 0 = off)\n"
+         "  xtest chaos    [--bus addr|data|ctrl] [--defects N] [--seed S]\n"
+         "                 [--cycles K] [--threads T] (kill/resume soak)\n"
+         "exit codes: 0 ok, 2 usage, 3 I/O, 4 simulation, 5 interrupted "
+         "(resumable)\n";
   return kExitUsage;
 }
+
+/// Arms the process-wide injector from --faults for the duration of one
+/// command; disarms on the way out so an embedding process (the tests)
+/// does not leak fault rules into the next command.
+class FaultSpecGuard {
+ public:
+  explicit FaultSpecGuard(const std::string& spec) {
+    if (spec.empty()) return;
+    try {
+      util::FaultInjector::global().configure(spec);
+    } catch (const std::invalid_argument& e) {
+      throw UsageError(e.what());
+    }
+    armed_ = true;
+  }
+  ~FaultSpecGuard() {
+    if (armed_) util::FaultInjector::global().disarm();
+  }
+  FaultSpecGuard(const FaultSpecGuard&) = delete;
+  FaultSpecGuard& operator=(const FaultSpecGuard&) = delete;
+
+ private:
+  bool armed_ = false;
+};
 
 soc::BusKind parse_bus(const std::string& name) {
   if (name == "addr" || name == "address") return soc::BusKind::kAddress;
@@ -201,6 +235,8 @@ int cmd_campaign(const Parsed& p, std::ostream& out, std::ostream& err) {
   if (p.options.count("threads"))
     par.threads = static_cast<unsigned>(
         parse_u64("threads", p.options.at("threads")));
+  const FaultSpecGuard faults(
+      p.options.count("faults") ? p.options.at("faults") : "");
 
   const soc::SystemConfig cfg;
   const auto lib = sim::make_defect_library(cfg, bus, defects, seed);
@@ -212,6 +248,10 @@ int cmd_campaign(const Parsed& p, std::ostream& out, std::ostream& err) {
   opts.parallel = par;
   opts.stats = &stats;
   opts.retry_errors = !p.options.count("no-retry");
+  opts.cancel = &interrupt_flag();
+  if (p.options.count("defect-deadline-ms"))
+    opts.defect_deadline_ms =
+        parse_u64("defect-deadline-ms", p.options.at("defect-deadline-ms"));
   if (p.options.count("checkpoint")) {
     opts.checkpoint_path = p.options.at("checkpoint");
     if (opts.checkpoint_path.empty())
@@ -222,18 +262,19 @@ int cmd_campaign(const Parsed& p, std::ostream& out, std::ostream& err) {
       sim::run_detection_sessions(cfg, sessions, bus, lib, opts);
 
   const sim::VerdictCounts vc = sim::count_verdicts(det);
-  char buf[512];
+  char buf[640];
   std::snprintf(buf, sizeof buf,
                 "bus=%s defects=%zu coverage=%.1f%% (seed %llu)\n"
                 "detected=%zu timeout=%zu undetected=%zu sim_errors=%zu "
-                "retries=%zu restored=%zu\n"
+                "retries=%zu restored=%zu salvaged=%zu dropped=%zu\n"
                 "threads=%u simulations=%zu cycles=%llu wall=%.3fs "
                 "defects/sec=%.0f\n",
                 soc::to_string(bus).c_str(), lib.size(),
                 100.0 * sim::coverage(det),
                 static_cast<unsigned long long>(seed), vc.detected,
                 vc.detected_by_timeout, vc.undetected, vc.sim_errors,
-                stats.retries, stats.restored_from_checkpoint, stats.threads,
+                stats.retries, stats.restored_from_checkpoint,
+                stats.salvaged_sections, stats.dropped_slots, stats.threads,
                 stats.defects_simulated,
                 static_cast<unsigned long long>(stats.simulated_cycles),
                 stats.wall_seconds, stats.defects_per_second());
@@ -243,7 +284,161 @@ int cmd_campaign(const Parsed& p, std::ostream& out, std::ostream& err) {
   return kExitOk;
 }
 
+// ---------------------------------------------------------------------------
+// chaos: kill/resume soak.
+//
+// Proves the resilience contract end to end, in process: a campaign that
+// is repeatedly killed at injector-chosen points (alternating graceful
+// cancel and simulated hard crash), resumed from its checkpoint, and
+// occasionally handed a checkpoint truncated at a random byte offset,
+// must still converge to verdicts bitwise identical to an uninterrupted
+// run -- per bus, at 1 and 4 threads.
+
+struct ChaosOutcome {
+  std::size_t kills = 0;
+  std::size_t crashes = 0;
+  std::size_t truncations = 0;
+  std::size_t completions = 0;
+};
+
+int cmd_chaos(const Parsed& p, std::ostream& out, std::ostream& err) {
+  std::vector<soc::BusKind> buses = {soc::BusKind::kAddress,
+                                     soc::BusKind::kData,
+                                     soc::BusKind::kControl};
+  if (p.options.count("bus")) buses = {parse_bus(p.options.at("bus"))};
+  const std::size_t defects =
+      p.options.count("defects")
+          ? static_cast<std::size_t>(
+                parse_u64("defects", p.options.at("defects")))
+          : 12;
+  const std::uint64_t seed =
+      p.options.count("seed") ? parse_u64("seed", p.options.at("seed"))
+                              : 20010618ull;
+  const std::size_t cycles =
+      p.options.count("cycles")
+          ? static_cast<std::size_t>(
+                parse_u64("cycles", p.options.at("cycles")))
+          : 20;
+  std::vector<unsigned> thread_counts = {1, 4};
+  if (p.options.count("threads")) {
+    const unsigned t = static_cast<unsigned>(
+        parse_u64("threads", p.options.at("threads")));
+    if (t != 0) thread_counts = {t};
+  }
+
+  util::FaultInjector& inj = util::FaultInjector::global();
+  struct Disarm {
+    ~Disarm() { util::FaultInjector::global().disarm(); }
+  } disarm_on_exit;
+
+  const soc::SystemConfig cfg;
+  const auto sessions =
+      sbst::TestProgramGenerator::generate_sessions(sbst::GeneratorConfig{});
+  std::size_t live_sessions = 0;
+  for (const auto& s : sessions) live_sessions += !s.program.tests.empty();
+
+  util::Rng rng(seed ^ 0xC4A05ull);
+  util::CampaignStats stats;
+
+  for (const soc::BusKind bus : buses) {
+    const auto lib = sim::make_defect_library(cfg, bus, defects, seed);
+    const std::size_t total_slots = live_sessions * lib.size();
+    inj.disarm();
+    const std::vector<sim::Verdict> reference =
+        sim::run_detection_sessions(cfg, sessions, bus, lib, 16, {1});
+
+    for (const unsigned threads : thread_counts) {
+      const std::string ckpt =
+          (std::filesystem::temp_directory_path() /
+           ("xtest_chaos_" + soc::to_string(bus) + "_t" +
+            std::to_string(threads) + ".ckpt"))
+              .string();
+      std::remove(ckpt.c_str());
+
+      sim::CampaignOptions opts;
+      opts.parallel = {threads};
+      opts.stats = &stats;
+      opts.cancel = &interrupt_flag();
+      opts.checkpoint_path = ckpt;
+      opts.checkpoint_key = sim::default_checkpoint_key(bus, lib);
+      opts.checkpoint_every = 3;  // small, so a hard crash loses little
+
+      ChaosOutcome oc;
+      while (oc.kills < cycles) {
+        // Kill at an injector-chosen record; past the remaining work the
+        // campaign simply completes (verified and restarted from empty).
+        const std::uint64_t at = 1 + rng.below(total_slots);
+        const bool hard = rng.below(2) == 0;
+        inj.configure((hard ? "campaign.crash@" : "campaign.kill@") +
+                      std::to_string(at) + ":" +
+                      std::to_string(rng.below(1u << 30)));
+        try {
+          const std::vector<sim::Verdict> det =
+              sim::run_detection_sessions(cfg, sessions, bus, lib, opts);
+          inj.disarm();
+          if (det != reference) {
+            err << "error: chaos: completed campaign diverged from the "
+                   "uninterrupted reference (bus="
+                << soc::to_string(bus) << " threads=" << threads << ")\n";
+            return kExitSim;
+          }
+          ++oc.completions;
+          std::remove(ckpt.c_str());  // start a fresh kill chain
+        } catch (const sim::CampaignInterrupted&) {
+          if (interrupt_flag().load()) throw;  // the operator, not us
+          ++oc.kills;
+          oc.crashes += hard;
+          // Every third kill also corrupts the checkpoint: truncate at a
+          // random byte so resume exercises the salvage path.
+          if (oc.kills % 3 == 0) {
+            std::error_code ec;
+            const auto size = std::filesystem::file_size(ckpt, ec);
+            if (!ec && size > 0) {
+              std::filesystem::resize_file(ckpt, rng.below(size), ec);
+              if (!ec) ++oc.truncations;
+            }
+          }
+        }
+      }
+
+      // Drain: no more kills, the chain must finish and match.
+      inj.disarm();
+      const std::vector<sim::Verdict> finished =
+          sim::run_detection_sessions(cfg, sessions, bus, lib, opts);
+      if (finished != reference) {
+        err << "error: chaos: resumed campaign diverged from the "
+               "uninterrupted reference (bus="
+            << soc::to_string(bus) << " threads=" << threads << ")\n";
+        return kExitSim;
+      }
+      std::remove(ckpt.c_str());
+      char buf[256];
+      std::snprintf(buf, sizeof buf,
+                    "chaos bus=%s threads=%u: %zu kills (%zu hard), %zu "
+                    "truncations, %zu clean completions, verdicts identical\n",
+                    soc::to_string(bus).c_str(), threads, oc.kills,
+                    oc.crashes, oc.truncations, oc.completions);
+      out << buf;
+    }
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "chaos soak passed: salvaged_sections=%zu dropped_slots=%zu "
+                "restored=%zu flush_failures=%zu\n",
+                stats.salvaged_sections, stats.dropped_slots,
+                stats.restored_from_checkpoint, stats.flush_failures);
+  out << buf;
+  return kExitOk;
+}
+
 }  // namespace
+
+std::atomic<bool>& interrupt_flag() {
+  static std::atomic<bool> flag{false};
+  static_assert(std::atomic<bool>::is_always_lock_free,
+                "signal handlers store to this flag");
+  return flag;
+}
 
 int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err) {
@@ -254,6 +449,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (p.command == "disasm") return cmd_disasm(p, out);
     if (p.command == "run") return cmd_run(p, out);
     if (p.command == "campaign") return cmd_campaign(p, out, err);
+    if (p.command == "chaos") return cmd_chaos(p, out, err);
     return usage(err);
   } catch (const UsageError& e) {
     err << "error: " << e.what() << '\n';
@@ -261,6 +457,9 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   } catch (const IoError& e) {
     err << "error: " << e.what() << '\n';
     return kExitIo;
+  } catch (const sim::CampaignInterrupted& e) {
+    err << "interrupted: " << e.what() << '\n';
+    return kExitInterrupted;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << '\n';
     return kExitSim;

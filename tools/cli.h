@@ -8,12 +8,16 @@
 //   xtest run FILE.img --entry ADDR [--trace]     execute on the system
 //   xtest campaign [--bus addr|data|ctrl] [--defects N] [--seed S]
 //                  [--threads T] [--checkpoint FILE] [--no-retry]
+//                  [--faults SPEC] [--defect-deadline-ms N]
 //                                                 defect-coverage campaign
+//   xtest chaos [--bus B] [--defects N] [--seed S] [--cycles K]
+//               [--threads T]                     kill/resume soak test
 //
 // Images use the text format of sim/serialize.h.
 
 #pragma once
 
+#include <atomic>
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
@@ -22,11 +26,13 @@
 namespace xtest::cli {
 
 /// Exit codes: every failure mode has its own code so scripts and CI can
-/// distinguish a typo from a broken file from a failed simulation.
+/// distinguish a typo from a broken file from a failed simulation -- and
+/// an operator interrupt (resumable from its checkpoint) from all three.
 inline constexpr int kExitOk = 0;
-inline constexpr int kExitUsage = 2;  // bad command line
-inline constexpr int kExitIo = 3;     // cannot read/write a file
-inline constexpr int kExitSim = 4;    // simulation/campaign failure
+inline constexpr int kExitUsage = 2;        // bad command line
+inline constexpr int kExitIo = 3;           // cannot read/write a file
+inline constexpr int kExitSim = 4;          // simulation/campaign failure
+inline constexpr int kExitInterrupted = 5;  // SIGINT/SIGTERM, resumable
 
 /// Bad command line: unknown flag value, missing operand, unparsable
 /// number.  Mapped to kExitUsage at the run() boundary.
@@ -39,6 +45,13 @@ struct UsageError : std::runtime_error {
 struct IoError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
+
+/// Cooperative-shutdown flag: campaign subcommands poll it between defect
+/// simulations, flush a final checkpoint, and exit with kExitInterrupted
+/// when it goes true.  main() sets it from SIGINT/SIGTERM (it is lock-free
+/// and async-signal-safe to store to); tests set it directly.  run() never
+/// clears it -- callers that reuse the process (tests) reset it themselves.
+std::atomic<bool>& interrupt_flag();
 
 /// Runs one command; writes human output to `out`, errors to `err`.
 /// Returns a process exit code.  Never lets an exception escape: every

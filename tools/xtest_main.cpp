@@ -1,3 +1,4 @@
+#include <csignal>
 #include <exception>
 #include <iostream>
 #include <string>
@@ -5,9 +6,26 @@
 
 #include "tools/cli.h"
 
+namespace {
+
+// Async-signal-safe by construction: the only thing the handler does is
+// store to a lock-free atomic.  Campaign workers poll the flag between
+// defect simulations, flush a final checkpoint, and the process exits
+// with cli::kExitInterrupted (5) so wrappers can tell "interrupted,
+// resumable" from a real failure.  A second signal while the flush is
+// still running falls back to the default disposition (kill now).
+extern "C" void request_shutdown(int sig) {
+  xtest::cli::interrupt_flag().store(true);
+  std::signal(sig, SIG_DFL);
+}
+
+}  // namespace
+
 // cli::run already maps every failure to an exit code, but keep a belt
 // here so a bug in that mapping can never escalate to std::terminate.
 int main(int argc, char** argv) {
+  std::signal(SIGINT, request_shutdown);
+  std::signal(SIGTERM, request_shutdown);
   try {
     std::vector<std::string> args(argv + 1, argv + argc);
     return xtest::cli::run(args, std::cout, std::cerr);
