@@ -1,0 +1,222 @@
+// Perf baseline for the hot-path overhaul: cached bus-transition
+// evaluation, the precomputed fast receive path, and gold-run reuse.
+//
+// Emits BENCH_PERF.json (in the working directory) with:
+//   * repeated-transfer throughput, transition cache on vs off, and the
+//     resulting speedup (the acceptance gate is >= 3x on this microbench);
+//   * single-call receive latency, fast BusEvaluator vs the reference
+//     CrosstalkErrorModel;
+//   * campaign wall time and throughput at 1 and 4 threads, with the
+//     cache hit rate and gold-run reuse count of the run.
+//
+// All timed paths are bitwise-equivalent to the reference evaluation
+// (tests/test_fastpath.cpp), so these numbers measure pure speed.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "bench_util.h"
+#include "sbst/generator.h"
+#include "sim/campaign.h"
+#include "sim/gold_cache.h"
+#include "soc/bus.h"
+#include "soc/system.h"
+#include "util/parallel.h"
+#include "xtalk/defect.h"
+#include "xtalk/error_model.h"
+#include "xtalk/fast_model.h"
+
+using namespace xtest;
+
+namespace {
+
+struct Timed {
+  double seconds = 0.0;
+  std::uint64_t calls = 0;
+
+  double per_call_ns() const {
+    return calls > 0 ? seconds * 1e9 / static_cast<double>(calls) : 0.0;
+  }
+  double per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(calls) / seconds : 0.0;
+  }
+};
+
+/// Repeats `body` (which performs `batch_calls` calls) until `min_seconds`
+/// of wall clock have elapsed.
+template <typename Body>
+Timed measure(double min_seconds, std::uint64_t batch_calls, Body&& body) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  Timed t;
+  do {
+    body();
+    t.calls += batch_calls;
+    t.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (t.seconds < min_seconds);
+  return t;
+}
+
+/// Fetch-loop style traffic: a short cyclic address sequence, exactly the
+/// shape that dominates a self-test program (the same transitions repeat
+/// thousands of times per run).
+std::vector<util::BusWord> fetch_sequence(unsigned width) {
+  std::vector<util::BusWord> seq;
+  for (unsigned i = 0; i < 16; ++i)
+    seq.emplace_back(width, (0x100u + i * 37u) & util::BusWord::mask(width));
+  return seq;
+}
+
+double transfers_per_sec(const xtalk::BusEvaluator& eval, bool use_cache) {
+  soc::TristateBus bus(soc::BusKind::kAddress, eval.width());
+  xtalk::TransitionCache cache(eval.width());
+  xtalk::TransitionCache* cache_ptr = use_cache ? &cache : nullptr;
+  const std::vector<util::BusWord> seq = fetch_sequence(eval.width());
+  std::uint64_t sink = 0;
+  const Timed t = measure(0.25, seq.size() * 64, [&] {
+    for (int rep = 0; rep < 64; ++rep)
+      for (const util::BusWord& w : seq)
+        sink ^= bus.transfer(w, &eval, cache_ptr).bits();
+  });
+  benchmark::DoNotOptimize(sink);
+  return t.per_sec();
+}
+
+double receive_ns_fast(const xtalk::BusEvaluator& eval,
+                       const std::vector<xtalk::VectorPair>& pairs) {
+  std::uint64_t sink = 0;
+  const Timed t = measure(0.25, pairs.size(), [&] {
+    for (const xtalk::VectorPair& p : pairs)
+      sink ^= eval.receive(p.v1.bits(), p.v2.bits());
+  });
+  benchmark::DoNotOptimize(sink);
+  return t.per_call_ns();
+}
+
+double receive_ns_reference(const xtalk::RcNetwork& net,
+                            const xtalk::CrosstalkErrorModel& model,
+                            const std::vector<xtalk::VectorPair>& pairs) {
+  std::uint64_t sink = 0;
+  const Timed t = measure(0.25, pairs.size(), [&] {
+    for (const xtalk::VectorPair& p : pairs)
+      sink ^= model.receive(net, p).bits();
+  });
+  benchmark::DoNotOptimize(sink);
+  return t.per_call_ns();
+}
+
+struct CampaignPoint {
+  double wall_seconds = 0.0;
+  double defects_per_second = 0.0;
+  double cache_hit_rate = 0.0;
+  std::size_t gold_reuses = 0;
+};
+
+/// Runs the same single-program campaign twice (the second run reuses the
+/// gold snapshot, like per-line sweeps and resumes do) and reports the
+/// accumulated stats.
+CampaignPoint campaign_point(unsigned threads) {
+  sim::GoldRunCache::global().clear();
+  const soc::SystemConfig cfg;
+  const auto prog =
+      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+  const auto lib =
+      sim::make_defect_library(cfg, soc::BusKind::kAddress, 48, 20010618);
+  util::CampaignStats stats;
+  sim::CampaignOptions opts;
+  opts.parallel.threads = threads;
+  opts.stats = &stats;
+  for (int pass = 0; pass < 2; ++pass)
+    sim::run_detection(cfg, prog.program, soc::BusKind::kAddress, lib, opts);
+  return {stats.wall_seconds, stats.defects_per_second(),
+          stats.cache_hit_rate(), stats.gold_reuses};
+}
+
+}  // namespace
+
+int main(int, char**) {
+  bench::banner("Perf: hot-path baseline",
+                "simulator throughput (no paper figure; perf trajectory)");
+
+  xtalk::BusGeometry g;
+  g.width = 12;
+  const xtalk::RcNetwork net(g);
+  const xtalk::ErrorModelConfig thresholds =
+      xtalk::ErrorModelConfig::calibrated(net, xtalk::recommended_cth(net));
+  const xtalk::BusEvaluator eval(net, thresholds);
+  const xtalk::CrosstalkErrorModel reference(thresholds);
+
+  std::mt19937_64 rng(42);
+  std::uniform_int_distribution<std::uint64_t> word(0,
+                                                    util::BusWord::mask(12));
+  std::vector<xtalk::VectorPair> pairs;
+  for (int i = 0; i < 1024; ++i)
+    pairs.push_back({util::BusWord(12, word(rng)),
+                     util::BusWord(12, word(rng))});
+
+  const double xfer_on = transfers_per_sec(eval, true);
+  const double xfer_off = transfers_per_sec(eval, false);
+  const double xfer_speedup = xfer_off > 0.0 ? xfer_on / xfer_off : 0.0;
+  const double ns_fast = receive_ns_fast(eval, pairs);
+  const double ns_ref = receive_ns_reference(net, reference, pairs);
+  const double recv_speedup = ns_fast > 0.0 ? ns_ref / ns_fast : 0.0;
+
+  std::printf("\nrepeated transfers (12-wire bus, 16-word fetch loop):\n"
+              "  cache on : %12.0f transfers/sec\n"
+              "  cache off: %12.0f transfers/sec\n"
+              "  speedup  : %.2fx\n",
+              xfer_on, xfer_off, xfer_speedup);
+  std::printf("\nsingle receive (random 12-wire transitions):\n"
+              "  fast evaluator : %8.1f ns/call\n"
+              "  reference model: %8.1f ns/call\n"
+              "  speedup        : %.2fx\n",
+              ns_fast, ns_ref, recv_speedup);
+
+  const CampaignPoint t1 = campaign_point(1);
+  const CampaignPoint t4 = campaign_point(4);
+  std::printf("\ncampaign (48 address defects, run twice):\n"
+              "  threads=1: %.3f s wall, %.0f defects/sec, hit rate %.1f%%, "
+              "%zu gold reuse(s)\n"
+              "  threads=4: %.3f s wall, %.0f defects/sec, hit rate %.1f%%, "
+              "%zu gold reuse(s)\n",
+              t1.wall_seconds, t1.defects_per_second,
+              100.0 * t1.cache_hit_rate, t1.gold_reuses, t4.wall_seconds,
+              t4.defects_per_second, 100.0 * t4.cache_hit_rate,
+              t4.gold_reuses);
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof json,
+      "{\"bench\":\"perf_hotpath\","
+      "\"transfers_per_sec_cache_on\":%.0f,"
+      "\"transfers_per_sec_cache_off\":%.0f,"
+      "\"repeated_transfer_speedup\":%.3f,"
+      "\"receive_ns_fast\":%.2f,"
+      "\"receive_ns_reference\":%.2f,"
+      "\"receive_speedup\":%.3f,"
+      "\"campaign_wall_s_threads1\":%.4f,"
+      "\"campaign_wall_s_threads4\":%.4f,"
+      "\"campaign_defects_per_sec_threads1\":%.1f,"
+      "\"campaign_defects_per_sec_threads4\":%.1f,"
+      "\"cache_hit_rate\":%.4f,"
+      "\"gold_reuses\":%zu}",
+      xfer_on, xfer_off, xfer_speedup, ns_fast, ns_ref, recv_speedup,
+      t1.wall_seconds, t4.wall_seconds, t1.defects_per_second,
+      t4.defects_per_second, t1.cache_hit_rate,
+      t1.gold_reuses + t4.gold_reuses);
+  std::printf("\n%s\n", json);
+
+  std::FILE* out = std::fopen("BENCH_PERF.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "%s\n", json);
+    std::fclose(out);
+    std::printf("wrote BENCH_PERF.json\n");
+  } else {
+    std::fprintf(stderr, "warning: cannot write BENCH_PERF.json\n");
+  }
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "sim/checkpoint.h"
+#include "sim/gold_cache.h"
 #include "util/fault_injector.h"
 
 namespace xtest::sim {
@@ -95,9 +96,28 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
                                    const xtalk::DefectLibrary& library,
                                    const CampaignOptions& options) {
   const auto start = Clock::now();
-  soc::System gold_system(config);
-  const ResponseSnapshot gold =
-      run_and_capture(gold_system, program, 1'000'000);
+  // Gold-run reuse: the snapshot is a pure function of (config, program,
+  // budget), so identical gold programs across sessions, per-line sweeps,
+  // and checkpoint resumes are answered from the process-wide memo.  An
+  // armed fault injector bypasses the memo (see gold_cache.h).
+  soc::CacheCounters xfer_counters;
+  ResponseSnapshot gold;
+  bool gold_reused = false;
+  const bool gold_cacheable =
+      options.reuse_gold && !util::FaultInjector::global().armed();
+  std::uint64_t gold_key = 0;
+  if (gold_cacheable) {
+    gold_key = gold_run_key(config, program, 1'000'000);
+    gold_reused = GoldRunCache::global().find(gold_key, gold);
+  }
+  if (!gold_reused) {
+    soc::System gold_system(config);
+    gold = run_and_capture(gold_system, program, 1'000'000);
+    const soc::CacheCounters c = gold_system.transition_cache_counters();
+    xfer_counters.hits += c.hits;
+    xfer_counters.misses += c.misses;
+    if (gold_cacheable) GoldRunCache::global().store(gold_key, gold);
+  }
   if (!gold.completed)
     throw std::runtime_error("gold run did not complete; bad program");
   const std::uint64_t budget = gold.cycles * options.cycle_factor + 1000;
@@ -173,6 +193,13 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
         }
       });
 
+  for (const std::optional<soc::System>& s : systems) {
+    if (!s) continue;
+    const soc::CacheCounters c = s->transition_cache_counters();
+    xfer_counters.hits += c.hits;
+    xfer_counters.misses += c.misses;
+  }
+
   // Quarantine: each failed defect is retried once serially on a fresh
   // simulator (a transient poisoned-worker state cannot recur there); a
   // second failure is recorded as kSimError and the campaign still
@@ -184,8 +211,8 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
     bool recovered = false;
     if (options.retry_errors) {
       ++retries;
+      soc::System system(config);
       try {
-        soc::System system(config);
         verdicts[e.index] =
             simulate_one(system, bus, library[e.index], program, gold, budget,
                          options.defect_deadline_ms, run_cycles[e.index]);
@@ -195,6 +222,9 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
       } catch (...) {
         message = "unknown exception";
       }
+      const soc::CacheCounters c = system.transition_cache_counters();
+      xfer_counters.hits += c.hits;
+      xfer_counters.misses += c.misses;
     }
     if (!recovered) {
       verdicts[e.index] = Verdict::kSimError;
@@ -231,6 +261,9 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
     stats.simulated_cycles += gold.cycles;
     for (std::uint64_t c : run_cycles) stats.simulated_cycles += c;
     if (checkpoint) stats.flush_failures += checkpoint->flush_failures();
+    stats.cache_hits += xfer_counters.hits;
+    stats.cache_misses += xfer_counters.misses;
+    stats.gold_reuses += gold_reused ? 1 : 0;
     if (!interrupted) tally_verdicts(verdicts, stats);
     stats.wall_seconds += seconds_since(start);
   }

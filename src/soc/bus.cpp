@@ -24,4 +24,28 @@ util::BusWord TristateBus::transfer(util::BusWord word,
   return received;
 }
 
+util::BusWord TristateBus::transfer(util::BusWord word,
+                                    const xtalk::BusEvaluator* eval,
+                                    xtalk::TransitionCache* cache) {
+  assert(word.width() == width_);
+  const std::uint64_t held = held_.bits();
+  const std::uint64_t driven = word.bits();
+  held_ = word;
+  if (eval == nullptr || eval->width() == 0) return word;
+  // Early exit: no wire toggles, so receive is the identity (no aggressor
+  // injects charge and no victim transitions).  Guarded by the evaluator
+  // because a non-positive glitch threshold would flip even a quiet bus.
+  if (held == driven && eval->quiet_is_identity()) return word;
+  if (cache != nullptr && cache->enabled()) {
+    const std::uint64_t key = (held << width_) | driven;
+    std::uint64_t value = 0;
+    if (!cache->lookup(key, value)) {
+      value = eval->receive(held, driven);
+      cache->insert(key, value);
+    }
+    return {width_, value};
+  }
+  return {width_, eval->receive(held, driven)};
+}
+
 }  // namespace xtest::soc

@@ -14,6 +14,7 @@
 
 #include "util/bitvec.h"
 #include "xtalk/error_model.h"
+#include "xtalk/fast_model.h"
 #include "xtalk/maf.h"
 #include "xtalk/rc_network.h"
 
@@ -41,6 +42,22 @@ class TristateBus {
   /// to their final values once the glitch/delay transient has passed.
   util::BusWord transfer(util::BusWord word, const xtalk::RcNetwork* net,
                          const xtalk::CrosstalkErrorModel* model);
+
+  /// Hot-path transfer through a precomputed evaluator (bit-identical to
+  /// the reference overload on the same network/thresholds).  A quiet bus
+  /// (re-driving the held word) skips evaluation entirely when the
+  /// evaluator proves the identity -- the most common transfer in real
+  /// programs.  `cache` (optional) memoizes (held, driven) -> received per
+  /// defect; `eval` may be null or empty for an ideal bus.
+  util::BusWord transfer(util::BusWord word, const xtalk::BusEvaluator* eval,
+                         xtalk::TransitionCache* cache);
+
+  /// Ideal bus: `transfer(word, nullptr, nullptr)` would be ambiguous
+  /// between the two evaluating overloads; both degrade to this.
+  util::BusWord transfer(util::BusWord word, std::nullptr_t, std::nullptr_t) {
+    return transfer(word, static_cast<const xtalk::RcNetwork*>(nullptr),
+                    nullptr);
+  }
 
   /// Resets the held value (e.g. at system reset).
   void reset() { held_ = util::BusWord::zeros(width_); }

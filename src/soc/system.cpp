@@ -14,6 +14,12 @@ xtalk::ErrorModelConfig scaled_calibration(const xtalk::RcNetwork& nominal,
   return cfg;
 }
 
+xtalk::TransitionCache make_cache(bool enabled, unsigned width) {
+  if (!enabled || !xtalk::TransitionCache::cacheable(width))
+    return xtalk::TransitionCache{};
+  return xtalk::TransitionCache{width};
+}
+
 }  // namespace
 
 System::System(const SystemConfig& config)
@@ -29,26 +35,64 @@ System::System(const SystemConfig& config)
                                      config.clock_period_scale)),
       ctrl_model_(scaled_calibration(nominal_ctrl_net_, ctrl_cth_,
                                      config.clock_period_scale)),
-      addr_net_(nominal_addr_net_),
-      data_net_(nominal_data_net_),
-      ctrl_net_(nominal_ctrl_net_) {}
+      fast_receive_(config.fast_receive),
+      use_cache_(config.transition_cache),
+      nominal_addr_eval_(nominal_addr_net_, addr_model_.config()),
+      nominal_data_eval_(nominal_data_net_, data_model_.config()),
+      nominal_ctrl_eval_(nominal_ctrl_net_, ctrl_model_.config()),
+      addr_{nominal_addr_net_, nominal_addr_eval_,
+            make_cache(use_cache_, nominal_addr_net_.width())},
+      data_{nominal_data_net_, nominal_data_eval_,
+            make_cache(use_cache_, nominal_data_net_.width())},
+      ctrl_{nominal_ctrl_net_, nominal_ctrl_eval_,
+            make_cache(use_cache_, nominal_ctrl_net_.width())} {}
+
+void System::set_network(BusChannel& channel,
+                         const xtalk::CrosstalkErrorModel& model,
+                         xtalk::RcNetwork net) {
+  channel.net = std::move(net);
+  channel.eval = xtalk::BusEvaluator(channel.net, model.config());
+  channel.cache.invalidate();
+}
 
 void System::set_address_network(xtalk::RcNetwork net) {
-  addr_net_ = std::move(net);
+  set_network(addr_, addr_model_, std::move(net));
 }
 
 void System::set_data_network(xtalk::RcNetwork net) {
-  data_net_ = std::move(net);
+  set_network(data_, data_model_, std::move(net));
 }
 
 void System::set_control_network(xtalk::RcNetwork net) {
-  ctrl_net_ = std::move(net);
+  set_network(ctrl_, ctrl_model_, std::move(net));
 }
 
 void System::clear_defects() {
-  addr_net_ = nominal_addr_net_;
-  data_net_ = nominal_data_net_;
-  ctrl_net_ = nominal_ctrl_net_;
+  addr_.net = nominal_addr_net_;
+  data_.net = nominal_data_net_;
+  ctrl_.net = nominal_ctrl_net_;
+  addr_.eval = nominal_addr_eval_;
+  data_.eval = nominal_data_eval_;
+  ctrl_.eval = nominal_ctrl_eval_;
+  addr_.cache.invalidate();
+  data_.cache.invalidate();
+  ctrl_.cache.invalidate();
+}
+
+void System::set_forced_maf(std::optional<ForcedMaf> f) {
+  forced_ = f;
+  addr_.cache.invalidate();
+  data_.cache.invalidate();
+  ctrl_.cache.invalidate();
+}
+
+CacheCounters System::transition_cache_counters() const {
+  CacheCounters c;
+  for (const BusChannel* ch : {&addr_, &data_, &ctrl_}) {
+    c.hits += ch->cache.hits();
+    c.misses += ch->cache.misses();
+  }
+  return c;
 }
 
 void System::attach_mmio(cpu::Addr base, cpu::Addr size, MmioDevice* device) {
@@ -68,12 +112,16 @@ RunResult System::run(std::uint64_t max_cycles) {
   return {cpu_.cycles(), cpu_.halted(), cpu_.halt_reason()};
 }
 
-util::BusWord System::apply_bus(TristateBus& bus, const xtalk::RcNetwork& net,
+util::BusWord System::apply_bus(TristateBus& bus, BusChannel& channel,
                                 const xtalk::CrosstalkErrorModel& model,
                                 util::BusWord driven,
                                 xtalk::BusDirection direction) {
   const xtalk::VectorPair pair{bus.held(), driven};
-  util::BusWord received = bus.transfer(driven, &net, &model);
+  util::BusWord received =
+      fast_receive_
+          ? bus.transfer(driven, &channel.eval,
+                         use_cache_ ? &channel.cache : nullptr)
+          : bus.transfer(driven, &channel.net, &model);
   if (forced_ && forced_->bus == bus.kind() &&
       forced_->fault.direction == direction &&
       xtalk::fully_excites(forced_->fault, pair)) {
@@ -88,7 +136,7 @@ util::BusWord System::apply_bus(TristateBus& bus, const xtalk::RcNetwork& net,
 
 cpu::Addr System::send_address(cpu::Addr addr) {
   const util::BusWord received =
-      apply_bus(addr_bus_, addr_net_, addr_model_,
+      apply_bus(addr_bus_, addr_, addr_model_,
                 util::BusWord(cpu::kAddrBits, addr),
                 xtalk::BusDirection::kCpuToCore);
   return static_cast<cpu::Addr>(received.bits());
@@ -97,14 +145,14 @@ cpu::Addr System::send_address(cpu::Addr addr) {
 std::uint8_t System::send_data(std::uint8_t byte,
                                xtalk::BusDirection direction) {
   const util::BusWord received =
-      apply_bus(data_bus_, data_net_, data_model_,
+      apply_bus(data_bus_, data_, data_model_,
                 util::BusWord(cpu::kDataBits, byte), direction);
   return static_cast<std::uint8_t>(received.bits());
 }
 
 ControlView System::send_control(bool write) {
   const util::BusWord received =
-      apply_bus(ctrl_bus_, ctrl_net_, ctrl_model_, control_word(write),
+      apply_bus(ctrl_bus_, ctrl_, ctrl_model_, control_word(write),
                 xtalk::BusDirection::kCpuToCore);
   return ControlView(received);
 }

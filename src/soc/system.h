@@ -46,6 +46,17 @@ struct SystemConfig {
   /// proportionally and marginal delay defects stop being observable --
   /// the paper's core argument for at-speed self-test (Section 1).
   double clock_period_scale = 1.0;
+  /// Hot-path controls.  Both paths produce bit-identical received words
+  /// (tests/test_fastpath.cpp); `false` selects the reference evaluation
+  /// for equivalence testing.
+  bool fast_receive = true;      ///< precomputed per-defect BusEvaluator
+  bool transition_cache = true;  ///< memoize (held, driven) per defect
+};
+
+/// Transition-cache counters summed over a system's three buses.
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
 };
 
 struct RunResult {
@@ -86,13 +97,21 @@ class System : public cpu::BusPort {
   }
 
   /// Defect injection: replace a bus's RC network (pass the defect-applied
-  /// network).  `clear_defects` restores all nominals.
+  /// network).  Rebuilds the bus's fast evaluator and invalidates its
+  /// transition cache.  `clear_defects` restores all nominals.
   void set_address_network(xtalk::RcNetwork net);
   void set_data_network(xtalk::RcNetwork net);
   void set_control_network(xtalk::RcNetwork net);
   void clear_defects();
 
-  void set_forced_maf(std::optional<ForcedMaf> f) { forced_ = f; }
+  /// Forcing (or clearing) an ideal MAF invalidates the transition caches:
+  /// cached entries hold the *model* result, and belt-and-suspenders
+  /// invalidation keeps every cached word derivable from current state.
+  void set_forced_maf(std::optional<ForcedMaf> f);
+
+  /// Transition-cache hits/misses accumulated over all three buses since
+  /// construction (0/0 when the cache is disabled).
+  CacheCounters transition_cache_counters() const;
 
   /// Attach a peripheral core at [base, base+size).  The window shadows
   /// memory for CPU accesses.
@@ -131,9 +150,20 @@ class System : public cpu::BusPort {
   /// Control-bus transfer (CPU drives); returns the word memory receives.
   ControlView send_control(bool write);
 
-  util::BusWord apply_bus(TristateBus& bus, const xtalk::RcNetwork& net,
+  /// One bus's active evaluation state: the defect-applied network, its
+  /// precomputed fast evaluator, and the per-defect transition memo.
+  struct BusChannel {
+    xtalk::RcNetwork net;
+    xtalk::BusEvaluator eval;
+    xtalk::TransitionCache cache;
+  };
+
+  util::BusWord apply_bus(TristateBus& bus, BusChannel& channel,
                           const xtalk::CrosstalkErrorModel& model,
                           util::BusWord driven, xtalk::BusDirection direction);
+
+  void set_network(BusChannel& channel, const xtalk::CrosstalkErrorModel& model,
+                   xtalk::RcNetwork net);
 
   std::uint8_t core_read(cpu::Addr addr);
   void core_write(cpu::Addr addr, std::uint8_t data);
@@ -148,9 +178,16 @@ class System : public cpu::BusPort {
   xtalk::CrosstalkErrorModel addr_model_;
   xtalk::CrosstalkErrorModel data_model_;
   xtalk::CrosstalkErrorModel ctrl_model_;
-  xtalk::RcNetwork addr_net_;  // active (possibly defect-applied)
-  xtalk::RcNetwork data_net_;
-  xtalk::RcNetwork ctrl_net_;
+  bool fast_receive_;
+  bool use_cache_;
+  // Nominal evaluators, prebuilt so clear_defects (once per defect in a
+  // campaign) restores them by copy instead of re-deriving rows.
+  xtalk::BusEvaluator nominal_addr_eval_;
+  xtalk::BusEvaluator nominal_data_eval_;
+  xtalk::BusEvaluator nominal_ctrl_eval_;
+  BusChannel addr_;  // active (possibly defect-applied)
+  BusChannel data_;
+  BusChannel ctrl_;
 
   TristateBus addr_bus_{BusKind::kAddress, cpu::kAddrBits};
   TristateBus data_bus_{BusKind::kData, cpu::kDataBits};

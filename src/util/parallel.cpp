@@ -102,7 +102,7 @@ std::vector<ItemError> parallel_for_items(
 }
 
 std::string CampaignStats::json(const std::string& label) const {
-  char buf[768];
+  char buf[1024];
   std::snprintf(
       buf, sizeof buf,
       "{\"campaign\":\"%s\",\"threads\":%u,\"defects\":%zu,"
@@ -111,12 +111,16 @@ std::string CampaignStats::json(const std::string& label) const {
       "\"detected_by_timeout\":%zu,\"undetected\":%zu,\"sim_errors\":%zu,"
       "\"retries\":%zu,\"restored_from_checkpoint\":%zu,"
       "\"salvaged_sections\":%zu,\"dropped_slots\":%zu,"
-      "\"flush_failures\":%zu}",
+      "\"flush_failures\":%zu,\"cache_hits\":%llu,\"cache_misses\":%llu,"
+      "\"cache_hit_rate\":%.4f,\"gold_reuses\":%zu}",
       label.c_str(), threads, defects_simulated,
       static_cast<unsigned long long>(simulated_cycles), wall_seconds,
       defects_per_second(), detected, detected_by_timeout, undetected,
       sim_errors, retries, restored_from_checkpoint, salvaged_sections,
-      dropped_slots, flush_failures);
+      dropped_slots, flush_failures,
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses), cache_hit_rate(),
+      gold_reuses);
   return buf;
 }
 

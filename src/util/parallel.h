@@ -111,6 +111,14 @@ struct CampaignStats {
   /// Periodic checkpoint flushes that failed (ENOSPC, injected fault, ...)
   /// and were deferred to the next flush instead of aborting the campaign.
   std::size_t flush_failures = 0;
+  // Hot-path counters (results are unaffected: cached words and reused
+  // gold snapshots are bit-identical to recomputation).
+  /// Bus transfers answered from a transition memo instead of re-evaluated.
+  std::uint64_t cache_hits = 0;
+  /// Bus transfers that missed the memo and ran the analytic fast path.
+  std::uint64_t cache_misses = 0;
+  /// Gold runs answered from the process-wide snapshot memo.
+  std::size_t gold_reuses = 0;
   /// One "defect <index>: <message>" line per quarantined simulation.
   std::vector<std::string> error_log;
 
@@ -118,6 +126,14 @@ struct CampaignStats {
     return wall_seconds > 0.0
                ? static_cast<double>(defects_simulated) / wall_seconds
                : 0.0;
+  }
+
+  /// Fraction of cache-eligible transfers served from the memo, in [0, 1].
+  double cache_hit_rate() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total > 0 ? static_cast<double>(cache_hits) /
+                           static_cast<double>(total)
+                     : 0.0;
   }
 
   /// One-line JSON record for the perf trajectory, keyed by `label`.

@@ -2,7 +2,10 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 namespace xtest::xtalk {
 
@@ -41,9 +44,16 @@ LuSolver::LuSolver(std::vector<double> matrix, unsigned n)
 }
 
 void LuSolver::solve(std::vector<double>& b) const {
+  std::vector<double> scratch;
+  solve(b, scratch);
+}
+
+void LuSolver::solve(std::vector<double>& b,
+                     std::vector<double>& scratch) const {
   if (singular_) throw std::runtime_error("LuSolver: singular matrix");
   assert(b.size() == n_);
-  std::vector<double> x(n_);
+  scratch.resize(n_);
+  std::vector<double>& x = scratch;
   for (unsigned i = 0; i < n_; ++i) x[i] = b[perm_[i]];
   // Forward substitution (unit lower triangle).
   for (unsigned i = 0; i < n_; ++i)
@@ -53,7 +63,7 @@ void LuSolver::solve(std::vector<double>& b) const {
     for (unsigned j = i + 1; j < n_; ++j) x[i] -= lu_[i * n_ + j] * x[j];
     x[i] /= lu_[i * n_ + i];
   }
-  b = std::move(x);
+  std::swap(b, scratch);  // solution in b, old b becomes next call's scratch
 }
 
 namespace {
@@ -71,28 +81,41 @@ std::vector<double> maxwell_matrix(const RcNetwork& net) {
   return c;
 }
 
-struct Integrator {
-  // Trapezoidal rule for C dV/dt = D (S - V), with C in fF, t in ns,
-  // R in ohm: D = 1e6 / R (so that tau = R * C comes out in ns).
+}  // namespace
+
+// Trapezoidal rule for C dV/dt = D (S - V), with C in fF, t in ns, R in
+// ohm: D = 1e6 / R (so that tau = R * C comes out in ns).  Factored once
+// per (network revision, time step) and shared by every simulate() /
+// waveform() call; stepping never allocates.
+struct TransientPlan {
   unsigned n;
   double dt;
+  std::uint64_t revision;
+  bool fused;
   std::vector<double> m;  // C/dt - D/2
   std::vector<double> d;  // per-wire conductance term
   LuSolver lhs;           // C/dt + D/2
+  // Fused path: v' = a v + bmat s with a = lhs^-1 m, bmat = lhs^-1 diag(d).
+  // Left empty when fusion is off or the lhs is singular (the reference
+  // path then reports the singularity exactly as before).
+  std::vector<double> a;
+  std::vector<double> bmat;
 
-  Integrator(const RcNetwork& net, double time_step_ns)
+  TransientPlan(const RcNetwork& net, double time_step_ns, bool fuse)
       : n(net.width()),
         dt(time_step_ns),
+        revision(net.revision()),
+        fused(fuse),
         m(maxwell_matrix(net)),
         d(n, 0.0),
         lhs([&] {
-          std::vector<double> a = maxwell_matrix(net);
+          std::vector<double> lhs_m = maxwell_matrix(net);
           for (unsigned i = 0; i < n; ++i) {
             const double g = 1e6 / net.driver_resistance();
-            for (unsigned j = 0; j < n; ++j) a[i * n + j] /= time_step_ns;
-            a[i * n + i] += g / 2.0;
+            for (unsigned j = 0; j < n; ++j) lhs_m[i * n + j] /= time_step_ns;
+            lhs_m[i * n + i] += g / 2.0;
           }
-          return a;
+          return lhs_m;
         }(),
             net.width()) {
     const double g = 1e6 / net.driver_resistance();
@@ -101,34 +124,92 @@ struct Integrator {
       m[i * n + i] -= g / 2.0;
       d[i] = g;
     }
+    if (!fuse || lhs.singular()) return;
+    a.assign(static_cast<std::size_t>(n) * n, 0.0);
+    bmat.assign(static_cast<std::size_t>(n) * n, 0.0);
+    std::vector<double> col(n), scratch;
+    for (unsigned j = 0; j < n; ++j) {
+      for (unsigned i = 0; i < n; ++i) col[i] = m[i * n + j];
+      lhs.solve(col, scratch);
+      for (unsigned i = 0; i < n; ++i) a[i * n + j] = col[i];
+      for (unsigned i = 0; i < n; ++i) col[i] = i == j ? d[j] : 0.0;
+      lhs.solve(col, scratch);
+      for (unsigned i = 0; i < n; ++i) bmat[i * n + j] = col[i];
+    }
   }
 
-  /// One step: v := solve(lhs, m*v + d.*s).
-  void step(std::vector<double>& v, const std::vector<double>& s) const {
-    std::vector<double> rhs(n, 0.0);
-    for (unsigned i = 0; i < n; ++i) {
-      double acc = 0.0;
-      for (unsigned j = 0; j < n; ++j) acc += m[i * n + j] * v[j];
-      rhs[i] = acc + d[i] * s[i];
+  bool use_fused() const { return !a.empty(); }
+
+  /// Source term that is constant across steps: bs = bmat * s (fused) or
+  /// d .* s (reference).
+  void source_term(const std::vector<double>& s,
+                   std::vector<double>& bs) const {
+    bs.assign(n, 0.0);
+    if (use_fused()) {
+      for (unsigned i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (unsigned j = 0; j < n; ++j) acc += bmat[i * n + j] * s[j];
+        bs[i] = acc;
+      }
+    } else {
+      for (unsigned i = 0; i < n; ++i) bs[i] = d[i] * s[i];
     }
-    lhs.solve(rhs);
-    v = std::move(rhs);
+  }
+
+  /// One step, allocation-free: v advances in place, `next` and `scratch`
+  /// are caller-owned buffers reused across steps.
+  void step(std::vector<double>& v, const std::vector<double>& bs,
+            std::vector<double>& next, std::vector<double>& scratch) const {
+    if (use_fused()) {
+      for (unsigned i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (unsigned j = 0; j < n; ++j) acc += a[i * n + j] * v[j];
+        next[i] = acc + bs[i];
+      }
+    } else {
+      for (unsigned i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (unsigned j = 0; j < n; ++j) acc += m[i * n + j] * v[j];
+        next[i] = acc + bs[i];
+      }
+      lhs.solve(next, scratch);
+    }
+    std::swap(v, next);
   }
 };
 
-}  // namespace
+struct TransientSimulator::PlanCache {
+  std::mutex mutex;
+  std::shared_ptr<const TransientPlan> plan;
+};
+
+TransientSimulator::TransientSimulator(TransientConfig config)
+    : config_(config), cache_(std::make_shared<PlanCache>()) {}
+
+std::shared_ptr<const TransientPlan> TransientSimulator::plan_for(
+    const RcNetwork& net) const {
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  std::shared_ptr<const TransientPlan>& plan = cache_->plan;
+  if (!plan || plan->revision != net.revision() || plan->n != net.width() ||
+      plan->dt != config_.time_step_ns || plan->fused != config_.fused_step)
+    plan = std::make_shared<const TransientPlan>(net, config_.time_step_ns,
+                                                 config_.fused_step);
+  return plan;
+}
 
 std::vector<WireResponse> TransientSimulator::simulate(
     const RcNetwork& net, const VectorPair& pair) const {
   const unsigned n = net.width();
   assert(pair.v1.width() == n && pair.v2.width() == n);
-  const Integrator integ(net, config_.time_step_ns);
+  const std::shared_ptr<const TransientPlan> plan = plan_for(net);
 
   std::vector<double> v(n), s(n);
   for (unsigned i = 0; i < n; ++i) {
     v[i] = pair.v1.bit(i) ? config_.vdd_v : 0.0;
     s[i] = pair.v2.bit(i) ? config_.vdd_v : 0.0;
   }
+  std::vector<double> bs, next(n, 0.0), scratch;
+  plan->source_term(s, bs);
 
   std::vector<WireResponse> out(n);
   const double half = config_.vdd_v / 2.0;
@@ -136,7 +217,7 @@ std::vector<WireResponse> TransientSimulator::simulate(
   const auto steps =
       static_cast<std::size_t>(config_.duration_ns / config_.time_step_ns);
   for (std::size_t k = 1; k <= steps; ++k) {
-    integ.step(v, s);
+    plan->step(v, bs, next, scratch);
     const double t = static_cast<double>(k) * config_.time_step_ns;
     for (unsigned i = 0; i < n; ++i) {
       const double exc = v[i] - s[i];
@@ -158,17 +239,19 @@ std::vector<double> TransientSimulator::waveform(const RcNetwork& net,
                                                  unsigned wire) const {
   const unsigned n = net.width();
   assert(wire < n);
-  const Integrator integ(net, config_.time_step_ns);
+  const std::shared_ptr<const TransientPlan> plan = plan_for(net);
   std::vector<double> v(n), s(n);
   for (unsigned i = 0; i < n; ++i) {
     v[i] = pair.v1.bit(i) ? config_.vdd_v : 0.0;
     s[i] = pair.v2.bit(i) ? config_.vdd_v : 0.0;
   }
+  std::vector<double> bs, next(n, 0.0), scratch;
+  plan->source_term(s, bs);
   std::vector<double> wf{v[wire]};
   const auto steps =
       static_cast<std::size_t>(config_.duration_ns / config_.time_step_ns);
   for (std::size_t k = 1; k <= steps; ++k) {
-    integ.step(v, s);
+    plan->step(v, bs, next, scratch);
     wf.push_back(v[wire]);
   }
   return wf;

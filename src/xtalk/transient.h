@@ -19,6 +19,7 @@
 
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "xtalk/error_model.h"
@@ -31,6 +32,13 @@ struct TransientConfig {
   double vdd_v = 1.8;
   double time_step_ns = 1e-3;
   double duration_ns = 10.0;  ///< must cover several RC time constants
+  /// Fold the implicit trapezoidal update into one dense step matrix at
+  /// plan-build time (v' = A v + B s, A = lhs^-1 M, B = lhs^-1 diag(d))
+  /// instead of a matvec followed by an LU solve every step.  Same scheme,
+  /// different floating-point association; the extracted responses agree
+  /// to integrator tolerance.  false = the original matvec + solve path
+  /// (still allocation-free per step).
+  bool fused_step = true;
 };
 
 /// Per-wire summary of one transition's transient response.
@@ -44,10 +52,13 @@ struct WireResponse {
   double crossing_time_ns = 0.0;
 };
 
+/// Factored step plan for one (network revision, time step): built once,
+/// reused by every simulate()/waveform() call against the same network.
+struct TransientPlan;
+
 class TransientSimulator {
  public:
-  explicit TransientSimulator(TransientConfig config = {})
-      : config_(config) {}
+  explicit TransientSimulator(TransientConfig config = {});
 
   /// Simulates the transition pair on `net` and summarises every wire.
   std::vector<WireResponse> simulate(const RcNetwork& net,
@@ -68,7 +79,15 @@ class TransientSimulator {
   const TransientConfig& config() const { return config_; }
 
  private:
+  struct PlanCache;
+
+  /// Returns the cached step plan when the network revision still matches,
+  /// otherwise factors a fresh one (see RcNetwork::revision).  Copies of a
+  /// simulator share the cache; plans are immutable once built.
+  std::shared_ptr<const TransientPlan> plan_for(const RcNetwork& net) const;
+
   TransientConfig config_;
+  std::shared_ptr<PlanCache> cache_;
 };
 
 /// Thresholds calibrated against the *transient* MA response instead of
@@ -87,8 +106,13 @@ class LuSolver {
   /// Factorises a square matrix (row-major), partial pivoting.
   explicit LuSolver(std::vector<double> matrix, unsigned n);
 
-  /// Solves A x = b in place.
+  /// Solves A x = b in place.  Allocates a scratch vector per call; hot
+  /// loops should use the two-argument overload instead.
   void solve(std::vector<double>& b) const;
+
+  /// Allocation-free solve: `scratch` is sized on first use and reused
+  /// across calls (its contents are clobbered).
+  void solve(std::vector<double>& b, std::vector<double>& scratch) const;
 
   bool singular() const { return singular_; }
 

@@ -102,6 +102,21 @@ TEST(Cli, CampaignReportsCoverage) {
             std::string::npos);
 }
 
+TEST(Cli, CampaignReportsHotPathCounters) {
+  const CliRun r = run_cli({"campaign", "--bus", "data", "--defects", "10",
+                            "--seed", "7", "--stats-json"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  // Human-readable counters line: the memo must have seen real traffic.
+  EXPECT_NE(r.out.find("cache_hits="), std::string::npos) << r.out;
+  EXPECT_EQ(r.out.find("cache_hits=0 "), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("cache_hit_rate="), std::string::npos);
+  EXPECT_NE(r.out.find("gold_reuses="), std::string::npos);
+  // --stats-json appends the machine-readable record.
+  EXPECT_NE(r.out.find("{\"campaign\":\"campaign\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"cache_hits\":"), std::string::npos);
+  EXPECT_NE(r.out.find("\"gold_reuses\":"), std::string::npos);
+}
+
 TEST(Cli, CampaignThreadsFlagKeepsCoverageIdentical) {
   const CliRun serial = run_cli({"campaign", "--bus", "addr", "--defects",
                                  "15", "--seed", "7", "--threads", "1"});

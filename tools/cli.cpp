@@ -76,6 +76,7 @@ int usage(std::ostream& err) {
          "                 [--faults SPEC] (or $XTEST_FAULTS; "
          "site[@N|%P],...[:seed])\n"
          "                 [--defect-deadline-ms N] (watchdog, 0 = off)\n"
+         "                 [--stats-json] (one-line stats record)\n"
          "  xtest chaos    [--bus addr|data|ctrl] [--defects N] [--seed S]\n"
          "                 [--cycles K] [--threads T] (kill/resume soak)\n"
          "exit codes: 0 ok, 2 usage, 3 I/O, 4 simulation, 5 interrupted "
@@ -262,13 +263,15 @@ int cmd_campaign(const Parsed& p, std::ostream& out, std::ostream& err) {
       sim::run_detection_sessions(cfg, sessions, bus, lib, opts);
 
   const sim::VerdictCounts vc = sim::count_verdicts(det);
-  char buf[640];
+  char buf[768];
   std::snprintf(buf, sizeof buf,
                 "bus=%s defects=%zu coverage=%.1f%% (seed %llu)\n"
                 "detected=%zu timeout=%zu undetected=%zu sim_errors=%zu "
                 "retries=%zu restored=%zu salvaged=%zu dropped=%zu\n"
                 "threads=%u simulations=%zu cycles=%llu wall=%.3fs "
-                "defects/sec=%.0f\n",
+                "defects/sec=%.0f\n"
+                "cache_hits=%llu cache_misses=%llu cache_hit_rate=%.1f%% "
+                "gold_reuses=%zu\n",
                 soc::to_string(bus).c_str(), lib.size(),
                 100.0 * sim::coverage(det),
                 static_cast<unsigned long long>(seed), vc.detected,
@@ -277,8 +280,12 @@ int cmd_campaign(const Parsed& p, std::ostream& out, std::ostream& err) {
                 stats.salvaged_sections, stats.dropped_slots, stats.threads,
                 stats.defects_simulated,
                 static_cast<unsigned long long>(stats.simulated_cycles),
-                stats.wall_seconds, stats.defects_per_second());
+                stats.wall_seconds, stats.defects_per_second(),
+                static_cast<unsigned long long>(stats.cache_hits),
+                static_cast<unsigned long long>(stats.cache_misses),
+                100.0 * stats.cache_hit_rate(), stats.gold_reuses);
   out << buf;
+  if (p.options.count("stats-json")) out << stats.json("campaign") << '\n';
   for (const std::string& e : stats.error_log)
     err << "warning: " << e << '\n';
   return kExitOk;
