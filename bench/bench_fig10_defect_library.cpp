@@ -23,17 +23,20 @@ namespace {
 constexpr std::uint64_t kSeed = 20010618;
 
 void print_library_stats(soc::BusKind bus) {
-  const soc::SystemConfig cfg;
+  const spec::ScenarioSpec& scn = bench::active_spec();
+  const soc::SystemConfig& cfg = scn.system;
   const soc::System sys(cfg);
   const auto& nominal = bus == soc::BusKind::kAddress
                             ? sys.nominal_address_network()
                             : sys.nominal_data_network();
-  const auto lib = sim::make_defect_library(cfg, bus, 1000, kSeed);
+  const auto lib =
+      sim::make_defect_library(cfg, bus, scn.defect_count, scn.seed,
+                               scn.sigma_pct);
   const auto hist = lib.defective_wire_histogram(nominal);
 
-  std::printf("\n%s bus: 1000 defects from %zu candidates "
+  std::printf("\n%s bus: %zu defects from %zu candidates "
               "(yield %.2f%%), Cth = %.1f fF\n",
-              soc::to_string(bus).c_str(), lib.attempts(),
+              soc::to_string(bus).c_str(), scn.defect_count, lib.attempts(),
               100.0 * static_cast<double>(lib.size()) /
                   static_cast<double>(lib.attempts()),
               lib.config().cth_fF);
@@ -44,13 +47,15 @@ void print_library_stats(soc::BusKind bus) {
     t.add_row({std::to_string(i + 1),
                util::Table::num(nominal.net_coupling(i), 1),
                std::to_string(hist[i]),
-               bench::bar(static_cast<double>(hist[i]) / 250.0)});
+               bench::bar(static_cast<double>(hist[i]) /
+                          (static_cast<double>(scn.defect_count) / 4.0))});
   }
   for (const auto& d : lib.defects())
     multi += d.defective_wires(nominal, lib.config().cth_fF).size() > 1;
   std::printf("%s", t.render().c_str());
-  std::printf("defects touching more than one wire: %zu/1000 (the overlap "
-              "that lets 47 placed tests cover all defects)\n", multi);
+  std::printf("defects touching more than one wire: %zu/%zu (the overlap "
+              "that lets 47 placed tests cover all defects)\n", multi,
+              lib.size());
 }
 
 void BM_LibraryGeneration(benchmark::State& state) {
@@ -69,11 +74,12 @@ BENCHMARK(BM_LibraryGeneration)->Arg(100)->Arg(1000);
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::banner("E9: defect library generation",
-                "Fig. 10 (Gaussian perturbation, 3-sigma = 150%, Cth gate)");
-  print_library_stats(soc::BusKind::kAddress);
-  print_library_stats(soc::BusKind::kData);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  spec::ScenarioSpec def = spec::builtin_scenario("paper-baseline");
+  def.defect_count = 1000;  // the paper's full Fig. 10 library
+  return bench::scenario_main(
+      argc, argv, "E9: defect library generation",
+      "Fig. 10 (Gaussian perturbation, 3-sigma = 150%, Cth gate)", def, [] {
+        print_library_stats(soc::BusKind::kAddress);
+        print_library_stats(soc::BusKind::kData);
+      });
 }

@@ -16,23 +16,24 @@ using namespace xtest;
 
 namespace {
 
-constexpr std::size_t kLibrarySize = 1000;
 constexpr std::uint64_t kSeed = 20010618;
 
 void print_fig11() {
-  const soc::SystemConfig cfg;
+  const spec::ScenarioSpec& scn = bench::active_spec();
+  const soc::SystemConfig& cfg = scn.system;
   const auto lib =
-      sim::make_defect_library(cfg, soc::BusKind::kAddress, kLibrarySize, kSeed);
+      sim::make_defect_library(cfg, soc::BusKind::kAddress, scn.defect_count,
+                               scn.seed, scn.sigma_pct);
   std::printf("\ndefect library: %zu defects (from %zu candidates), "
               "sigma = %.0f%%, Cth = %.1f fF\n",
               lib.size(), lib.attempts(), lib.config().sigma_pct,
               lib.config().cth_fF);
 
-  const util::ParallelConfig par = util::ParallelConfig::from_env();
+  const util::ParallelConfig par{scn.threads};
   util::CampaignStats stats;
   const sim::PerLineCoverage cov =
-      sim::per_line_coverage(cfg, soc::BusKind::kAddress, lib,
-                             sbst::GeneratorConfig{}, 16, par, &stats);
+      sim::per_line_coverage(cfg, soc::BusKind::kAddress, lib, scn.program,
+                             scn.cycle_factor, par, &stats);
 
   util::Table t({"line", "MA tests", "individual", "cumulative", ""});
   for (unsigned i = 0; i < 12; ++i) {
@@ -55,11 +56,11 @@ void print_fig11() {
 }
 
 void BM_DefectSimulationPerDefect(benchmark::State& state) {
-  const soc::SystemConfig cfg;
+  const soc::SystemConfig& cfg = bench::active_spec().system;
   const auto lib = sim::make_defect_library(cfg, soc::BusKind::kAddress,
                                             64, kSeed);
   const auto gen =
-      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+      sbst::TestProgramGenerator(bench::active_spec().program).generate();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         sim::run_detection(cfg, gen.program, soc::BusKind::kAddress, lib));
@@ -72,10 +73,10 @@ BENCHMARK(BM_DefectSimulationPerDefect);
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::banner("E4: address-bus defect coverage per MA test",
-                "Fig. 11 (individual + cumulative coverage, 1000 defects)");
-  print_fig11();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  spec::ScenarioSpec def = spec::builtin_scenario("paper-baseline");
+  def.defect_count = 1000;  // the paper's full Fig. 11 library
+  return bench::scenario_main(
+      argc, argv, "E4: address-bus defect coverage per MA test",
+      "Fig. 11 (individual + cumulative coverage, 1000 defects)", def,
+      print_fig11);
 }

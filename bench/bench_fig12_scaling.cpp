@@ -76,13 +76,13 @@ BENCHMARK(BM_GenerationVsLineCount)->Arg(2)->Arg(6)->Arg(12);
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::banner("E6: test program size scaling",
-                "Section 4.3 (program size and test time proportional to N)");
-  print_scaling(soc::BusKind::kAddress);
-  print_scaling(soc::BusKind::kData);
-  std::printf("\nExpected: bytes and cycles grow ~linearly with the number "
-              "of MA tests; bytes-per-test roughly constant.\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::scenario_main(
+      argc, argv, "E6: test program size scaling",
+      "Section 4.3 (program size and test time proportional to N)",
+      spec::builtin_scenario("paper-baseline"), [] {
+        print_scaling(soc::BusKind::kAddress);
+        print_scaling(soc::BusKind::kData);
+        std::printf("\nExpected: bytes and cycles grow ~linearly with the "
+                    "number of MA tests; bytes-per-test roughly constant.\n");
+      });
 }

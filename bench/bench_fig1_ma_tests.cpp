@@ -43,16 +43,15 @@ BENCHMARK(BM_MaTestGeneration)->Arg(8)->Arg(12)->Arg(32)->Arg(64);
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::banner("E1: MA test vector pairs",
-                "Fig. 1 (maximum aggressor tests for victim Yi)");
-  print_ma_table(8, "data bus");
-  print_ma_table(12, "address bus");
-  std::printf("\nFault counts: data bus bidirectional = %zu (paper: 64), "
-              "address bus = %zu (paper: 48)\n",
-              xtalk::enumerate_mafs(8, true).size(),
-              xtalk::enumerate_mafs(12, false).size());
-
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::scenario_main(
+      argc, argv, "E1: MA test vector pairs",
+      "Fig. 1 (maximum aggressor tests for victim Yi)",
+      spec::builtin_scenario("paper-baseline"), [] {
+        print_ma_table(8, "data bus");
+        print_ma_table(12, "address bus");
+        std::printf("\nFault counts: data bus bidirectional = %zu (paper: "
+                    "64), address bus = %zu (paper: 48)\n",
+                    xtalk::enumerate_mafs(8, true).size(),
+                    xtalk::enumerate_mafs(12, false).size());
+      });
 }

@@ -16,7 +16,7 @@ using namespace xtest;
 namespace {
 
 void print_lda_trace() {
-  soc::System sys;
+  soc::System sys(bench::active_spec().system);
   soc::BusTrace trace;
   sys.set_trace(&trace);
   // The Fig. 4/5 scenario: lda Ax at Ai, operand at Ax.
@@ -51,7 +51,7 @@ void print_lda_trace() {
 }
 
 void BM_InstructionExecution(benchmark::State& state) {
-  soc::System sys;
+  soc::System sys(bench::active_spec().system);
   const cpu::AsmResult prog = cpu::assemble(R"(
 start:  lda 0x300
         add 0x301
@@ -71,7 +71,7 @@ BENCHMARK(BM_InstructionExecution);
 
 void BM_FullBusTransfer(benchmark::State& state) {
   // One crosstalk-evaluated read: address transfer + data transfer.
-  soc::System sys;
+  soc::System sys(bench::active_spec().system);
   cpu::MemoryImage img;
   img.set(0x300, 0x5A);
   sys.load_and_reset(img, 0);
@@ -87,10 +87,8 @@ BENCHMARK(BM_FullBusTransfer);
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::banner("E2: LDA bus-transaction timing",
-                "Fig. 5 (load instruction timing diagram)");
-  print_lda_trace();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::scenario_main(argc, argv, "E2: LDA bus-transaction timing",
+                              "Fig. 5 (load instruction timing diagram)",
+                              spec::builtin_scenario("paper-baseline"),
+                              print_lda_trace);
 }

@@ -17,6 +17,7 @@
 #include <chrono>
 #include <cstdio>
 #include <random>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -121,11 +122,11 @@ struct CampaignPoint {
 /// accumulated stats.
 CampaignPoint campaign_point(unsigned threads) {
   sim::GoldRunCache::global().clear();
-  const soc::SystemConfig cfg;
+  const soc::SystemConfig& cfg = bench::active_spec().system;
   const auto prog =
-      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
-  const auto lib =
-      sim::make_defect_library(cfg, soc::BusKind::kAddress, 48, 20010618);
+      sbst::TestProgramGenerator(bench::active_spec().program).generate();
+  const auto lib = sim::make_defect_library(cfg, soc::BusKind::kAddress, 48,
+                                            bench::active_spec().seed);
   util::CampaignStats stats;
   sim::CampaignOptions opts;
   opts.parallel.threads = threads;
@@ -136,14 +137,8 @@ CampaignPoint campaign_point(unsigned threads) {
           stats.cache_hit_rate(), stats.gold_reuses};
 }
 
-}  // namespace
-
-int main(int, char**) {
-  bench::banner("Perf: hot-path baseline",
-                "simulator throughput (no paper figure; perf trajectory)");
-
-  xtalk::BusGeometry g;
-  g.width = 12;
+void print_perf_baseline() {
+  const xtalk::BusGeometry g = bench::active_spec().system.address_geometry;
   const xtalk::RcNetwork net(g);
   const xtalk::ErrorModelConfig thresholds =
       xtalk::ErrorModelConfig::calibrated(net, xtalk::recommended_cth(net));
@@ -203,11 +198,15 @@ int main(int, char**) {
       "\"campaign_defects_per_sec_threads1\":%.1f,"
       "\"campaign_defects_per_sec_threads4\":%.1f,"
       "\"cache_hit_rate\":%.4f,"
-      "\"gold_reuses\":%zu}",
+      "\"gold_reuses\":%zu,"
+      "\"threads\":[1,4],"
+      "\"hardware_concurrency\":%u,"
+      "\"build_type\":\"%s\"}",
       xfer_on, xfer_off, xfer_speedup, ns_fast, ns_ref, recv_speedup,
       t1.wall_seconds, t4.wall_seconds, t1.defects_per_second,
       t4.defects_per_second, t1.cache_hit_rate,
-      t1.gold_reuses + t4.gold_reuses);
+      t1.gold_reuses + t4.gold_reuses, std::thread::hardware_concurrency(),
+      util::build_type());
   std::printf("\n%s\n", json);
 
   std::FILE* out = std::fopen("BENCH_PERF.json", "w");
@@ -218,5 +217,14 @@ int main(int, char**) {
   } else {
     std::fprintf(stderr, "warning: cannot write BENCH_PERF.json\n");
   }
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench::scenario_main(
+      argc, argv, "Perf: hot-path baseline",
+      "simulator throughput (no paper figure; perf trajectory)",
+      spec::builtin_scenario("paper-baseline"), print_perf_baseline,
+      /*run_benchmarks=*/false);
 }

@@ -37,7 +37,7 @@ void print_ordering_ablation() {
         sbst::PlacementOrder::kDelaysFirst,
         sbst::PlacementOrder::kGlitchesFirst,
         sbst::PlacementOrder::kCenterOut}) {
-    sbst::GeneratorConfig cfg;
+    sbst::GeneratorConfig cfg = bench::active_spec().program;
     cfg.order = order;
     const auto sessions =
         sbst::TestProgramGenerator::generate_sessions(cfg);
@@ -64,7 +64,7 @@ void print_ordering_ablation() {
 }
 
 void BM_SessionsByOrder(benchmark::State& state) {
-  sbst::GeneratorConfig cfg;
+  sbst::GeneratorConfig cfg = bench::active_spec().program;
   cfg.order = static_cast<sbst::PlacementOrder>(state.range(0));
   for (auto _ : state)
     benchmark::DoNotOptimize(
@@ -75,10 +75,8 @@ BENCHMARK(BM_SessionsByOrder)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::banner("E15 (extension): placement-order ablation",
-                "greedy order vs session count / tester time");
-  print_ordering_ablation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::scenario_main(
+      argc, argv, "E15 (extension): placement-order ablation",
+      "greedy order vs session count / tester time",
+      spec::builtin_scenario("paper-baseline"), print_ordering_ablation);
 }

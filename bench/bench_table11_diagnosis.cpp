@@ -20,16 +20,14 @@ using namespace xtest;
 
 namespace {
 
-constexpr std::size_t kLibrarySize = 300;
-constexpr std::uint64_t kSeed = 20010618;
-
 void print_diagnosis_accuracy() {
-  const soc::SystemConfig cfg;
+  const spec::ScenarioSpec& scn = bench::active_spec();
+  const soc::SystemConfig& cfg = scn.system;
   const soc::System probe(cfg);
   const auto lib = sim::make_defect_library(cfg, soc::BusKind::kAddress,
-                                            kLibrarySize, kSeed);
+                                            scn.defect_count, scn.seed);
   const auto gen =
-      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+      sbst::TestProgramGenerator(scn.program).generate();
   const sim::VerificationResult ver = sim::verify_program(gen.program);
 
   soc::System sys(cfg);
@@ -79,9 +77,9 @@ void print_diagnosis_accuracy() {
 }
 
 void BM_Diagnose(benchmark::State& state) {
-  const soc::SystemConfig cfg;
+  const soc::SystemConfig& cfg = bench::active_spec().system;
   const auto gen =
-      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+      sbst::TestProgramGenerator(bench::active_spec().program).generate();
   const sim::VerificationResult ver = sim::verify_program(gen.program);
   soc::System sys(cfg);
   sys.set_forced_maf(
@@ -96,11 +94,11 @@ BENCHMARK(BM_Diagnose);
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::banner("E16 (extension): diagnostic resolution of compacted "
-                "responses",
-                "Section 4.3's diagnosability claim, measured");
-  print_diagnosis_accuracy();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  spec::ScenarioSpec def = spec::builtin_scenario("paper-baseline");
+  def.defect_count = 300;
+  return bench::scenario_main(
+      argc, argv,
+      "E16 (extension): diagnostic resolution of compacted responses",
+      "Section 4.3's diagnosability claim, measured", def,
+      print_diagnosis_accuracy);
 }

@@ -24,7 +24,6 @@ using namespace xtest;
 
 namespace {
 
-constexpr std::size_t kLibrarySize = 400;
 constexpr std::size_t kLoadDefects = 150;
 constexpr std::uint64_t kSeed = 20010618;
 
@@ -36,7 +35,7 @@ struct LoadDefect {
 /// Delay-only defects: quiet cross-bus load just above the at-speed
 /// delay-detectability threshold (see E14).
 std::vector<LoadDefect> make_load_library(const soc::System& sys) {
-  util::Rng rng(kSeed);
+  util::Rng rng(bench::active_spec().seed);
   std::vector<LoadDefect> out;
   const auto& nom = sys.nominal_address_network();
   while (out.size() < kLoadDefects) {
@@ -52,24 +51,24 @@ std::vector<LoadDefect> make_load_library(const soc::System& sys) {
 void print_speed_sweep() {
   // Libraries are built against the *at-speed* system: these are the
   // defects a correct test must reject.
-  const soc::SystemConfig rated;
+  const spec::ScenarioSpec& scn = bench::active_spec();
+  const soc::SystemConfig& rated = scn.system;
   const soc::System probe(rated);
   const auto coupling_lib = sim::make_defect_library(
-      rated, soc::BusKind::kAddress, kLibrarySize, kSeed);
+      rated, soc::BusKind::kAddress, scn.defect_count, scn.seed);
   const auto load_lib = make_load_library(probe);
-  const auto sessions =
-      sbst::TestProgramGenerator::generate_sessions(sbst::GeneratorConfig{});
+  const auto sessions = scn.make_sessions();
 
-  const util::ParallelConfig par = util::ParallelConfig::from_env();
+  const util::ParallelConfig par{scn.threads};
   util::CampaignStats stats;
   util::Table t({"clock", "coupling defects", "delay-only defects", ""});
   for (const double scale : {1.0, 1.25, 1.5, 2.0, 4.0}) {
-    soc::SystemConfig cfg;
+    soc::SystemConfig cfg = scn.system;
     cfg.clock_period_scale = scale;
 
     const double coupling_cov = sim::coverage(sim::run_detection_sessions(
-        cfg, sessions, soc::BusKind::kAddress, coupling_lib, 16, par,
-        &stats));
+        cfg, sessions, soc::BusKind::kAddress, coupling_lib,
+        scn.cycle_factor, par, &stats));
 
     // Delay-only library: run per defect with the load applied.
     soc::System sys(cfg);
@@ -103,13 +102,13 @@ void print_speed_sweep() {
 }
 
 void BM_SlowClockDetection(benchmark::State& state) {
-  soc::SystemConfig cfg;
+  soc::SystemConfig cfg = bench::active_spec().system;
   cfg.clock_period_scale = 2.0;
   const auto lib =
-      sim::make_defect_library(soc::SystemConfig{}, soc::BusKind::kAddress,
-                               40, kSeed);
+      sim::make_defect_library(bench::active_spec().system,
+                               soc::BusKind::kAddress, 40, kSeed);
   const auto gen =
-      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+      sbst::TestProgramGenerator(bench::active_spec().program).generate();
   for (auto _ : state)
     benchmark::DoNotOptimize(
         sim::run_detection(cfg, gen.program, soc::BusKind::kAddress, lib));
@@ -118,9 +117,7 @@ BENCHMARK(BM_SlowClockDetection);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  bench::banner("E17 (extension): at-speed vs slow-clock testing",
-                "Section 1's core motivation, quantified");
+void print_table12() {
   print_speed_sweep();
   std::printf("\nReading: same-bus coupling defects stay covered at any "
               "clock in the MAF model (the speed-independent glitch effect "
@@ -129,7 +126,12 @@ int main(int argc, char** argv) {
               "slows: exactly the faults a low-speed external tester "
               "cannot see.  Self-test runs at the rated clock by "
               "construction, so it always operates in the top row.\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  spec::ScenarioSpec def = spec::builtin_scenario("paper-baseline");
+  def.defect_count = 400;
+  return bench::scenario_main(
+      argc, argv, "E17 (extension): at-speed vs slow-clock testing",
+      "Section 1's core motivation, quantified", def, print_table12);
 }

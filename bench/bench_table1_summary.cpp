@@ -21,8 +21,7 @@ using namespace xtest;
 namespace {
 
 void print_summary() {
-  const auto sessions =
-      sbst::TestProgramGenerator::generate_sessions(sbst::GeneratorConfig{});
+  const auto sessions = bench::active_spec().make_sessions();
   util::Table t({"session", "addr tests", "data tests", "bytes",
                  "response cells", "cycles", "all effective"});
   std::size_t tot_addr = 0, tot_data = 0, tot_bytes = 0;
@@ -92,10 +91,8 @@ BENCHMARK(BM_VerifyProgram);
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::banner("E3: test application summary",
-                "Section 5 in-text results (tests applied, program cycles)");
-  print_summary();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::scenario_main(
+      argc, argv, "E3: test application summary",
+      "Section 5 in-text results (tests applied, program cycles)",
+      spec::builtin_scenario("paper-baseline"), print_summary);
 }

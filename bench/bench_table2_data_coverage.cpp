@@ -17,22 +17,23 @@ using namespace xtest;
 
 namespace {
 
-constexpr std::size_t kLibrarySize = 1000;
 constexpr std::uint64_t kSeed = 20010618;
 
 void print_data_coverage() {
-  const soc::SystemConfig cfg;
+  const spec::ScenarioSpec& scn = bench::active_spec();
+  const soc::SystemConfig& cfg = scn.system;
   const auto lib =
-      sim::make_defect_library(cfg, soc::BusKind::kData, kLibrarySize, kSeed);
+      sim::make_defect_library(cfg, soc::BusKind::kData, scn.defect_count,
+                               scn.seed, scn.sigma_pct);
   std::printf("\ndefect library: %zu defects (from %zu candidates), "
               "Cth = %.1f fF\n",
               lib.size(), lib.attempts(), lib.config().cth_fF);
 
-  const util::ParallelConfig par = util::ParallelConfig::from_env();
+  const util::ParallelConfig par{scn.threads};
   util::CampaignStats stats;
   const sim::PerLineCoverage cov =
-      sim::per_line_coverage(cfg, soc::BusKind::kData, lib,
-                             sbst::GeneratorConfig{}, 16, par, &stats);
+      sim::per_line_coverage(cfg, soc::BusKind::kData, lib, scn.program,
+                             scn.cycle_factor, par, &stats);
 
   util::Table t({"line", "MA tests", "individual", "cumulative", ""});
   for (unsigned i = 0; i < 8; ++i)
@@ -55,7 +56,8 @@ void print_data_coverage() {
     gc.data_faults = faults;
     const auto sessions = sbst::TestProgramGenerator::generate_sessions(gc);
     const auto det = sim::run_detection_sessions(
-        cfg, sessions, soc::BusKind::kData, lib, 16, par, &stats);
+        cfg, sessions, soc::BusKind::kData, lib, scn.cycle_factor, par,
+        &stats);
     std::printf("  %s-direction tests alone: %s coverage\n",
                 write_dir ? "cpu->core (write)" : "core->cpu (read)",
                 util::Table::pct(sim::coverage(det)).c_str());
@@ -64,7 +66,7 @@ void print_data_coverage() {
 }
 
 void BM_DataDetection(benchmark::State& state) {
-  const soc::SystemConfig cfg;
+  const soc::SystemConfig& cfg = bench::active_spec().system;
   const auto lib =
       sim::make_defect_library(cfg, soc::BusKind::kData, 64, kSeed);
   const auto gen =
@@ -80,10 +82,11 @@ BENCHMARK(BM_DataDetection);
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::banner("E5: data-bus defect coverage",
-                "Section 5 (100% coverage on the data bus, both directions)");
-  print_data_coverage();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  spec::ScenarioSpec def = spec::builtin_scenario("paper-baseline");
+  def.bus = soc::BusKind::kData;
+  def.defect_count = 1000;  // the paper's full data-bus library
+  return bench::scenario_main(
+      argc, argv, "E5: data-bus defect coverage",
+      "Section 5 (100% coverage on the data bus, both directions)", def,
+      print_data_coverage);
 }

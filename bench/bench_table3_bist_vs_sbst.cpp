@@ -25,15 +25,16 @@ using namespace xtest;
 
 namespace {
 
-constexpr std::size_t kLibrarySize = 500;
 constexpr std::uint64_t kSeed = 20010618;
 
 void print_coverage_and_overtest() {
-  const soc::SystemConfig cfg;
+  const spec::ScenarioSpec& scn = bench::active_spec();
+  const soc::SystemConfig& cfg = scn.system;
   const auto lib = sim::make_defect_library(cfg, soc::BusKind::kAddress,
-                                            kLibrarySize, kSeed);
+                                            scn.defect_count, scn.seed,
+                                            scn.sigma_pct);
 
-  const util::ParallelConfig par = util::ParallelConfig::from_env();
+  const util::ParallelConfig par{scn.threads};
   util::CampaignStats stats;
   util::Table t({"address map", "BIST detects", "SBST detects",
                  "over-test only", "over-test rate"});
@@ -55,7 +56,7 @@ void print_coverage_and_overtest() {
                util::Table::pct(r.overtest_fraction())});
   }
   std::printf("\nCoverage and over-testing (address bus, %zu defects):\n%s",
-              kLibrarySize, t.render().c_str());
+              scn.defect_count, t.render().c_str());
   std::printf("\nExpected: with the full map SBST matches BIST (no over-"
               "testing); constraining the functional address space leaves "
               "BIST rejecting chips whose defects can never corrupt real "
@@ -87,7 +88,7 @@ void print_area_model() {
 }
 
 void BM_BistLibraryRun(benchmark::State& state) {
-  const soc::SystemConfig cfg;
+  const soc::SystemConfig& cfg = bench::active_spec().system;
   const soc::System sys(cfg);
   const auto lib =
       sim::make_defect_library(cfg, soc::BusKind::kAddress, 100, kSeed);
@@ -103,11 +104,12 @@ BENCHMARK(BM_BistLibraryRun);
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::banner("E7: hardware BIST vs software-based self-test",
-                "Section 1 (over-testing and area-overhead motivation)");
-  print_coverage_and_overtest();
-  print_area_model();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  // The bist-compare built-in IS this experiment's configuration.
+  return bench::scenario_main(
+      argc, argv, "E7: hardware BIST vs software-based self-test",
+      "Section 1 (over-testing and area-overhead motivation)",
+      spec::builtin_scenario("bist-compare"), [] {
+        print_coverage_and_overtest();
+        print_area_model();
+      });
 }

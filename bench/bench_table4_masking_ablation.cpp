@@ -26,23 +26,23 @@ using namespace xtest;
 
 namespace {
 
-constexpr std::size_t kLibrarySize = 500;
 constexpr std::uint64_t kSeed = 20010618;
 
 void print_ablation(soc::BusKind bus, util::CampaignStats& stats) {
-  const soc::SystemConfig cfg;
+  const spec::ScenarioSpec& scn = bench::active_spec();
+  const soc::SystemConfig& cfg = scn.system;
   const soc::System sys(cfg);
   const unsigned width =
       bus == soc::BusKind::kAddress ? cpu::kAddrBits : cpu::kDataBits;
-  const auto lib = sim::make_defect_library(cfg, bus, kLibrarySize, kSeed);
+  const auto lib = sim::make_defect_library(cfg, bus, scn.defect_count,
+                                            scn.seed, scn.sigma_pct);
   const auto& nominal = bus == soc::BusKind::kAddress
                             ? sys.nominal_address_network()
                             : sys.nominal_data_network();
   const auto& model = bus == soc::BusKind::kAddress ? sys.address_model()
                                                     : sys.data_model();
 
-  const auto sessions =
-      sbst::TestProgramGenerator::generate_sessions(sbst::GeneratorConfig{});
+  const auto sessions = scn.make_sessions();
 
   // Isolated application of exactly the placed pairs.
   std::vector<xtalk::MafFault> placed;
@@ -61,7 +61,8 @@ void print_ablation(soc::BusKind bus, util::CampaignStats& stats) {
   }
 
   const std::vector<sim::Verdict> verdicts = sim::run_detection_sessions(
-      cfg, sessions, bus, lib, 16, util::ParallelConfig::from_env(), &stats);
+      cfg, sessions, bus, lib, scn.cycle_factor,
+      util::ParallelConfig{scn.threads}, &stats);
   std::vector<bool> program(lib.size(), false);
   for (std::size_t i = 0; i < lib.size(); ++i)
     program[i] = sim::is_detected(verdicts[i]);
@@ -86,7 +87,7 @@ void print_ablation(soc::BusKind bus, util::CampaignStats& stats) {
 }
 
 void BM_WholeProgramRun(benchmark::State& state) {
-  const soc::SystemConfig cfg;
+  const soc::SystemConfig& cfg = bench::active_spec().system;
   const auto gen =
       sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
   const auto lib =
@@ -102,16 +103,18 @@ BENCHMARK(BM_WholeProgramRun);
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::banner("E8: fault-masking ablation",
-                "Section 5 (whole-program excitation vs isolated pairs)");
-  util::CampaignStats stats;
-  print_ablation(soc::BusKind::kAddress, stats);
-  print_ablation(soc::BusKind::kData, stats);
-  std::printf("\nExpected: program coverage >= isolated coverage on the "
-              "placed pairs (incidental activations and derailment add "
-              "detections; masking, if any, shows in isolated-only).\n");
-  bench::print_campaign_stats("table4_masking_ablation", stats);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  spec::ScenarioSpec def = spec::builtin_scenario("paper-baseline");
+  def.defect_count = 500;
+  return bench::scenario_main(
+      argc, argv, "E8: fault-masking ablation",
+      "Section 5 (whole-program excitation vs isolated pairs)", def, [] {
+        util::CampaignStats stats;
+        print_ablation(soc::BusKind::kAddress, stats);
+        print_ablation(soc::BusKind::kData, stats);
+        std::printf("\nExpected: program coverage >= isolated coverage on "
+                    "the placed pairs (incidental activations and derailment "
+                    "add detections; masking, if any, shows in "
+                    "isolated-only).\n");
+        bench::print_campaign_stats("table4_masking_ablation", stats);
+      });
 }

@@ -23,14 +23,15 @@ using namespace xtest;
 
 namespace {
 
-constexpr std::size_t kLibrarySize = 1000;
 constexpr std::uint64_t kSeed = 20010618;
 
 void print_overlap() {
-  const soc::SystemConfig cfg;
+  const spec::ScenarioSpec& scn = bench::active_spec();
+  const soc::SystemConfig& cfg = scn.system;
   const soc::System sys(cfg);
   const auto lib =
-      sim::make_defect_library(cfg, soc::BusKind::kAddress, kLibrarySize, kSeed);
+      sim::make_defect_library(cfg, soc::BusKind::kAddress, scn.defect_count,
+                               scn.seed, scn.sigma_pct);
   const auto& nominal = sys.nominal_address_network();
   const auto& model = sys.address_model();
   const auto faults = xtalk::enumerate_mafs(cpu::kAddrBits, false);
@@ -76,8 +77,7 @@ void print_overlap() {
               "(paper: 'only a tiny fraction')\n", 100.0 * worst_unique);
 
   // Impact of the never-placed tests.
-  const auto sessions =
-      sbst::TestProgramGenerator::generate_sessions(sbst::GeneratorConfig{});
+  const auto sessions = scn.make_sessions();
   std::set<std::string> placed;
   for (const auto& s : sessions)
     for (const auto& t : s.program.tests)
@@ -106,7 +106,7 @@ void print_overlap() {
 }
 
 void BM_DetectionMatrix(benchmark::State& state) {
-  const soc::SystemConfig cfg;
+  const soc::SystemConfig& cfg = bench::active_spec().system;
   const soc::System sys(cfg);
   const auto lib =
       sim::make_defect_library(cfg, soc::BusKind::kAddress, 100, kSeed);
@@ -130,10 +130,10 @@ BENCHMARK(BM_DetectionMatrix);
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::banner("E10: missing tests and MA-test overlap",
-                "Section 5 (tiny unique-detection fraction)");
-  print_overlap();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  spec::ScenarioSpec def = spec::builtin_scenario("paper-baseline");
+  def.defect_count = 1000;
+  return bench::scenario_main(argc, argv,
+                              "E10: missing tests and MA-test overlap",
+                              "Section 5 (tiny unique-detection fraction)",
+                              def, print_overlap);
 }

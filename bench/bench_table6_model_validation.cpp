@@ -111,10 +111,9 @@ BENCHMARK(BM_AnalyticReceive)->Arg(8)->Arg(12)->Arg(32);
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::banner("E11 (extension): analytical model vs RC transient reference",
-                "validates the monotonicity the MAF/Cth criterion rests on");
-  print_sweep();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::scenario_main(
+      argc, argv,
+      "E11 (extension): analytical model vs RC transient reference",
+      "validates the monotonicity the MAF/Cth criterion rests on",
+      spec::builtin_scenario("paper-baseline"), print_sweep);
 }

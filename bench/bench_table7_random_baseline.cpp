@@ -19,18 +19,19 @@ using namespace xtest;
 
 namespace {
 
-constexpr std::size_t kLibrarySize = 500;
 constexpr std::uint64_t kSeed = 20010618;
 
 void print_comparison() {
-  const soc::SystemConfig cfg;
+  const spec::ScenarioSpec& scn = bench::active_spec();
+  const soc::SystemConfig& cfg = scn.system;
   const soc::System sys(cfg);
   const auto lib = sim::make_defect_library(cfg, soc::BusKind::kAddress,
-                                            kLibrarySize, kSeed);
+                                            scn.defect_count, scn.seed,
+                                            scn.sigma_pct);
   const auto& nom = sys.nominal_address_network();
   const auto& model = sys.address_model();
 
-  const util::ParallelConfig par = util::ParallelConfig::from_env();
+  const util::ParallelConfig par{scn.threads};
   util::CampaignStats stats;
   util::Table t({"pattern set", "pairs", "coverage", ""});
   const hwbist::HardwareBist ma(12, false);
@@ -39,14 +40,14 @@ void print_comparison() {
   t.add_row({"MA tests (deterministic)", "48", util::Table::pct(ma_cov),
              bench::bar(ma_cov)});
   for (std::size_t count : {48u, 480u, 4800u, 48000u}) {
-    const hwbist::RandomPatternBist rnd(12, count, kSeed);
+    const hwbist::RandomPatternBist rnd(12, count, scn.seed);
     const double cov =
         sim::coverage(rnd.run_library(nom, model, lib, par, &stats));
     t.add_row({"random pairs", std::to_string(count), util::Table::pct(cov),
                bench::bar(cov)});
   }
   std::printf("\nAddress-bus defect coverage, %zu threshold-level "
-              "defects:\n%s", kLibrarySize, t.render().c_str());
+              "defects:\n%s", scn.defect_count, t.render().c_str());
   std::printf("\nExpected: 48 MA pairs reach 100%%; random pairs need "
               "orders of magnitude more patterns and still trail on "
               "defects just above Cth.\n");
@@ -54,7 +55,7 @@ void print_comparison() {
 }
 
 void BM_RandomPatternRun(benchmark::State& state) {
-  const soc::SystemConfig cfg;
+  const soc::SystemConfig& cfg = bench::active_spec().system;
   const soc::System sys(cfg);
   const auto lib =
       sim::make_defect_library(cfg, soc::BusKind::kAddress, 50, kSeed);
@@ -69,10 +70,10 @@ BENCHMARK(BM_RandomPatternRun)->Arg(48)->Arg(480);
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::banner("E12 (extension): MA tests vs random-pattern BIST",
-                "quantifies the MAF model's deterministic-pattern advantage");
-  print_comparison();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  spec::ScenarioSpec def = spec::builtin_scenario("paper-baseline");
+  def.defect_count = 500;
+  return bench::scenario_main(
+      argc, argv, "E12 (extension): MA tests vs random-pattern BIST",
+      "quantifies the MAF model's deterministic-pattern advantage", def,
+      print_comparison);
 }

@@ -22,7 +22,6 @@ using namespace xtest;
 
 namespace {
 
-constexpr std::size_t kLibrarySize = 500;
 constexpr std::uint64_t kSeed = 20010618;
 
 void print_excitability() {
@@ -48,17 +47,19 @@ void print_excitability() {
 }
 
 void print_coverage() {
-  const soc::SystemConfig cfg;
+  const spec::ScenarioSpec& scn = bench::active_spec();
+  const soc::SystemConfig& cfg = scn.system;
   const soc::System sys(cfg);
   const auto lib = sim::make_defect_library(cfg, soc::BusKind::kControl,
-                                            kLibrarySize, kSeed);
+                                            scn.defect_count, scn.seed,
+                                            scn.sigma_pct);
 
-  const util::ParallelConfig par = util::ParallelConfig::from_env();
+  const util::ParallelConfig par{scn.threads};
   util::CampaignStats stats;
-  const auto sessions =
-      sbst::TestProgramGenerator::generate_sessions(sbst::GeneratorConfig{});
+  const auto sessions = scn.make_sessions();
   const auto sbst_det = sim::run_detection_sessions(
-      cfg, sessions, soc::BusKind::kControl, lib, 16, par, &stats);
+      cfg, sessions, soc::BusKind::kControl, lib, scn.cycle_factor, par,
+      &stats);
 
   const hwbist::HardwareBist bist(soc::kControlBits, false);
   const auto bist_det =
@@ -100,7 +101,7 @@ void print_escape_corner() {
   // of both CS couplings.  Functional R->W traffic has one rising and one
   // falling aggressor, so the injected charge on CS cancels; the gp/gn MA
   // patterns align both aggressors and fire.
-  const soc::SystemConfig cfg;
+  const soc::SystemConfig& cfg = bench::active_spec().system;
   const soc::System sys(cfg);
   xtalk::RcNetwork bad = sys.nominal_control_network();
   const double f = 1.2 * sys.control_cth() /
@@ -123,7 +124,7 @@ void print_escape_corner() {
 }
 
 void BM_ControlDetection(benchmark::State& state) {
-  const soc::SystemConfig cfg;
+  const soc::SystemConfig& cfg = bench::active_spec().system;
   const auto lib =
       sim::make_defect_library(cfg, soc::BusKind::kControl, 40, kSeed);
   const auto gen =
@@ -137,12 +138,16 @@ BENCHMARK(BM_ControlDetection);
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::banner("E13 (extension): control-bus crosstalk",
-                "Section 3's deferred 'future study', implemented");
-  print_excitability();
-  print_coverage();
-  print_escape_corner();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  // The control-bus built-in, at this bench's historical library size.
+  spec::ScenarioSpec def = spec::builtin_scenario("control-bus");
+  def.defect_count = 500;
+  return bench::scenario_main(argc, argv,
+                              "E13 (extension): control-bus crosstalk",
+                              "Section 3's deferred 'future study', "
+                              "implemented",
+                              def, [] {
+                                print_excitability();
+                                print_coverage();
+                                print_escape_corner();
+                              });
 }

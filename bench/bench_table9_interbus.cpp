@@ -21,7 +21,6 @@ using namespace xtest;
 
 namespace {
 
-constexpr std::size_t kDefects = 200;
 constexpr std::uint64_t kSeed = 20010618;
 
 struct LoadDefect {
@@ -32,10 +31,10 @@ struct LoadDefect {
 /// Gaussian cross-bus load defects, accepted when delay-detectable
 /// (L > 2*(Cth - Cnet(wire)), the MA-delay criterion).
 std::vector<LoadDefect> make_load_library(const soc::System& sys) {
-  util::Rng rng(kSeed);
+  util::Rng rng(bench::active_spec().seed);
   std::vector<LoadDefect> out;
   const auto& nom = sys.nominal_address_network();
-  while (out.size() < kDefects) {
+  while (out.size() < bench::active_spec().defect_count) {
     const unsigned wire = static_cast<unsigned>(rng.below(12));
     const double threshold =
         2.0 * (sys.address_cth() - nom.net_coupling(wire));
@@ -53,7 +52,7 @@ std::vector<bool> detect_with_faults(
   cfg.address_faults = addr_faults;
   const auto sessions = sbst::TestProgramGenerator::generate_sessions(cfg);
 
-  soc::System sys;
+  soc::System sys(bench::active_spec().system);
   std::vector<bool> detected(defects.size(), false);
   for (const auto& s : sessions) {
     if (s.program.tests.empty()) continue;
@@ -73,7 +72,7 @@ std::vector<bool> detect_with_faults(
 }
 
 void print_interbus() {
-  const soc::System sys{soc::SystemConfig{}};
+  const soc::System sys{bench::active_spec().system};
   const auto defects = make_load_library(sys);
   std::printf("\n%zu cross-bus load defects on the address bus "
               "(delay-detectable by construction)\n", defects.size());
@@ -118,7 +117,7 @@ void print_interbus() {
 }
 
 void BM_LoadDefectDetection(benchmark::State& state) {
-  const soc::System sys{soc::SystemConfig{}};
+  const soc::System sys{bench::active_spec().system};
   const auto defects = make_load_library(sys);
   const auto gen =
       sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
@@ -141,10 +140,8 @@ BENCHMARK(BM_LoadDefectDetection);
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::banner("E14 (extension): inter-bus coupling defects",
-                "Section 5's 'treating them as one bus' remark");
-  print_interbus();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::scenario_main(
+      argc, argv, "E14 (extension): inter-bus coupling defects",
+      "Section 5's 'treating them as one bus' remark",
+      spec::builtin_scenario("paper-baseline"), print_interbus);
 }

@@ -7,9 +7,15 @@
 
 #pragma once
 
-#include <cstdio>
-#include <string>
+#include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spec/scenario.h"
 #include "util/fault_injector.h"
 #include "util/parallel.h"
 
@@ -58,6 +64,68 @@ inline void print_campaign_stats(const std::string& name,
                 s.sim_errors, s.retries, s.restored_from_checkpoint,
                 s.salvaged_sections, s.dropped_slots, s.flush_failures);
   std::printf("%s\n", s.json(name).c_str());
+}
+
+/// The scenario this bench process runs under.  scenario_main() fills it
+/// before the reproduction body or any BM_ function executes; bodies read
+/// their system / library / program configuration from here instead of
+/// hard-coding it.
+inline spec::ScenarioSpec& active_spec_slot() {
+  static spec::ScenarioSpec s;
+  return s;
+}
+inline const spec::ScenarioSpec& active_spec() { return active_spec_slot(); }
+
+/// Scenario-driven bench entry point shared by every bench binary:
+///
+///   int main(int argc, char** argv) {
+///     spec::ScenarioSpec def = spec::builtin_scenario("paper-baseline");
+///     def.defect_count = 1000;  // this bench's library size
+///     return bench::scenario_main(argc, argv, "E4: ...", "Fig. 11 (...)",
+///                                 def, print_fig11);
+///   }
+///
+/// `--scenario NAME|FILE` (also `--scenario=...`) is parsed and stripped
+/// before google-benchmark sees argv; without it the bench's own default
+/// spec applies and the output is byte-identical to the pre-scenario
+/// binaries.  Bad scenario input exits with the CLI's usage code (2).
+inline int scenario_main(int argc, char** argv, const std::string& title,
+                         const std::string& paper_ref,
+                         spec::ScenarioSpec default_spec,
+                         const std::function<void()>& body,
+                         bool run_benchmarks = true) {
+  std::vector<char*> keep;
+  std::optional<std::string> scenario;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--scenario" && i + 1 < argc) {
+      scenario = argv[++i];
+    } else if (a.rfind("--scenario=", 0) == 0) {
+      scenario = a.substr(std::string("--scenario=").size());
+    } else {
+      keep.push_back(argv[i]);
+    }
+  }
+  try {
+    active_spec_slot() =
+        scenario ? spec::load_scenario(*scenario) : std::move(default_spec);
+    active_spec_slot().validate();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  banner(title, paper_ref);
+  if (scenario)
+    std::printf("scenario: %s (%s)\n", active_spec().name.c_str(),
+                active_spec().description.c_str());
+  body();
+  if (run_benchmarks) {
+    int kept = static_cast<int>(keep.size());
+    keep.push_back(nullptr);
+    benchmark::Initialize(&kept, keep.data());
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return 0;
 }
 
 }  // namespace xtest::bench

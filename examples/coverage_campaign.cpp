@@ -10,24 +10,27 @@
 #include <cstdlib>
 
 #include "sim/campaign.h"
+#include "spec/scenario.h"
 #include "util/table.h"
 
 using namespace xtest;
 
 namespace {
 
-void run_bus(const soc::SystemConfig& cfg, soc::BusKind bus,
-             std::size_t count, std::uint64_t seed) {
+void run_bus(const spec::ScenarioSpec& scn, soc::BusKind bus) {
+  const soc::SystemConfig& cfg = scn.system;
   const unsigned width =
       bus == soc::BusKind::kAddress ? cpu::kAddrBits : cpu::kDataBits;
   std::printf("\n--- %s bus (%u wires) ---\n", soc::to_string(bus).c_str(),
               width);
-  const auto lib = sim::make_defect_library(cfg, bus, count, seed);
+  const auto lib =
+      sim::make_defect_library(cfg, bus, scn.defect_count, scn.seed,
+                               scn.sigma_pct);
   std::printf("library: %zu defects from %zu candidates (Cth %.1f fF)\n",
               lib.size(), lib.attempts(), lib.config().cth_fF);
 
   const sim::PerLineCoverage cov =
-      sim::per_line_coverage(cfg, bus, lib, sbst::GeneratorConfig{});
+      sim::per_line_coverage(cfg, bus, lib, scn.program);
   util::Table t({"line", "tests", "individual", "cumulative"});
   for (unsigned i = 0; i < width; ++i)
     t.add_row({std::to_string(i + 1), std::to_string(cov.tests_placed[i]),
@@ -40,15 +43,16 @@ void run_bus(const soc::SystemConfig& cfg, soc::BusKind bus,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t count =
+  spec::ScenarioSpec scn = spec::builtin_scenario("paper-baseline");
+  scn.defect_count =
       argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 1000;
-  const std::uint64_t seed =
+  scn.seed =
       argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 20010618;
 
-  soc::SystemConfig cfg;
   std::printf("CPU-memory system: 12-bit address bus, 8-bit data bus, "
               "4K memory\n");
-  run_bus(cfg, soc::BusKind::kAddress, count, seed);
-  run_bus(cfg, soc::BusKind::kData, count, seed + 1);
+  run_bus(scn, soc::BusKind::kAddress);
+  scn.seed += 1;
+  run_bus(scn, soc::BusKind::kData);
   return 0;
 }

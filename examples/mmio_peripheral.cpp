@@ -15,6 +15,7 @@
 
 #include "cpu/assembler.h"
 #include "soc/system.h"
+#include "spec/scenario.h"
 #include "xtalk/maf.h"
 
 using namespace xtest;
@@ -46,7 +47,7 @@ void demo_register_core() {
     const xtalk::MafFault fault{2, type, xtalk::BusDirection::kCpuToCore};
     const cpu::AsmResult prog = cpu::assemble(core_write_test(fault));
 
-    soc::System sys;
+    soc::System sys(spec::builtin_scenario("paper-baseline").system);
     soc::RegisterFileDevice dev(256);
     sys.attach_mmio(0xE00, 256, &dev);
 
@@ -80,7 +81,7 @@ void demo_rom_core() {
         .org 0x200
 resp:   .res 1
   )");
-  soc::System sys;
+  soc::System sys(spec::builtin_scenario("paper-baseline").system);
   soc::RomDevice rom({0xFE});  // v2 of gp@1, fixed by the core's contents
   sys.attach_mmio(0xE00, 256, &rom);
 

@@ -15,12 +15,14 @@
 
 #include "sbst/generator.h"
 #include "sim/verify.h"
+#include "spec/scenario.h"
 #include "util/table.h"
 
 using namespace xtest;
 
 int main() {
-  sbst::GeneratorConfig cfg;
+  sbst::GeneratorConfig cfg =
+      spec::builtin_scenario("paper-baseline").program;
   cfg.include_data_bus = false;  // focus on the conflict-prone address bus
   const auto sessions = sbst::TestProgramGenerator::generate_sessions(cfg);
 

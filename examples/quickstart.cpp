@@ -10,14 +10,17 @@
 #include "sim/campaign.h"
 #include "sim/verify.h"
 #include "soc/system.h"
+#include "spec/scenario.h"
 #include "xtalk/defect.h"
 
 using namespace xtest;
 
 int main() {
   // 1. The system under test: PARWAN-style CPU, 4K memory, 12-bit address
-  //    bus, 8-bit bidirectional data bus (Section 4 of the paper).
-  soc::SystemConfig syscfg;
+  //    bus, 8-bit bidirectional data bus (Section 4 of the paper).  The
+  //    whole experiment is described by one declarative scenario spec.
+  const spec::ScenarioSpec scn = spec::builtin_scenario("paper-baseline");
+  const soc::SystemConfig& syscfg = scn.system;
   soc::System system(syscfg);
   std::printf("system: addr bus %u wires (Cth %.1f fF), data bus %u wires "
               "(Cth %.1f fF)\n",
@@ -26,7 +29,7 @@ int main() {
 
   // 2. Generate the self-test program: MA tests for all 48 address-bus and
   //    64 data-bus MAFs, response compaction included.
-  sbst::GeneratorConfig gencfg;
+  const sbst::GeneratorConfig& gencfg = scn.program;
   const sbst::GenerationResult gen =
       sbst::TestProgramGenerator(gencfg).generate();
   std::printf("program: %zu tests placed, %zu unplaced (address conflicts), "

@@ -60,6 +60,8 @@ struct GeneratorConfig {
   /// and multi-session retries).  Unset = all faults of the bus.
   std::optional<std::vector<xtalk::MafFault>> address_faults;
   std::optional<std::vector<xtalk::MafFault>> data_faults;
+
+  bool operator==(const GeneratorConfig&) const = default;
 };
 
 class TestProgramGenerator {

@@ -103,6 +103,7 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
   soc::CacheCounters xfer_counters;
   ResponseSnapshot gold;
   bool gold_reused = false;
+  std::size_t gold_evicted = 0;
   const bool gold_cacheable =
       options.reuse_gold && !util::FaultInjector::global().armed();
   std::uint64_t gold_key = 0;
@@ -116,7 +117,8 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
     const soc::CacheCounters c = gold_system.transition_cache_counters();
     xfer_counters.hits += c.hits;
     xfer_counters.misses += c.misses;
-    if (gold_cacheable) GoldRunCache::global().store(gold_key, gold);
+    if (gold_cacheable)
+      gold_evicted = GoldRunCache::global().store(gold_key, gold);
   }
   if (!gold.completed)
     throw std::runtime_error("gold run did not complete; bad program");
@@ -264,6 +266,7 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
     stats.cache_hits += xfer_counters.hits;
     stats.cache_misses += xfer_counters.misses;
     stats.gold_reuses += gold_reused ? 1 : 0;
+    stats.gold_evictions += gold_evicted;
     if (!interrupted) tally_verdicts(verdicts, stats);
     stats.wall_seconds += seconds_since(start);
   }

@@ -8,7 +8,7 @@ namespace xtest::sim {
 
 namespace {
 
-constexpr std::size_t kMaxEntries = 256;
+constexpr std::size_t kDefaultCapacity = 256;
 
 struct Fnv1a {
   std::uint64_t h = 0xCBF29CE484222325ull;
@@ -64,8 +64,32 @@ std::uint64_t gold_run_key(const soc::SystemConfig& config,
 }
 
 struct GoldRunCache::Impl {
+  struct Entry {
+    ResponseSnapshot snapshot;
+    std::uint64_t last_use = 0;
+  };
+
   std::mutex mutex;
-  std::unordered_map<std::uint64_t, ResponseSnapshot> map;
+  std::unordered_map<std::uint64_t, Entry> map;
+  std::uint64_t clock = 0;  // recency ticks; bumped on find-hit and store
+  std::size_t capacity = kDefaultCapacity;
+  std::uint64_t evictions = 0;
+
+  /// Drops least-recently-used entries until size fits `capacity`.
+  /// Linear scan per eviction: the cap is small (hundreds) and eviction
+  /// is rare next to the thousands of hits an entry serves.
+  std::size_t evict_to_capacity() {
+    std::size_t evicted = 0;
+    while (map.size() > capacity) {
+      auto lru = map.begin();
+      for (auto it = map.begin(); it != map.end(); ++it)
+        if (it->second.last_use < lru->second.last_use) lru = it;
+      map.erase(lru);
+      ++evicted;
+    }
+    evictions += evicted;
+    return evicted;
+  }
 };
 
 GoldRunCache::Impl& GoldRunCache::impl() {
@@ -83,22 +107,46 @@ bool GoldRunCache::find(std::uint64_t key, ResponseSnapshot& out) {
   std::lock_guard<std::mutex> lock(im.mutex);
   const auto it = im.map.find(key);
   if (it == im.map.end()) return false;
-  out = it->second;
+  it->second.last_use = ++im.clock;
+  out = it->second.snapshot;
   return true;
 }
 
-void GoldRunCache::store(std::uint64_t key, const ResponseSnapshot& snapshot) {
-  if (!snapshot.completed) return;
+std::size_t GoldRunCache::store(std::uint64_t key,
+                                const ResponseSnapshot& snapshot) {
+  if (!snapshot.completed) return 0;
   Impl& im = impl();
   std::lock_guard<std::mutex> lock(im.mutex);
-  if (im.map.size() >= kMaxEntries && !im.map.count(key)) im.map.clear();
-  im.map[key] = snapshot;
+  Impl::Entry& e = im.map[key];
+  e.snapshot = snapshot;
+  e.last_use = ++im.clock;
+  return im.evict_to_capacity();
+}
+
+void GoldRunCache::set_capacity(std::size_t entries) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  im.capacity = entries > 0 ? entries : 1;
+  im.evict_to_capacity();
+}
+
+std::size_t GoldRunCache::capacity() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  return im.capacity;
+}
+
+std::uint64_t GoldRunCache::evictions() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  return im.evictions;
 }
 
 void GoldRunCache::clear() {
   Impl& im = impl();
   std::lock_guard<std::mutex> lock(im.mutex);
   im.map.clear();
+  im.evictions = 0;
 }
 
 std::size_t GoldRunCache::size() const {

@@ -34,19 +34,31 @@ std::uint64_t gold_run_key(const soc::SystemConfig& config,
                            std::uint64_t max_cycles);
 
 /// Process-wide bounded memo of completed gold snapshots.  Thread-safe;
-/// campaigns running concurrently share it.
+/// campaigns running concurrently share it.  Growth is bounded by a
+/// configurable entry cap with LRU eviction, so long scenario sweeps
+/// cannot grow the process-wide memo without limit.
 class GoldRunCache {
  public:
   static GoldRunCache& global();
 
   /// Copies the cached snapshot into `out` and returns true on a hit.
+  /// A hit refreshes the entry's recency.
   bool find(std::uint64_t key, ResponseSnapshot& out);
 
   /// Records a *completed* gold snapshot (incomplete golds abort the
-  /// campaign anyway).  When the table is full the whole memo is dropped
-  /// first -- gold snapshots are cheap to rebuild and the common case is a
-  /// handful of distinct programs hit thousands of times.
-  void store(std::uint64_t key, const ResponseSnapshot& snapshot);
+  /// campaign anyway).  When the table is at capacity the least-recently
+  /// used entry is evicted first.  Returns the number of entries evicted
+  /// by this call (0 or 1), so campaigns can account evictions in their
+  /// stats.
+  std::size_t store(std::uint64_t key, const ResponseSnapshot& snapshot);
+
+  /// Entry cap (minimum 1).  Shrinking below the current size evicts the
+  /// least-recently-used entries immediately; those evictions also count.
+  void set_capacity(std::size_t entries);
+  std::size_t capacity() const;
+
+  /// Entries evicted by the cap since process start (clear() resets it).
+  std::uint64_t evictions() const;
 
   void clear();
   std::size_t size() const;

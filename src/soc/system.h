@@ -51,6 +51,8 @@ struct SystemConfig {
   /// for equivalence testing.
   bool fast_receive = true;      ///< precomputed per-defect BusEvaluator
   bool transition_cache = true;  ///< memoize (held, driven) per defect
+
+  bool operator==(const SystemConfig&) const = default;
 };
 
 /// Transition-cache counters summed over a system's three buses.

@@ -101,26 +101,36 @@ std::vector<ItemError> parallel_for_items(
   return errors;
 }
 
+const char* build_type() {
+#ifdef XTEST_BUILD_TYPE
+  return XTEST_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
 std::string CampaignStats::json(const std::string& label) const {
-  char buf[1024];
+  char buf[1280];
   std::snprintf(
       buf, sizeof buf,
-      "{\"campaign\":\"%s\",\"threads\":%u,\"defects\":%zu,"
+      "{\"campaign\":\"%s\",\"threads\":%u,"
+      "\"hardware_concurrency\":%u,\"build_type\":\"%s\",\"defects\":%zu,"
       "\"simulated_cycles\":%llu,\"wall_seconds\":%.6f,"
       "\"defects_per_second\":%.1f,\"detected\":%zu,"
       "\"detected_by_timeout\":%zu,\"undetected\":%zu,\"sim_errors\":%zu,"
       "\"retries\":%zu,\"restored_from_checkpoint\":%zu,"
       "\"salvaged_sections\":%zu,\"dropped_slots\":%zu,"
       "\"flush_failures\":%zu,\"cache_hits\":%llu,\"cache_misses\":%llu,"
-      "\"cache_hit_rate\":%.4f,\"gold_reuses\":%zu}",
-      label.c_str(), threads, defects_simulated,
+      "\"cache_hit_rate\":%.4f,\"gold_reuses\":%zu,\"gold_evictions\":%zu}",
+      label.c_str(), threads, std::thread::hardware_concurrency(),
+      build_type(), defects_simulated,
       static_cast<unsigned long long>(simulated_cycles), wall_seconds,
       defects_per_second(), detected, detected_by_timeout, undetected,
       sim_errors, retries, restored_from_checkpoint, salvaged_sections,
       dropped_slots, flush_failures,
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(cache_misses), cache_hit_rate(),
-      gold_reuses);
+      gold_reuses, gold_evictions);
   return buf;
 }
 

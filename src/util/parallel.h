@@ -119,6 +119,9 @@ struct CampaignStats {
   std::uint64_t cache_misses = 0;
   /// Gold runs answered from the process-wide snapshot memo.
   std::size_t gold_reuses = 0;
+  /// Gold snapshots evicted by the memo's LRU entry cap during this
+  /// campaign's stores (process-wide memo, so sweeps accumulate).
+  std::size_t gold_evictions = 0;
   /// One "defect <index>: <message>" line per quarantined simulation.
   std::vector<std::string> error_log;
 
@@ -137,7 +140,15 @@ struct CampaignStats {
   }
 
   /// One-line JSON record for the perf trajectory, keyed by `label`.
+  /// Besides the counters it records the execution environment --
+  /// resolved worker count, std::thread::hardware_concurrency(), and the
+  /// build type -- so a perf artifact is interpretable on its own (e.g.
+  /// "threads=4 slower than threads=1" is expected on a 1-CPU host).
   std::string json(const std::string& label) const;
 };
+
+/// The CMake build type the library was compiled as ("Release",
+/// "RelWithDebInfo", ...; "unknown" when the build system did not say).
+const char* build_type();
 
 }  // namespace xtest::util

@@ -28,6 +28,8 @@ struct BusGeometry {
   double ground_fF_per_um = 0.06;    ///< wire-to-ground cap per um
   double distance_decay_exponent = 2.0;  ///< Cc(d) = Cc(1) / d^exp
   double driver_resistance_ohm = 500.0;  ///< lumped driver + wire resistance
+
+  bool operator==(const BusGeometry&) const = default;
 };
 
 /// Dense symmetric coupling matrix plus per-wire ground caps and driver R.

@@ -308,16 +308,72 @@ TEST(GoldCache, ReuseProducesIdenticalVerdicts) {
   EXPECT_EQ(first, third);
 }
 
+TEST(GoldCache, CapacityBoundsEntriesWithLruEviction) {
+  auto& cache = sim::GoldRunCache::global();
+  cache.clear();
+  cache.set_capacity(3);
+  EXPECT_EQ(cache.capacity(), 3u);
+
+  auto snap = [](std::uint8_t v) {
+    sim::ResponseSnapshot s;
+    s.values = {v};
+    s.completed = true;
+    return s;
+  };
+  EXPECT_EQ(cache.store(1, snap(1)), 0u);
+  EXPECT_EQ(cache.store(2, snap(2)), 0u);
+  EXPECT_EQ(cache.store(3, snap(3)), 0u);
+  EXPECT_EQ(cache.size(), 3u);
+
+  // Touch key 1 so key 2 becomes the least recently used.
+  sim::ResponseSnapshot out;
+  EXPECT_TRUE(cache.find(1, out));
+  EXPECT_EQ(cache.store(4, snap(4)), 1u);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.find(2, out));  // the LRU entry was evicted
+  EXPECT_TRUE(cache.find(1, out));
+  EXPECT_EQ(out.values, std::vector<std::uint8_t>{1});
+  EXPECT_TRUE(cache.find(3, out));
+  EXPECT_TRUE(cache.find(4, out));
+
+  // Re-storing an existing key never evicts a different entry.
+  EXPECT_EQ(cache.store(4, snap(44)), 0u);
+  EXPECT_EQ(cache.size(), 3u);
+
+  // Shrinking evicts immediately, oldest first.
+  cache.set_capacity(1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 3u);
+  EXPECT_TRUE(cache.find(4, out));  // most recently used survives
+  EXPECT_EQ(out.values, std::vector<std::uint8_t>{44});
+
+  cache.set_capacity(0);  // clamped to 1: a cap of 0 would disable reuse
+  EXPECT_EQ(cache.capacity(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  cache.clear();
+  EXPECT_EQ(cache.evictions(), 0u);
+  cache.set_capacity(256);  // restore the default for later tests
+}
+
 TEST(CampaignStats, JsonCarriesHotPathCounters) {
   util::CampaignStats stats;
   stats.cache_hits = 30;
   stats.cache_misses = 10;
   stats.gold_reuses = 2;
+  stats.gold_evictions = 3;
   const std::string j = stats.json("hotpath");
   EXPECT_NE(j.find("\"cache_hits\":30"), std::string::npos) << j;
   EXPECT_NE(j.find("\"cache_misses\":10"), std::string::npos) << j;
   EXPECT_NE(j.find("\"cache_hit_rate\":0.7500"), std::string::npos) << j;
   EXPECT_NE(j.find("\"gold_reuses\":2"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"gold_evictions\":3"), std::string::npos) << j;
+  // Environment provenance: worker count, the machine's concurrency, and
+  // the build type all land in the record.
+  EXPECT_NE(j.find("\"hardware_concurrency\":"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"build_type\":\""), std::string::npos) << j;
+  EXPECT_NE(std::string(util::build_type()), "") << "build_type is never empty";
   EXPECT_DOUBLE_EQ(stats.cache_hit_rate(), 0.75);
   EXPECT_DOUBLE_EQ(util::CampaignStats{}.cache_hit_rate(), 0.0);
 }

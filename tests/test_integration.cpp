@@ -9,16 +9,24 @@
 #include "sim/signature.h"
 #include "sim/verify.h"
 #include "soc/system.h"
+#include "spec/scenario.h"
 
 namespace xtest {
 namespace {
 
 using sim::ResponseSnapshot;
 
+/// Every end-to-end test constructs its system and program through the
+/// declarative scenario layer, the same path the CLI and benches use.
+const spec::ScenarioSpec& baseline() {
+  static const spec::ScenarioSpec s = spec::builtin_scenario("paper-baseline");
+  return s;
+}
+
 TEST(EndToEnd, SingleInjectedDefectIsDetected) {
   const sbst::GenerationResult gen =
-      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
-  soc::System sys;
+      sbst::TestProgramGenerator(baseline().program).generate();
+  soc::System sys(baseline().system);
   const ResponseSnapshot gold =
       sim::run_and_capture(sys, gen.program, 1'000'000);
   ASSERT_TRUE(gold.completed);
@@ -38,8 +46,8 @@ TEST(EndToEnd, SubThresholdPerturbationPasses) {
   // A benign perturbation (below Cth everywhere) must not fail the chip:
   // no over-testing by construction.
   const sbst::GenerationResult gen =
-      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
-  soc::System sys;
+      sbst::TestProgramGenerator(baseline().program).generate();
+  soc::System sys(baseline().system);
   const ResponseSnapshot gold =
       sim::run_and_capture(sys, gen.program, 1'000'000);
 
@@ -54,9 +62,8 @@ TEST(EndToEnd, SubThresholdPerturbationPasses) {
 }
 
 TEST(EndToEnd, AddressDefectDerailsOrFlagsProgram) {
-  const auto sessions =
-      sbst::TestProgramGenerator::generate_sessions(sbst::GeneratorConfig{});
-  soc::System sys;
+  const auto sessions = baseline().make_sessions();
+  soc::System sys(baseline().system);
   xtalk::RcNetwork bad = sys.nominal_address_network();
   for (unsigned j = 0; j < 12; ++j)
     if (j != 3) bad.scale_coupling(3, j, 3.0);
@@ -91,7 +98,7 @@ TEST(EndToEnd, HandWrittenPaperExampleDataBusTest) {
         .org 0x200
 resp:   .res 1
   )");
-  soc::System sys;
+  soc::System sys(baseline().system);
   sys.load_and_reset(a.image, a.entry);
   sys.run(1000);
   EXPECT_EQ(sys.memory().read(0x200), 0xF7);
@@ -122,7 +129,7 @@ TEST(EndToEnd, CompactionSignatureMatchesFig8) {
     src += "        .byte " + std::to_string(v2) + "\n";
   }
   const cpu::AsmResult a = cpu::assemble(src);
-  soc::System sys;
+  soc::System sys(baseline().system);
   sys.load_and_reset(a.image, a.entry);
   sys.run(10000);
   EXPECT_EQ(sys.memory().read(0x200), 0xFF);
@@ -141,7 +148,7 @@ TEST(EndToEnd, DiagnosisFromCompactedSignature) {
   // "The position of the '0' bit tells which test failed": locate the
   // failing MA test from the group signature alone.
   const sbst::GenerationResult gen =
-      sbst::TestProgramGenerator(sbst::GeneratorConfig{}).generate();
+      sbst::TestProgramGenerator(baseline().program).generate();
   const sim::VerificationResult ver = sim::verify_program(gen.program);
 
   // Pick a compacted address-bus test with a one-hot pass value.
@@ -153,7 +160,7 @@ TEST(EndToEnd, DiagnosisFromCompactedSignature) {
       target = &t;
   ASSERT_NE(target, nullptr);
 
-  soc::System sys;
+  soc::System sys(baseline().system);
   sys.set_forced_maf(soc::ForcedMaf{soc::BusKind::kAddress, target->fault});
   const ResponseSnapshot faulty =
       sim::run_and_capture(sys, gen.program, ver.max_cycles);
@@ -173,7 +180,7 @@ TEST(EndToEnd, MmioCoreInterconnectTest) {
   // Section 3's extension: the CPU tests the bus towards a non-memory
   // core through memory-mapped I/O.  Write v2 after driving v1 on the
   // data bus; a forced cpu->core fault corrupts the device register.
-  soc::System sys;
+  soc::System sys(baseline().system);
   soc::RegisterFileDevice dev(256);
   sys.attach_mmio(0xE00, 256, &dev);
   const cpu::AsmResult a = cpu::assemble(R"(

@@ -9,12 +9,14 @@
 #include <sstream>
 
 #include "cpu/assembler.h"
+#include "hwbist/bist.h"
 #include "sbst/generator.h"
 #include "sim/campaign.h"
 #include "sim/serialize.h"
 #include "sim/verify.h"
 #include "soc/system.h"
 #include "soc/waveform.h"
+#include "spec/scenario.h"
 #include "util/fault_injector.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -24,21 +26,92 @@ namespace xtest::cli {
 
 namespace {
 
+// --- command/flag table ----------------------------------------------------
+// One table drives BOTH the parser and usage(): a flag cannot exist in the
+// parser without appearing in the synopsis or vice versa, so the two can
+// never drift apart again.
+
+struct FlagDef {
+  const char* name;   ///< without the leading "--"
+  const char* value;  ///< value placeholder ("N", "FILE", ...); nullptr = switch
+};
+
+struct CommandDef {
+  const char* name;
+  const char* positional;  ///< synopsis for positional args, nullptr = none
+  std::vector<FlagDef> flags;
+};
+
+const std::vector<CommandDef>& command_table() {
+  static const std::vector<CommandDef> table = {
+      {"generate", nullptr, {{"sessions", nullptr}, {"out", "PREFIX"}}},
+      {"assemble", "FILE.s", {{"out", "FILE.img"}}},
+      {"disasm", "FILE.img", {}},
+      {"run",
+       "FILE.img",
+       {{"entry", "ADDR"},
+        {"scenario", "NAME|FILE"},
+        {"trace", nullptr},
+        {"max-cycles", "N"}}},
+      {"campaign",
+       nullptr,
+       {{"scenario", "NAME|FILE"},
+        {"bus", "addr|data|ctrl"},
+        {"defects", "N"},
+        {"seed", "S"},
+        {"threads", "T"},
+        {"checkpoint", "FILE"},
+        {"no-retry", nullptr},
+        {"faults", "SPEC"},
+        {"defect-deadline-ms", "N"},
+        {"stats-json", nullptr}}},
+      {"chaos",
+       nullptr,
+       {{"scenario", "NAME|FILE"},
+        {"bus", "addr|data|ctrl"},
+        {"defects", "N"},
+        {"seed", "S"},
+        {"cycles", "K"},
+        {"threads", "T"}}},
+      {"scenarios", nullptr, {{"dump", "NAME|FILE"}}},
+  };
+  return table;
+}
+
+const CommandDef* find_command(const std::string& name) {
+  for (const CommandDef& c : command_table())
+    if (name == c.name) return &c;
+  return nullptr;
+}
+
 struct Parsed {
   std::string command;
   std::vector<std::string> positional;
   std::map<std::string, std::string> options;  // --key [value]
 };
 
-Parsed parse(const std::vector<std::string>& args) {
+/// Parses args[1..] against the command's flag table.  Unknown flags and
+/// value flags without a value are usage errors -- the table is the
+/// contract, not a suggestion.
+Parsed parse(const CommandDef& cmd, const std::vector<std::string>& args) {
   Parsed p;
-  if (!args.empty()) p.command = args[0];
+  p.command = cmd.name;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& a = args[i];
     if (a.rfind("--", 0) == 0) {
       const std::string key = a.substr(2);
-      // Flags with values: peek at the next token.
-      if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      const FlagDef* def = nullptr;
+      for (const FlagDef& f : cmd.flags)
+        if (key == f.name) {
+          def = &f;
+          break;
+        }
+      if (def == nullptr)
+        throw UsageError(p.command + ": unknown flag '--" + key + "'");
+      if (def->value != nullptr) {
+        if (i + 1 >= args.size() || args[i + 1].rfind("--", 0) == 0)
+          throw UsageError("--" + key + ": missing " +
+                           std::string(def->value) + " value");
         p.options[key] = args[++i];
       } else {
         p.options[key] = "";
@@ -64,21 +137,33 @@ void write_file(const std::string& path, const std::string& content) {
   out << content;
 }
 
+/// Rendered from command_table(): every parseable flag appears here and
+/// nothing else does.
 int usage(std::ostream& err) {
-  err << "usage:\n"
-         "  xtest generate [--sessions] [--out PREFIX]\n"
-         "  xtest assemble FILE.s [--out FILE.img]\n"
-         "  xtest disasm FILE.img\n"
-         "  xtest run FILE.img --entry ADDR [--trace] [--max-cycles N]\n"
-         "  xtest campaign [--bus addr|data|ctrl] [--defects N] [--seed S]\n"
-         "                 [--threads T]   (0 = auto / $XTEST_THREADS)\n"
-         "                 [--checkpoint FILE] [--no-retry]\n"
-         "                 [--faults SPEC] (or $XTEST_FAULTS; "
-         "site[@N|%P],...[:seed])\n"
-         "                 [--defect-deadline-ms N] (watchdog, 0 = off)\n"
-         "                 [--stats-json] (one-line stats record)\n"
-         "  xtest chaos    [--bus addr|data|ctrl] [--defects N] [--seed S]\n"
-         "                 [--cycles K] [--threads T] (kill/resume soak)\n"
+  err << "usage:\n";
+  for (const CommandDef& c : command_table()) {
+    std::string line = std::string("  xtest ") + c.name;
+    if (c.positional != nullptr) line += std::string(" ") + c.positional;
+    const std::string indent(line.size(), ' ');
+    for (const FlagDef& f : c.flags) {
+      std::string tok = std::string("[--") + f.name;
+      if (f.value != nullptr) tok += std::string(" ") + f.value;
+      tok += "]";
+      if (line.size() + 1 + tok.size() > 78) {
+        err << line << '\n';
+        line = indent;
+      }
+      line += " " + tok;
+    }
+    err << line << '\n';
+  }
+  err << "scenarios: ";
+  for (std::size_t i = 0; i < spec::builtin_scenario_names().size(); ++i)
+    err << (i ? ", " : "") << spec::builtin_scenario_names()[i];
+  err << "\n"
+         "notes: --threads 0 = auto ($XTEST_THREADS); --faults or "
+         "$XTEST_FAULTS:\n"
+         "       site[@N|%P],...[:seed]; --defect-deadline-ms 0 = off\n"
          "exit codes: 0 ok, 2 usage, 3 I/O, 4 simulation, 5 interrupted "
          "(resumable)\n";
   return kExitUsage;
@@ -124,6 +209,29 @@ std::uint64_t parse_u64(const std::string& flag, const std::string& value) {
   } catch (const std::exception&) {
     throw UsageError("--" + flag + ": not a number: '" + value + "'");
   }
+}
+
+/// The scenario a command starts from: --scenario when given, otherwise the
+/// paper baseline (which IS the pre-spec hard-coded configuration, so
+/// flag-only invocations behave exactly as before).  Individual flags then
+/// override single fields on top.
+spec::ScenarioSpec base_scenario(const Parsed& p) {
+  if (p.options.count("scenario"))
+    return spec::load_scenario(p.options.at("scenario"));
+  return spec::builtin_scenario("paper-baseline");
+}
+
+/// Applies the campaign-shaped override flags shared by campaign and chaos.
+void apply_overrides(const Parsed& p, spec::ScenarioSpec& s) {
+  if (p.options.count("bus")) s.bus = parse_bus(p.options.at("bus"));
+  if (p.options.count("defects"))
+    s.defect_count =
+        static_cast<std::size_t>(parse_u64("defects", p.options.at("defects")));
+  if (p.options.count("seed"))
+    s.seed = parse_u64("seed", p.options.at("seed"));
+  if (p.options.count("threads"))
+    s.threads =
+        static_cast<unsigned>(parse_u64("threads", p.options.at("threads")));
 }
 
 int cmd_generate(const Parsed& p, std::ostream& out) {
@@ -196,8 +304,13 @@ int cmd_run(const Parsed& p, std::ostream& out) {
       p.options.count("max-cycles")
           ? parse_u64("max-cycles", p.options.at("max-cycles"))
           : 1'000'000;
+  // --scenario selects the electrical environment the image runs in
+  // (geometries, Cth ratio, clock scaling); the default spec is the
+  // default SystemConfig, so flag-less runs are unchanged.
+  const spec::ScenarioSpec s = base_scenario(p);
+  s.validate();
 
-  soc::System sys;
+  soc::System sys(s.system);
   soc::BusTrace trace;
   if (p.options.count("trace")) sys.set_trace(&trace);
   sys.load_and_reset(img, entry);
@@ -222,45 +335,31 @@ int cmd_run(const Parsed& p, std::ostream& out) {
 }
 
 int cmd_campaign(const Parsed& p, std::ostream& out, std::ostream& err) {
-  const soc::BusKind bus = parse_bus(
-      p.options.count("bus") ? p.options.at("bus") : "addr");
-  const std::size_t defects =
-      p.options.count("defects")
-          ? static_cast<std::size_t>(
-                parse_u64("defects", p.options.at("defects")))
-          : 200;
-  const std::uint64_t seed =
-      p.options.count("seed") ? parse_u64("seed", p.options.at("seed"))
-                              : 20010618ull;
-  util::ParallelConfig par = util::ParallelConfig::from_env();
-  if (p.options.count("threads"))
-    par.threads = static_cast<unsigned>(
-        parse_u64("threads", p.options.at("threads")));
+  spec::ScenarioSpec s = base_scenario(p);
+  apply_overrides(p, s);
+  if (p.options.count("no-retry")) s.retry_errors = false;
+  if (p.options.count("defect-deadline-ms"))
+    s.defect_deadline_ms =
+        parse_u64("defect-deadline-ms", p.options.at("defect-deadline-ms"));
+  s.validate();
+
   const FaultSpecGuard faults(
       p.options.count("faults") ? p.options.at("faults") : "");
 
-  const soc::SystemConfig cfg;
-  const auto lib = sim::make_defect_library(cfg, bus, defects, seed);
-  const auto sessions =
-      sbst::TestProgramGenerator::generate_sessions(sbst::GeneratorConfig{});
+  const auto lib = s.make_library();
+  const auto sessions = s.make_sessions();
   util::CampaignStats stats;
 
-  sim::CampaignOptions opts;
-  opts.parallel = par;
-  opts.stats = &stats;
-  opts.retry_errors = !p.options.count("no-retry");
+  sim::CampaignOptions opts = s.campaign_options(&stats);
   opts.cancel = &interrupt_flag();
-  if (p.options.count("defect-deadline-ms"))
-    opts.defect_deadline_ms =
-        parse_u64("defect-deadline-ms", p.options.at("defect-deadline-ms"));
   if (p.options.count("checkpoint")) {
     opts.checkpoint_path = p.options.at("checkpoint");
     if (opts.checkpoint_path.empty())
       throw UsageError("--checkpoint: missing file name");
-    opts.checkpoint_key = sim::default_checkpoint_key(bus, lib);
+    opts.checkpoint_key = sim::default_checkpoint_key(s.bus, lib);
   }
   const std::vector<sim::Verdict> det =
-      sim::run_detection_sessions(cfg, sessions, bus, lib, opts);
+      sim::run_detection_sessions(s.system, sessions, s.bus, lib, opts);
 
   const sim::VerdictCounts vc = sim::count_verdicts(det);
   char buf[768];
@@ -272,9 +371,9 @@ int cmd_campaign(const Parsed& p, std::ostream& out, std::ostream& err) {
                 "defects/sec=%.0f\n"
                 "cache_hits=%llu cache_misses=%llu cache_hit_rate=%.1f%% "
                 "gold_reuses=%zu\n",
-                soc::to_string(bus).c_str(), lib.size(),
+                soc::to_string(s.bus).c_str(), lib.size(),
                 100.0 * sim::coverage(det),
-                static_cast<unsigned long long>(seed), vc.detected,
+                static_cast<unsigned long long>(s.seed), vc.detected,
                 vc.detected_by_timeout, vc.undetected, vc.sim_errors,
                 stats.retries, stats.restored_from_checkpoint,
                 stats.salvaged_sections, stats.dropped_slots, stats.threads,
@@ -285,9 +384,57 @@ int cmd_campaign(const Parsed& p, std::ostream& out, std::ostream& err) {
                 static_cast<unsigned long long>(stats.cache_misses),
                 100.0 * stats.cache_hit_rate(), stats.gold_reuses);
   out << buf;
+  if (s.compare_bist) {
+    // Section 1 comparison: a test-mode hardware BIST drives the full MA
+    // set directly on the same nominal network / error model / library.
+    const soc::System sys(s.system);
+    const xtalk::RcNetwork* net = &sys.nominal_address_network();
+    const xtalk::CrosstalkErrorModel* model = &sys.address_model();
+    bool bidirectional = false;
+    if (s.bus == soc::BusKind::kData) {
+      net = &sys.nominal_data_network();
+      model = &sys.data_model();
+      bidirectional = s.program.data_both_directions;
+    } else if (s.bus == soc::BusKind::kControl) {
+      net = &sys.nominal_control_network();
+      model = &sys.control_model();
+    }
+    const hwbist::HardwareBist bist(net->width(), bidirectional);
+    const std::vector<sim::Verdict> bv =
+        bist.run_library(*net, *model, lib, opts.parallel);
+    std::snprintf(buf, sizeof buf,
+                  "bist coverage=%.1f%% (%zu MA patterns) sbst=%.1f%% "
+                  "delta=%+.1f\n",
+                  100.0 * sim::coverage(bv), bist.patterns().size(),
+                  100.0 * sim::coverage(det),
+                  100.0 * (sim::coverage(bv) - sim::coverage(det)));
+    out << buf;
+  }
   if (p.options.count("stats-json")) out << stats.json("campaign") << '\n';
   for (const std::string& e : stats.error_log)
     err << "warning: " << e << '\n';
+  return kExitOk;
+}
+
+// ---------------------------------------------------------------------------
+// scenarios: list the built-ins, or dump one (or a file) as scenario text.
+
+int cmd_scenarios(const Parsed& p, std::ostream& out) {
+  if (p.options.count("dump")) {
+    out << spec::serialize_scenario(
+        spec::load_scenario(p.options.at("dump")));
+    return kExitOk;
+  }
+  util::Table t({"name", "bus", "defects", "description"});
+  for (const std::string& name : spec::builtin_scenario_names()) {
+    const spec::ScenarioSpec s = spec::builtin_scenario(name);
+    t.add_row({s.name, soc::to_string(s.bus),
+               std::to_string(s.defect_count), s.description});
+  }
+  out << t.render();
+  out << "run with `xtest campaign --scenario NAME` (or a scenario file "
+         "path);\ndump the full key = value text with `xtest scenarios "
+         "--dump NAME`\n";
   return kExitOk;
 }
 
@@ -309,38 +456,38 @@ struct ChaosOutcome {
 };
 
 int cmd_chaos(const Parsed& p, std::ostream& out, std::ostream& err) {
+  const bool has_scenario = p.options.count("scenario") != 0;
+  spec::ScenarioSpec scn = base_scenario(p);
+  if (!has_scenario) scn.defect_count = 12;  // chaos's own small default
+  apply_overrides(p, scn);
+  scn.validate();
+
+  // A scenario pins the soak to its own bus; flag-only invocations keep
+  // sweeping all three.
   std::vector<soc::BusKind> buses = {soc::BusKind::kAddress,
                                      soc::BusKind::kData,
                                      soc::BusKind::kControl};
-  if (p.options.count("bus")) buses = {parse_bus(p.options.at("bus"))};
-  const std::size_t defects =
-      p.options.count("defects")
-          ? static_cast<std::size_t>(
-                parse_u64("defects", p.options.at("defects")))
-          : 12;
-  const std::uint64_t seed =
-      p.options.count("seed") ? parse_u64("seed", p.options.at("seed"))
-                              : 20010618ull;
+  if (p.options.count("bus"))
+    buses = {parse_bus(p.options.at("bus"))};
+  else if (has_scenario)
+    buses = {scn.bus};
+  const std::size_t defects = scn.defect_count;
+  const std::uint64_t seed = scn.seed;
   const std::size_t cycles =
       p.options.count("cycles")
           ? static_cast<std::size_t>(
                 parse_u64("cycles", p.options.at("cycles")))
           : 20;
   std::vector<unsigned> thread_counts = {1, 4};
-  if (p.options.count("threads")) {
-    const unsigned t = static_cast<unsigned>(
-        parse_u64("threads", p.options.at("threads")));
-    if (t != 0) thread_counts = {t};
-  }
+  if (scn.threads != 0) thread_counts = {scn.threads};
 
   util::FaultInjector& inj = util::FaultInjector::global();
   struct Disarm {
     ~Disarm() { util::FaultInjector::global().disarm(); }
   } disarm_on_exit;
 
-  const soc::SystemConfig cfg;
-  const auto sessions =
-      sbst::TestProgramGenerator::generate_sessions(sbst::GeneratorConfig{});
+  const soc::SystemConfig& cfg = scn.system;
+  const auto sessions = scn.make_sessions();
   std::size_t live_sessions = 0;
   for (const auto& s : sessions) live_sessions += !s.program.tests.empty();
 
@@ -348,11 +495,12 @@ int cmd_chaos(const Parsed& p, std::ostream& out, std::ostream& err) {
   util::CampaignStats stats;
 
   for (const soc::BusKind bus : buses) {
-    const auto lib = sim::make_defect_library(cfg, bus, defects, seed);
+    const auto lib =
+        sim::make_defect_library(cfg, bus, defects, seed, scn.sigma_pct);
     const std::size_t total_slots = live_sessions * lib.size();
     inj.disarm();
-    const std::vector<sim::Verdict> reference =
-        sim::run_detection_sessions(cfg, sessions, bus, lib, 16, {1});
+    const std::vector<sim::Verdict> reference = sim::run_detection_sessions(
+        cfg, sessions, bus, lib, scn.cycle_factor, {1});
 
     for (const unsigned threads : thread_counts) {
       const std::string ckpt =
@@ -362,9 +510,8 @@ int cmd_chaos(const Parsed& p, std::ostream& out, std::ostream& err) {
               .string();
       std::remove(ckpt.c_str());
 
-      sim::CampaignOptions opts;
+      sim::CampaignOptions opts = scn.campaign_options(&stats);
       opts.parallel = {threads};
-      opts.stats = &stats;
       opts.cancel = &interrupt_flag();
       opts.checkpoint_path = ckpt;
       opts.checkpoint_key = sim::default_checkpoint_key(bus, lib);
@@ -449,18 +596,30 @@ std::atomic<bool>& interrupt_flag() {
 
 int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err) {
-  const Parsed p = parse(args);
   try {
+    const CommandDef* cmd =
+        args.empty() ? nullptr : find_command(args[0]);
+    if (cmd == nullptr) return usage(err);
+    const Parsed p = parse(*cmd, args);
     if (p.command == "generate") return cmd_generate(p, out);
     if (p.command == "assemble") return cmd_assemble(p, out);
     if (p.command == "disasm") return cmd_disasm(p, out);
     if (p.command == "run") return cmd_run(p, out);
     if (p.command == "campaign") return cmd_campaign(p, out, err);
     if (p.command == "chaos") return cmd_chaos(p, out, err);
+    if (p.command == "scenarios") return cmd_scenarios(p, out);
     return usage(err);
   } catch (const UsageError& e) {
     err << "error: " << e.what() << '\n';
     return kExitUsage;
+  } catch (const spec::SpecParseError& e) {
+    // Malformed scenario text / unknown scenario name: the operator's
+    // input is wrong, same bucket as a bad flag.
+    err << "error: " << e.what() << '\n';
+    return kExitUsage;
+  } catch (const spec::SpecIoError& e) {
+    err << "error: " << e.what() << '\n';
+    return kExitIo;
   } catch (const IoError& e) {
     err << "error: " << e.what() << '\n';
     return kExitIo;
