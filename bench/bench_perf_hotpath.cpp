@@ -137,6 +137,33 @@ CampaignPoint campaign_point(unsigned threads) {
           stats.cache_hit_rate(), stats.gold_reuses};
 }
 
+struct BatchPoint {
+  double defects_per_second = 0.0;
+  std::size_t batch_screened = 0;
+  double batch_fill = 0.0;
+};
+
+/// One serial multi-session campaign with the transition-major screen on
+/// or off, on the slow-tester electricals (clock period scaled 3x):
+/// marginal delay defects diverge in at most one session there, so most
+/// (defect, session) slots screen clean -- the workload the batched path
+/// exists for.  Verdicts are bitwise identical either way; the two points
+/// measure pure speed.
+BatchPoint batch_point(bool batched) {
+  sim::GoldRunCache::global().clear();
+  spec::ScenarioSpec s = spec::builtin_scenario("slow-tester");
+  s.batched = batched;
+  s.defect_count = 96;
+  const auto sessions = s.make_sessions();
+  const auto lib = s.make_library();
+  util::CampaignStats stats;
+  sim::CampaignOptions opts = s.campaign_options(&stats);
+  opts.parallel.threads = 1;
+  sim::run_detection_sessions(s.system, sessions, s.bus, lib, opts);
+  return {stats.defects_per_second(), stats.batch_screened,
+          stats.batch_fill()};
+}
+
 void print_perf_baseline() {
   const xtalk::BusGeometry g = bench::active_spec().system.address_geometry;
   const xtalk::RcNetwork net(g);
@@ -183,7 +210,22 @@ void print_perf_baseline() {
               t4.defects_per_second, 100.0 * t4.cache_hit_rate,
               t4.gold_reuses);
 
-  char json[1024];
+  const BatchPoint unbatched = batch_point(false);
+  const BatchPoint batched = batch_point(true);
+  const double batch_speedup =
+      unbatched.defects_per_second > 0.0
+          ? batched.defects_per_second / unbatched.defects_per_second
+          : 0.0;
+  std::printf("\ncampaign, transition-major batch screen (96 slow-tester "
+              "defects, all sessions, serial):\n"
+              "  batch off: %8.0f defects/sec\n"
+              "  batch on : %8.0f defects/sec (%zu screened, fill %.1f%%)\n"
+              "  speedup  : %.2fx\n",
+              unbatched.defects_per_second, batched.defects_per_second,
+              batched.batch_screened, 100.0 * batched.batch_fill,
+              batch_speedup);
+
+  char json[1536];
   std::snprintf(
       json, sizeof json,
       "{\"bench\":\"perf_hotpath\","
@@ -199,13 +241,20 @@ void print_perf_baseline() {
       "\"campaign_defects_per_sec_threads4\":%.1f,"
       "\"cache_hit_rate\":%.4f,"
       "\"gold_reuses\":%zu,"
+      "\"campaign_defects_per_sec\":%.1f,"
+      "\"campaign_defects_per_sec_batched\":%.1f,"
+      "\"batch_speedup\":%.3f,"
+      "\"batch_screened\":%zu,"
+      "\"batch_fill\":%.4f,"
       "\"threads\":[1,4],"
       "\"hardware_concurrency\":%u,"
       "\"build_type\":\"%s\"}",
       xfer_on, xfer_off, xfer_speedup, ns_fast, ns_ref, recv_speedup,
       t1.wall_seconds, t4.wall_seconds, t1.defects_per_second,
       t4.defects_per_second, t1.cache_hit_rate,
-      t1.gold_reuses + t4.gold_reuses, std::thread::hardware_concurrency(),
+      t1.gold_reuses + t4.gold_reuses, unbatched.defects_per_second,
+      batched.defects_per_second, batch_speedup, batched.batch_screened,
+      batched.batch_fill, std::thread::hardware_concurrency(),
       util::build_type());
   std::printf("\n%s\n", json);
 

@@ -1,15 +1,20 @@
 #include "sim/campaign.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "sim/checkpoint.h"
 #include "sim/gold_cache.h"
 #include "util/fault_injector.h"
+#include "xtalk/batch.h"
 
 namespace xtest::sim {
 
@@ -39,6 +44,84 @@ void apply_defect(soc::System& system, soc::BusKind bus,
     case soc::BusKind::kData: system.set_data_network(net); break;
     case soc::BusKind::kControl: system.set_control_network(net); break;
   }
+}
+
+const xtalk::CrosstalkErrorModel& bus_model(const soc::System& system,
+                                            soc::BusKind bus) {
+  switch (bus) {
+    case soc::BusKind::kAddress: return system.address_model();
+    case soc::BusKind::kData: return system.data_model();
+    case soc::BusKind::kControl: return system.control_model();
+  }
+  return system.address_model();
+}
+
+/// The unique (held, driven) transitions one gold run drives on one bus,
+/// with the word the gold receiver sampled -- the input of the
+/// transition-major batched screen.  `held` reconstructs the tristate
+/// bus's kept word: zeros after load_and_reset, then the previously
+/// *driven* word after every transfer (soc::TristateBus semantics).
+struct GoldTransitions {
+  std::vector<std::uint64_t> held;
+  std::vector<std::uint64_t> driven;
+  std::vector<std::uint64_t> expected;
+};
+
+std::shared_ptr<const GoldTransitions> collect_transitions(
+    const soc::BusTrace& trace, soc::BusKind bus) {
+  auto out = std::make_shared<GoldTransitions>();
+  std::unordered_set<std::uint64_t> seen;
+  std::uint64_t held = 0;
+  for (const soc::BusEvent& e : trace.events()) {
+    if (e.bus != bus) continue;
+    const std::uint64_t driven = e.driven.bits();
+    // Exact dedup key: every system bus is at most 12 wires wide
+    // (ScenarioSpec::validate pins the widths to the CPU architecture),
+    // so (held, driven) packs collision-free.
+    const std::uint64_t key = (held << 32) | driven;
+    if (seen.insert(key).second) {
+      out->held.push_back(held);
+      out->driven.push_back(driven);
+      out->expected.push_back(e.received.bits());
+    }
+    held = driven;
+  }
+  return out;
+}
+
+// Process-wide memo of gold transition streams, the batched-path sibling
+// of GoldRunCache: keyed by the gold-run content hash (plus the bus), so
+// entries can never go stale -- the stream is a pure function of the key.
+// Bounded like the snapshot memo; a full table is simply dropped.
+std::uint64_t transitions_key(std::uint64_t gold_key, soc::BusKind bus) {
+  return gold_key ^ ((static_cast<std::uint64_t>(bus) + 1) *
+                     0x9E3779B97F4A7C15ull);
+}
+
+struct TransitionsMemo {
+  std::mutex mu;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const GoldTransitions>>
+      map;
+};
+
+TransitionsMemo& transitions_memo() {
+  static TransitionsMemo* m = new TransitionsMemo;
+  return *m;
+}
+
+std::shared_ptr<const GoldTransitions> transitions_find(std::uint64_t key) {
+  TransitionsMemo& m = transitions_memo();
+  const std::lock_guard<std::mutex> lock(m.mu);
+  const auto it = m.map.find(key);
+  return it == m.map.end() ? nullptr : it->second;
+}
+
+void transitions_store(std::uint64_t key,
+                       std::shared_ptr<const GoldTransitions> value) {
+  TransitionsMemo& m = transitions_memo();
+  const std::lock_guard<std::mutex> lock(m.mu);
+  if (m.map.size() >= 256) m.map.clear();
+  m.map[key] = std::move(value);
 }
 
 /// One whole-program defect simulation: apply, run, classify, restore.
@@ -96,6 +179,8 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
                                    const xtalk::DefectLibrary& library,
                                    const CampaignOptions& options) {
   const auto start = Clock::now();
+  const std::size_t n = library.size();
+  const bool batching = options.batched && options.batch_size >= 1 && n > 0;
   // Gold-run reuse: the snapshot is a pure function of (config, program,
   // budget), so identical gold programs across sessions, per-line sweeps,
   // and checkpoint resumes are answered from the process-wide memo.  An
@@ -107,24 +192,36 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
   const bool gold_cacheable =
       options.reuse_gold && !util::FaultInjector::global().armed();
   std::uint64_t gold_key = 0;
+  std::shared_ptr<const GoldTransitions> transitions;
   if (gold_cacheable) {
     gold_key = gold_run_key(config, program, 1'000'000);
     gold_reused = GoldRunCache::global().find(gold_key, gold);
+    if (gold_reused && batching) {
+      transitions = transitions_find(transitions_key(gold_key, bus));
+      // A snapshot hit without its transition stream still costs a traced
+      // gold re-run; count it as a miss so the accounting stays honest.
+      if (transitions == nullptr) gold_reused = false;
+    }
   }
   if (!gold_reused) {
     soc::System gold_system(config);
+    soc::BusTrace trace;
+    if (batching) gold_system.set_trace(&trace);
     gold = run_and_capture(gold_system, program, 1'000'000);
     const soc::CacheCounters c = gold_system.transition_cache_counters();
     xfer_counters.hits += c.hits;
     xfer_counters.misses += c.misses;
-    if (gold_cacheable)
+    if (batching) transitions = collect_transitions(trace, bus);
+    if (gold_cacheable) {
       gold_evicted = GoldRunCache::global().store(gold_key, gold);
+      if (batching)
+        transitions_store(transitions_key(gold_key, bus), transitions);
+    }
   }
   if (!gold.completed)
     throw std::runtime_error("gold run did not complete; bad program");
   const std::uint64_t budget = gold.cycles * options.cycle_factor + 1000;
 
-  const std::size_t n = library.size();
   std::vector<Verdict> verdicts(n, Verdict::kUndetected);
   std::vector<std::uint64_t> run_cycles(n, 0);
   // Slots already carrying a verdict from a previous (interrupted) run.
@@ -171,15 +268,86 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
             options.cancel->load(std::memory_order_relaxed));
   };
 
+  std::atomic<std::size_t> simulated{0};
+
+  // Transition-major batched pre-screen (the defect-batched fast path):
+  // the screen runs serially *before* the worker fan-out, so the screened
+  // set is a pure function of the inputs -- identical at every thread
+  // count, and recomputed identically on any resume (restored slots are
+  // simply not gathered), which makes every checkpoint boundary
+  // batch-safe.  A lane whose received word matches the gold word on
+  // every unique gold transition provably executes the gold run verbatim
+  // (only the bus under test is perturbed; while execution matches gold
+  // the faulty run sees exactly gold's (held, driven) pairs), so it is
+  // recorded kUndetected after gold.cycles without being simulated --
+  // exactly the verdict and cycle count the full simulation would
+  // produce.  Diverging lanes may still be masked, so they fall through
+  // to the unchanged per-defect simulation below.
+  std::vector<std::uint8_t> screened(n, 0);
+  std::uint64_t screen_transitions = 0;
+  std::size_t screen_lanes = 0;
+  std::size_t screen_capacity = 0;
+  std::size_t screened_count = 0;
+  if (batching) {
+    const soc::System probe(config);
+    const xtalk::RcNetwork& nominal = nominal_net(probe, bus);
+    const xtalk::ErrorModelConfig model_config = bus_model(probe, bus).config();
+    // Width-mismatched defects (e.g. poisoned CSV reloads) are not
+    // gathered; they hit apply() in the worker and take the ordinary
+    // quarantine path.
+    std::vector<std::size_t> candidates;
+    candidates.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      if (!restored[i] && library[i].width() == nominal.width())
+        candidates.push_back(i);
+    std::vector<std::size_t> window;
+    for (std::size_t begin = 0; begin < candidates.size() && !cancelled();
+         begin += options.batch_size) {
+      const std::size_t end =
+          std::min(begin + options.batch_size, candidates.size());
+      window.assign(candidates.begin() + begin, candidates.begin() + end);
+      const xtalk::DefectBatch batch(nominal, library, window);
+      xtalk::BatchEvaluator evaluator(batch, model_config);
+      std::vector<std::uint8_t> live(window.size(), 1);
+      std::size_t alive = window.size();
+      for (std::size_t t = 0; t < transitions->held.size() && alive > 0;
+           ++t) {
+        ++screen_transitions;
+        alive = evaluator.screen(transitions->held[t], transitions->driven[t],
+                                 xtalk::BusDirection::kCpuToCore,
+                                 transitions->expected[t], live.data());
+      }
+      screen_lanes += window.size();
+      screen_capacity += options.batch_size;
+      for (std::size_t l = 0; l < window.size(); ++l) {
+        if (!live[l]) continue;
+        if (cancelled()) break;
+        const std::size_t i = window[l];
+        verdicts[i] = Verdict::kUndetected;
+        run_cycles[i] = gold.cycles;
+        screened[i] = 1;
+        ++screened_count;
+        simulated.fetch_add(1, std::memory_order_relaxed);
+        if (checkpoint)
+          checkpoint->record(options.checkpoint_section, i, verdicts[i]);
+        util::FaultInjector& inj = util::FaultInjector::global();
+        if (inj.fire("campaign.kill")) killed.store(true);
+        if (inj.fire("campaign.crash")) {
+          crashed.store(true);
+          killed.store(true);
+        }
+      }
+    }
+  }
+
   // Each worker lazily owns its private simulator; verdict slots are
   // written by defect index, so the result is independent of the worker
   // count and of any interleaving.
   const unsigned workers = options.parallel.resolve(n);
   std::vector<std::optional<soc::System>> systems(workers);
-  std::atomic<std::size_t> simulated{0};
   const std::vector<util::ItemError> errors = util::parallel_for_items(
       n, options.parallel, [&](std::size_t i, unsigned w) {
-        if (restored[i] || cancelled()) return;
+        if (restored[i] || screened[i] || cancelled()) return;
         if (!systems[w]) systems[w].emplace(config);
         verdicts[i] =
             simulate_one(*systems[w], bus, library[i], program, gold, budget,
@@ -267,6 +435,10 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
     stats.cache_misses += xfer_counters.misses;
     stats.gold_reuses += gold_reused ? 1 : 0;
     stats.gold_evictions += gold_evicted;
+    stats.batch_screened += screened_count;
+    stats.batched_transitions += screen_transitions;
+    stats.batch_lanes += screen_lanes;
+    stats.batch_capacity += screen_capacity;
     if (!interrupted) tally_verdicts(verdicts, stats);
     stats.wall_seconds += seconds_since(start);
   }

@@ -87,6 +87,22 @@ struct CampaignOptions {
   /// bypassed while the fault injector is armed, so injected faults hit
   /// the same runs they would without the memo.
   bool reuse_gold = true;
+  /// Transition-major batched pre-screening: before the per-defect loop,
+  /// gather the library into DefectBatch windows of `batch_size` lanes and
+  /// score every unique (held, driven) transition of the gold run against
+  /// the whole window at once.  A defect whose received word matches the
+  /// gold word on every transition provably runs identically to gold (the
+  /// other buses stay nominal, so while execution matches gold the faulty
+  /// run sees exactly gold's transitions) and is recorded kUndetected
+  /// without simulation; diverging defects may still be masked later, so
+  /// they fall through to the unchanged whole-program simulation.
+  /// Verdicts are therefore bitwise identical with batching on or off, at
+  /// any batch size -- enforced by tests/test_batch_equivalence.cpp.
+  /// Screening runs serially before the worker fan-out and is recomputed
+  /// on resume, so any checkpoint boundary is batch-safe.
+  bool batched = true;
+  /// Defects gathered per DefectBatch window (>= 1).
+  std::size_t batch_size = 64;
 };
 
 /// Runs `program` under every defect of `library` applied to `bus`.

@@ -276,6 +276,16 @@ const std::vector<KeyDef>& key_table() {
        [](ScenarioSpec& s, const std::string& v) {
          s.defect_deadline_ms = u64_value(v);
        }},
+      {"campaign.batched",
+       [](const ScenarioSpec& s) { return bool_text(s.batched); },
+       [](ScenarioSpec& s, const std::string& v) {
+         s.batched = bool_value(v);
+       }},
+      {"campaign.batch_size",
+       [](const ScenarioSpec& s) { return u64_text(s.batch_size); },
+       [](ScenarioSpec& s, const std::string& v) {
+         s.batch_size = static_cast<std::size_t>(u64_value(v));
+       }},
       {"campaign.gold_cache_capacity",
        [](const ScenarioSpec& s) { return u64_text(s.gold_cache_capacity); },
        [](ScenarioSpec& s, const std::string& v) {
@@ -366,6 +376,8 @@ sim::CampaignOptions ScenarioSpec::campaign_options(
   opts.reuse_gold = reuse_gold;
   opts.checkpoint_every = checkpoint_every;
   opts.defect_deadline_ms = defect_deadline_ms;
+  opts.batched = batched;
+  opts.batch_size = batch_size;
   return opts;
 }
 
@@ -400,6 +412,8 @@ void ScenarioSpec::validate() const {
            "program.data_bus)");
   if (cycle_factor == 0)
     throw SpecParseError(0, "campaign.cycle_factor must be positive");
+  if (batch_size == 0)
+    throw SpecParseError(0, "campaign.batch_size must be at least 1");
 }
 
 namespace {

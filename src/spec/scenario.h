@@ -97,6 +97,11 @@ struct ScenarioSpec {
   bool reuse_gold = true;
   std::size_t checkpoint_every = 32;
   std::uint64_t defect_deadline_ms = 0;
+  /// Transition-major batched pre-screening (CampaignOptions::batched /
+  /// batch_size): verdicts are bitwise identical with batching on or off,
+  /// at any batch size, so these are pure throughput knobs.
+  bool batched = true;
+  std::size_t batch_size = 64;
   /// Entry cap applied to the process-wide sim::GoldRunCache before the
   /// campaign runs (LRU eviction beyond it).
   std::size_t gold_cache_capacity = 256;

@@ -110,7 +110,7 @@ const char* build_type() {
 }
 
 std::string CampaignStats::json(const std::string& label) const {
-  char buf[1280];
+  char buf[1600];
   std::snprintf(
       buf, sizeof buf,
       "{\"campaign\":\"%s\",\"threads\":%u,"
@@ -121,7 +121,9 @@ std::string CampaignStats::json(const std::string& label) const {
       "\"retries\":%zu,\"restored_from_checkpoint\":%zu,"
       "\"salvaged_sections\":%zu,\"dropped_slots\":%zu,"
       "\"flush_failures\":%zu,\"cache_hits\":%llu,\"cache_misses\":%llu,"
-      "\"cache_hit_rate\":%.4f,\"gold_reuses\":%zu,\"gold_evictions\":%zu}",
+      "\"cache_hit_rate\":%.4f,\"gold_reuses\":%zu,\"gold_evictions\":%zu,"
+      "\"batch_screened\":%zu,\"batched_transitions\":%llu,"
+      "\"batch_lanes\":%zu,\"batch_capacity\":%zu,\"batch_fill\":%.4f}",
       label.c_str(), threads, std::thread::hardware_concurrency(),
       build_type(), defects_simulated,
       static_cast<unsigned long long>(simulated_cycles), wall_seconds,
@@ -130,7 +132,9 @@ std::string CampaignStats::json(const std::string& label) const {
       dropped_slots, flush_failures,
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(cache_misses), cache_hit_rate(),
-      gold_reuses, gold_evictions);
+      gold_reuses, gold_evictions, batch_screened,
+      static_cast<unsigned long long>(batched_transitions), batch_lanes,
+      batch_capacity, batch_fill());
   return buf;
 }
 

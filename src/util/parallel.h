@@ -122,6 +122,18 @@ struct CampaignStats {
   /// Gold snapshots evicted by the memo's LRU entry cap during this
   /// campaign's stores (process-wide memo, so sweeps accumulate).
   std::size_t gold_evictions = 0;
+  // Transition-major batched screening (verdicts are unaffected: a
+  // screened defect provably produces the gold response).
+  /// Defects proven undetected by the batched screen, never simulated.
+  std::size_t batch_screened = 0;
+  /// Gold transitions scored against a whole DefectBatch window (one per
+  /// screen pass; early-exits when a window has no live lane left).
+  std::uint64_t batched_transitions = 0;
+  /// Defect lanes gathered into batches, and the total lane capacity of
+  /// the launched batches (batches x batch_size); their ratio is the
+  /// batch fill.
+  std::size_t batch_lanes = 0;
+  std::size_t batch_capacity = 0;
   /// One "defect <index>: <message>" line per quarantined simulation.
   std::vector<std::string> error_log;
 
@@ -129,6 +141,14 @@ struct CampaignStats {
     return wall_seconds > 0.0
                ? static_cast<double>(defects_simulated) / wall_seconds
                : 0.0;
+  }
+
+  /// Fraction of gathered lanes over launched batch capacity, in [0, 1]
+  /// (1.0 = every batch ran full; partial tail windows lower it).
+  double batch_fill() const {
+    return batch_capacity > 0 ? static_cast<double>(batch_lanes) /
+                                    static_cast<double>(batch_capacity)
+                              : 0.0;
   }
 
   /// Fraction of cache-eligible transfers served from the memo, in [0, 1].

@@ -1,0 +1,280 @@
+#include "xtalk/batch.h"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace xtest::xtalk {
+
+namespace {
+
+// Same constant as the reference model and BusEvaluator: delay expressions
+// must round identically across all three paths.
+constexpr double kLn2 = 0.6931471805599453;
+
+std::vector<std::size_t> iota_indices(std::size_t n) {
+  std::vector<std::size_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+// --- lane kernels ----------------------------------------------------------
+// Unit-stride loops over `lanes` doubles; plain C++ the compiler can
+// auto-vectorize.  These four are the dispatch seam for an explicit AVX2
+// path: swap their bodies behind a runtime CPU check without touching the
+// callers, and bit-identity is preserved as long as each lane's operation
+// order is (they are independent per lane).
+
+void accumulate_row(double* acc, const double* row, double scale,
+                    std::size_t lanes) {
+  for (std::size_t l = 0; l < lanes; ++l) acc[l] += scale * row[l];
+}
+
+void fill_lanes(double* acc, double value, std::size_t lanes) {
+  for (std::size_t l = 0; l < lanes; ++l) acc[l] = value;
+}
+
+/// Glitch verdicts for a stable wire: flips lane l's bit when the victim
+/// excursion vdd * acc[l] / denom[l] crosses the threshold away from the
+/// held value.  Same expression shape as BusEvaluator.
+void apply_glitch(std::uint64_t* out, const double* acc, const double* denom,
+                  double vdd, double threshold, bool b2, std::uint64_t bit,
+                  std::size_t lanes) {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const double dv = vdd * acc[l] / denom[l];
+    const bool flips = b2 ? (-dv >= threshold) : (dv >= threshold);
+    if (flips) out[l] ^= bit;
+  }
+}
+
+/// Delay verdicts for a switching wire: lane l samples the old bit when
+/// ln2 * R * ceff[l] * 1e-6 exceeds the sampling slack.
+void apply_delay(std::uint64_t* out, const double* ceff, double resistance,
+                 double slack_ns, std::uint64_t bit, std::size_t lanes) {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const double delay = kLn2 * resistance * ceff[l] * 1e-6;
+    if (delay > slack_ns) out[l] ^= bit;
+  }
+}
+
+}  // namespace
+
+DefectBatch::DefectBatch(const RcNetwork& nominal,
+                         const DefectLibrary& library,
+                         std::vector<std::size_t> indices,
+                         std::vector<std::optional<MafFault>> forced)
+    : width_(nominal.width()),
+      lanes_(indices.size()),
+      driver_resistance_ohm_(nominal.driver_resistance()),
+      sources_(std::move(indices)),
+      ground_(width_) {
+  if (!forced.empty() && forced.size() != lanes_)
+    throw std::invalid_argument(
+        "DefectBatch: " + std::to_string(forced.size()) +
+        " forced faults for " + std::to_string(lanes_) + " lanes");
+  forced_ = forced.empty()
+                ? std::vector<std::optional<MafFault>>(lanes_)
+                : std::move(forced);
+  for (unsigned i = 0; i < width_; ++i) ground_[i] = nominal.ground_cap(i);
+
+  const std::size_t npairs =
+      static_cast<std::size_t>(width_) * (width_ - 1) / 2;
+  factors_.resize(lanes_ * npairs);
+  coupling_.assign(static_cast<std::size_t>(width_) * width_ * lanes_, 0.0);
+  for (std::size_t lane = 0; lane < lanes_; ++lane) {
+    const Defect& d = library[sources_[lane]];
+    if (d.width() != width_)
+      throw std::invalid_argument(
+          "DefectBatch: defect " + std::to_string(sources_[lane]) +
+          " has width " + std::to_string(d.width()) +
+          ", batch bus has width " + std::to_string(width_));
+    std::size_t k = 0;
+    for (unsigned i = 0; i < width_; ++i) {
+      for (unsigned j = i + 1; j < width_; ++j, ++k) {
+        const double f = d.factor(i, j);
+        factors_[lane * npairs + k] = f;
+        // Exactly RcNetwork::scale_coupling: one multiply of the nominal
+        // symmetric entry.
+        const double c = nominal.coupling(i, j) * f;
+        coupling_[(static_cast<std::size_t>(i) * width_ + j) * lanes_ +
+                  lane] = c;
+        coupling_[(static_cast<std::size_t>(j) * width_ + i) * lanes_ +
+                  lane] = c;
+      }
+    }
+  }
+}
+
+DefectBatch::DefectBatch(const RcNetwork& nominal,
+                         const DefectLibrary& library,
+                         std::vector<std::optional<MafFault>> forced)
+    : DefectBatch(nominal, library, iota_indices(library.size()),
+                  std::move(forced)) {}
+
+Defect DefectBatch::scatter(std::size_t lane) const {
+  const std::size_t npairs =
+      static_cast<std::size_t>(width_) * (width_ - 1) / 2;
+  return Defect(width_,
+                std::vector<double>(factors_.begin() + lane * npairs,
+                                    factors_.begin() + (lane + 1) * npairs));
+}
+
+BatchEvaluator::BatchEvaluator(const DefectBatch& batch,
+                               const ErrorModelConfig& config)
+    : batch_(&batch),
+      quiet_is_identity_(config.glitch_threshold_v > 0.0),
+      vdd_v_(config.vdd_v),
+      glitch_threshold_v_(config.glitch_threshold_v),
+      delay_slack_ns_(config.delay_slack_ns),
+      driver_resistance_ohm_(batch.driver_resistance()),
+      glitch_denom_(static_cast<std::size_t>(batch.width()) * batch.lanes()),
+      acc_(batch.lanes()),
+      out_(batch.lanes()) {
+  const unsigned width = batch.width();
+  const std::size_t lanes = batch.lanes();
+  assert(width >= 1 && width <= 64);
+  // Per (wire, lane) glitch denominator: ground_cap(i) + net_coupling(i)
+  // with net_coupling summing all couplings of the defect-applied network
+  // in ascending wire order, exactly like RcNetwork::net_coupling (the
+  // zero diagonal contributes +0.0 there too).
+  for (unsigned i = 0; i < width; ++i) {
+    double* denom = &glitch_denom_[static_cast<std::size_t>(i) * lanes];
+    fill_lanes(denom, 0.0, lanes);
+    for (unsigned j = 0; j < width; ++j)
+      accumulate_row(denom, batch.pair_row(i, j), 1.0, lanes);
+    for (std::size_t l = 0; l < lanes; ++l) denom[l] = batch.ground(i) + denom[l];
+  }
+  // Forced-MAF lanes: the MA test is the unique fully exciting pair, so
+  // the runtime override reduces to one word compare per lane.
+  forced_active_.assign(lanes, 0);
+  forced_v1_.assign(lanes, 0);
+  forced_v2_.assign(lanes, 0);
+  forced_word_.assign(lanes, 0);
+  forced_direction_.assign(lanes, BusDirection::kCpuToCore);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const std::optional<MafFault>& f = batch.forced(l);
+    if (!f) continue;
+    any_forced_ = true;
+    const VectorPair pair = ma_test(width, *f);
+    forced_active_[l] = 1;
+    forced_v1_[l] = pair.v1.bits();
+    forced_v2_[l] = pair.v2.bits();
+    forced_word_[l] = faulty_v2(*f, pair).bits();
+    forced_direction_[l] = f->direction;
+  }
+}
+
+std::uint64_t BatchEvaluator::receive(std::size_t lane, std::uint64_t v1,
+                                      std::uint64_t v2,
+                                      BusDirection direction) const {
+  const unsigned width = batch_->width();
+  const std::size_t lanes = batch_->lanes();
+  const std::uint64_t toggled = v1 ^ v2;
+  std::uint64_t out = v2;
+  if (toggled != 0 || !quiet_is_identity_) {
+    for (unsigned i = 0; i < width; ++i) {
+      const std::uint64_t bit = std::uint64_t{1} << i;
+      if ((toggled & bit) == 0) {
+        double injected = 0.0;
+        for (std::uint64_t m = toggled; m != 0; m &= m - 1) {
+          const unsigned j = static_cast<unsigned>(std::countr_zero(m));
+          injected += (((v2 >> j) & 1) != 0 ? 1.0 : -1.0) *
+                      batch_->pair_row(i, j)[lane];
+        }
+        const double dv =
+            vdd_v_ * injected /
+            glitch_denom_[static_cast<std::size_t>(i) * lanes + lane];
+        const bool b2 = (v2 & bit) != 0;
+        const bool flips = b2 ? (-dv >= glitch_threshold_v_)
+                              : (dv >= glitch_threshold_v_);
+        if (flips) out ^= bit;
+      } else {
+        const bool rising = (v2 & bit) != 0;
+        double ceff = batch_->ground(i);
+        for (unsigned j = 0; j < width; ++j) {
+          double miller = 1.0;
+          if (((toggled >> j) & 1) != 0)
+            miller = (((v2 >> j) & 1) != 0) == rising ? 0.0 : 2.0;
+          ceff += miller * batch_->pair_row(i, j)[lane];
+        }
+        const double delay = kLn2 * driver_resistance_ohm_ * ceff * 1e-6;
+        if (delay > delay_slack_ns_) out ^= bit;
+      }
+    }
+  }
+  if (forced_active_.size() > lane && forced_active_[lane] &&
+      forced_direction_[lane] == direction && v1 == forced_v1_[lane] &&
+      v2 == forced_v2_[lane])
+    out = forced_word_[lane];
+  return out;
+}
+
+std::size_t BatchEvaluator::screen(std::uint64_t v1, std::uint64_t v2,
+                                   BusDirection direction,
+                                   std::uint64_t expected,
+                                   std::uint8_t* live) {
+  const unsigned width = batch_->width();
+  const std::size_t lanes = batch_->lanes();
+  const std::uint64_t toggled = v1 ^ v2;
+
+  if (toggled == 0 && quiet_is_identity_ && !any_forced_) {
+    // Quiet transfer: every lane provably samples the driven word.
+    std::size_t alive = 0;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if (live[l] && v2 != expected) live[l] = 0;
+      alive += live[l];
+    }
+    return alive;
+  }
+
+  for (std::size_t l = 0; l < lanes; ++l) out_[l] = v2;
+  if (!(toggled == 0 && quiet_is_identity_)) {
+    for (unsigned i = 0; i < width; ++i) {
+      const std::uint64_t bit = std::uint64_t{1} << i;
+      if ((toggled & bit) == 0) {
+        // Stable wire: per-lane injected charge over the toggled
+        // aggressors, ascending wire order (countr_zero walks ascending).
+        fill_lanes(acc_.data(), 0.0, lanes);
+        for (std::uint64_t m = toggled; m != 0; m &= m - 1) {
+          const unsigned j = static_cast<unsigned>(std::countr_zero(m));
+          const double s = ((v2 >> j) & 1) != 0 ? 1.0 : -1.0;
+          accumulate_row(acc_.data(), batch_->pair_row(i, j), s, lanes);
+        }
+        apply_glitch(out_.data(), acc_.data(),
+                     &glitch_denom_[static_cast<std::size_t>(i) * lanes],
+                     vdd_v_, glitch_threshold_v_, (v2 & bit) != 0, bit,
+                     lanes);
+      } else {
+        // Switching wire: the Miller factor of each aggressor depends only
+        // on the transition, so it is shared by every lane; the full
+        // ascending-j loop keeps the per-lane sum bit-identical to
+        // BusEvaluator (j == i adds Miller 0 times the zero diagonal).
+        const bool rising = (v2 & bit) != 0;
+        fill_lanes(acc_.data(), batch_->ground(i), lanes);
+        for (unsigned j = 0; j < width; ++j) {
+          double miller = 1.0;
+          if (((toggled >> j) & 1) != 0)
+            miller = (((v2 >> j) & 1) != 0) == rising ? 0.0 : 2.0;
+          accumulate_row(acc_.data(), batch_->pair_row(i, j), miller, lanes);
+        }
+        apply_delay(out_.data(), acc_.data(), driver_resistance_ohm_,
+                    delay_slack_ns_, bit, lanes);
+      }
+    }
+  }
+  if (any_forced_) {
+    for (std::size_t l = 0; l < lanes; ++l)
+      if (forced_active_[l] && forced_direction_[l] == direction &&
+          v1 == forced_v1_[l] && v2 == forced_v2_[l])
+        out_[l] = forced_word_[l];
+  }
+  std::size_t alive = 0;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (live[l] && out_[l] != expected) live[l] = 0;
+    alive += live[l];
+  }
+  return alive;
+}
+
+}  // namespace xtest::xtalk

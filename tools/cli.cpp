@@ -64,6 +64,8 @@ const std::vector<CommandDef>& command_table() {
         {"no-retry", nullptr},
         {"faults", "SPEC"},
         {"defect-deadline-ms", "N"},
+        {"batch-size", "N"},
+        {"no-batch", nullptr},
         {"stats-json", nullptr}}},
       {"chaos",
        nullptr,
@@ -72,7 +74,9 @@ const std::vector<CommandDef>& command_table() {
         {"defects", "N"},
         {"seed", "S"},
         {"cycles", "K"},
-        {"threads", "T"}}},
+        {"threads", "T"},
+        {"batch-size", "N"},
+        {"no-batch", nullptr}}},
       {"scenarios", nullptr, {{"dump", "NAME|FILE"}}},
   };
   return table;
@@ -232,6 +236,17 @@ void apply_overrides(const Parsed& p, spec::ScenarioSpec& s) {
   if (p.options.count("threads"))
     s.threads =
         static_cast<unsigned>(parse_u64("threads", p.options.at("threads")));
+  if (p.options.count("batch-size")) {
+    // Validate before parse_u64: stoull silently wraps a leading '-'
+    // ("-3" -> 2^64-3), which would otherwise become an absurd-but-legal
+    // batch size instead of the usage error it is.
+    const std::string& v = p.options.at("batch-size");
+    if (v.empty() || v[0] == '-' || parse_u64("batch-size", v) == 0)
+      throw UsageError("--batch-size: must be a positive defect count, got '" +
+                       v + "'");
+    s.batch_size = static_cast<std::size_t>(parse_u64("batch-size", v));
+  }
+  if (p.options.count("no-batch")) s.batched = false;
 }
 
 int cmd_generate(const Parsed& p, std::ostream& out) {
@@ -383,6 +398,17 @@ int cmd_campaign(const Parsed& p, std::ostream& out, std::ostream& err) {
                 static_cast<unsigned long long>(stats.cache_hits),
                 static_cast<unsigned long long>(stats.cache_misses),
                 100.0 * stats.cache_hit_rate(), stats.gold_reuses);
+  out << buf;
+  if (s.batched) {
+    std::snprintf(buf, sizeof buf,
+                  "batch=%zu screened=%zu batched_transitions=%llu "
+                  "batch_fill=%.1f%%\n",
+                  s.batch_size, stats.batch_screened,
+                  static_cast<unsigned long long>(stats.batched_transitions),
+                  100.0 * stats.batch_fill());
+  } else {
+    std::snprintf(buf, sizeof buf, "batch=off\n");
+  }
   out << buf;
   if (s.compare_bist) {
     // Section 1 comparison: a test-mode hardware BIST drives the full MA
