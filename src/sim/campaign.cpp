@@ -180,7 +180,18 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
                                    const CampaignOptions& options) {
   const auto start = Clock::now();
   const std::size_t n = library.size();
+  const ShardSpec shard = options.shard;
+  if (shard.count == 0 || (shard.count > 1 && shard.index >= shard.count))
+    throw std::invalid_argument(
+        "campaign shard " + std::to_string(shard.index) + "/" +
+        std::to_string(shard.count) + ": index must be < count");
   const bool batching = options.batched && options.batch_size >= 1 && n > 0;
+  // One completed-verdict notification (checkpoint already updated); the
+  // worker-process heartbeat and the deterministic worker.exit chaos site
+  // hang off this.
+  const auto notify_progress = [&options] {
+    if (options.progress) options.progress();
+  };
   // Gold-run reuse: the snapshot is a pure function of (config, program,
   // budget), so identical gold programs across sessions, per-line sweeps,
   // and checkpoint resumes are answered from the process-wide memo.  An
@@ -234,7 +245,8 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
         options.checkpoint_path,
         options.checkpoint_key.empty() ? default_checkpoint_key(bus, library)
                                        : options.checkpoint_key,
-        options.checkpoint_every);
+        options.checkpoint_every,
+        shard.count > 1 ? "s" + std::to_string(shard.index) : "");
     const SalvageReport& sr = checkpoint->salvage();
     if (sr.salvaged && options.stats != nullptr) {
       options.stats->salvaged_sections += sr.sections_kept;
@@ -298,7 +310,8 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
     std::vector<std::size_t> candidates;
     candidates.reserve(n);
     for (std::size_t i = 0; i < n; ++i)
-      if (!restored[i] && library[i].width() == nominal.width())
+      if (!restored[i] && shard.owns(i) &&
+          library[i].width() == nominal.width())
         candidates.push_back(i);
     std::vector<std::size_t> window;
     for (std::size_t begin = 0; begin < candidates.size() && !cancelled();
@@ -330,6 +343,7 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
         simulated.fetch_add(1, std::memory_order_relaxed);
         if (checkpoint)
           checkpoint->record(options.checkpoint_section, i, verdicts[i]);
+        notify_progress();
         util::FaultInjector& inj = util::FaultInjector::global();
         if (inj.fire("campaign.kill")) killed.store(true);
         if (inj.fire("campaign.crash")) {
@@ -347,7 +361,8 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
   std::vector<std::optional<soc::System>> systems(workers);
   const std::vector<util::ItemError> errors = util::parallel_for_items(
       n, options.parallel, [&](std::size_t i, unsigned w) {
-        if (restored[i] || screened[i] || cancelled()) return;
+        if (restored[i] || screened[i] || !shard.owns(i) || cancelled())
+          return;
         if (!systems[w]) systems[w].emplace(config);
         verdicts[i] =
             simulate_one(*systems[w], bus, library[i], program, gold, budget,
@@ -355,6 +370,7 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
         simulated.fetch_add(1, std::memory_order_relaxed);
         if (checkpoint)
           checkpoint->record(options.checkpoint_section, i, verdicts[i]);
+        notify_progress();
         util::FaultInjector& inj = util::FaultInjector::global();
         if (inj.fire("campaign.kill")) killed.store(true);
         if (inj.fire("campaign.crash")) {
@@ -377,6 +393,11 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
   std::size_t retries = 0;
   for (const util::ItemError& e : errors) {
     if (cancelled()) break;  // unrecorded items re-run on resume
+    // The parallel.item injection site fires for every index of the
+    // range, including slots this shard never simulates; those are not
+    // this shard's work and must not leak into its verdicts or stats.
+    if (!shard.owns(e.index) || restored[e.index] || screened[e.index])
+      continue;
     std::string message = e.message;
     bool recovered = false;
     if (options.retry_errors) {
@@ -407,6 +428,7 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
       checkpoint->record(options.checkpoint_section, e.index,
                          verdicts[e.index]);
     simulated.fetch_add(1, std::memory_order_relaxed);
+    notify_progress();
   }
 
   const bool interrupted = cancelled();
@@ -439,7 +461,20 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
     stats.batched_transitions += screen_transitions;
     stats.batch_lanes += screen_lanes;
     stats.batch_capacity += screen_capacity;
-    if (!interrupted) tally_verdicts(verdicts, stats);
+    // A sharded run tallies only the slots it owns, so per-shard verdict
+    // breakdowns sum to exactly the unsharded breakdown under
+    // merge_shard_results.
+    if (!interrupted) {
+      if (shard.count <= 1) {
+        tally_verdicts(verdicts, stats);
+      } else {
+        std::vector<Verdict> owned;
+        owned.reserve(shard.owned_of(n));
+        for (std::size_t i = shard.index; i < n; i += shard.count)
+          owned.push_back(verdicts[i]);
+        tally_verdicts(owned, stats);
+      }
+    }
     stats.wall_seconds += seconds_since(start);
   }
   if (interrupted)
@@ -454,6 +489,44 @@ std::vector<Verdict> run_detection(const soc::SystemConfig& config,
                     : "; no checkpoint configured") +
         " -- rerun the same command to resume");
   return verdicts;
+}
+
+std::vector<Verdict> merge_shard_results(const std::vector<ShardResult>& shards,
+                                         util::CampaignStats* stats) {
+  if (shards.empty())
+    throw std::invalid_argument("merge_shard_results: no shards");
+  const std::size_t count = shards.front().shard.count;
+  const std::size_t n = shards.front().verdicts.size();
+  if (shards.size() != count)
+    throw std::invalid_argument(
+        "merge_shard_results: got " + std::to_string(shards.size()) +
+        " shard result(s) for a " + std::to_string(count) + "-way split");
+  std::vector<std::uint8_t> seen(count, 0);
+  for (const ShardResult& s : shards) {
+    if (s.shard.count != count)
+      throw std::invalid_argument(
+          "merge_shard_results: shard " + std::to_string(s.shard.index) +
+          " was run as 1 of " + std::to_string(s.shard.count) +
+          ", not 1 of " + std::to_string(count));
+    if (s.shard.index >= count || seen[s.shard.index])
+      throw std::invalid_argument(
+          "merge_shard_results: shard index " +
+          std::to_string(s.shard.index) +
+          (s.shard.index >= count ? " out of range" : " appears twice"));
+    if (s.verdicts.size() != n)
+      throw std::invalid_argument(
+          "merge_shard_results: shard " + std::to_string(s.shard.index) +
+          " carries " + std::to_string(s.verdicts.size()) +
+          " verdict(s), expected " + std::to_string(n));
+    seen[s.shard.index] = 1;
+  }
+  std::vector<Verdict> merged(n, Verdict::kUndetected);
+  for (const ShardResult& s : shards) {
+    for (std::size_t i = s.shard.index; i < n; i += count)
+      merged[i] = s.verdicts[i];
+    if (stats != nullptr) stats->merge_from(s.stats);
+  }
+  return merged;
 }
 
 std::vector<Verdict> run_detection(const soc::SystemConfig& config,

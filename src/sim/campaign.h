@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -46,6 +47,28 @@ xtalk::DefectLibrary make_defect_library(const soc::SystemConfig& config,
 /// "interrupted, resumable" from failure.
 struct CampaignInterrupted : std::runtime_error {
   using std::runtime_error::runtime_error;
+};
+
+/// One slice of a sharded campaign: shard `index` of `count` owns every
+/// defect whose library index is congruent to it modulo `count`.  The
+/// assignment is a pure function of (defect index, count) -- independent
+/// of thread count, batch size, and checkpoint schedule -- so any process
+/// can compute which slots any shard owns, and merge_shard_results can
+/// recombine per-shard verdict vectors into exactly the single-process
+/// result.  The default {0, 1} owns everything (an unsharded campaign).
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  bool owns(std::size_t defect_index) const {
+    return count <= 1 || defect_index % count == index;
+  }
+  /// Number of defects this shard owns out of a library of `n`.
+  std::size_t owned_of(std::size_t n) const {
+    if (count <= 1) return n;
+    return n / count + (index < n % count ? 1 : 0);
+  }
+  bool operator==(const ShardSpec&) const = default;
 };
 
 /// Resilience and scheduling knobs for one campaign call.
@@ -103,6 +126,15 @@ struct CampaignOptions {
   bool batched = true;
   /// Defects gathered per DefectBatch window (>= 1).
   std::size_t batch_size = 64;
+  /// Shard of the library this call simulates (default: all of it).
+  /// Non-owned slots are never simulated, screened, checkpointed, or
+  /// tallied into stats; they stay kUndetected placeholders in the
+  /// returned vector, and merge_shard_results recombines the slices.
+  ShardSpec shard;
+  /// When non-null, called after every newly completed verdict (screened,
+  /// simulated, or retried) -- the worker-process heartbeat hook.  May be
+  /// invoked concurrently from several worker threads; must not throw.
+  std::function<void()> progress;
 };
 
 /// Runs `program` under every defect of `library` applied to `bus`.
@@ -148,6 +180,26 @@ std::vector<Verdict> run_detection_sessions(
 /// resumed against a different bus, size, seed, sigma, or Cth is rejected.
 std::string default_checkpoint_key(soc::BusKind bus,
                                    const xtalk::DefectLibrary& library);
+
+/// One shard's slice of a campaign: the spec it ran under, its full-size
+/// verdict vector (non-owned slots are placeholders and ignored by the
+/// merge), and its stats.
+struct ShardResult {
+  ShardSpec shard;
+  std::vector<Verdict> verdicts;
+  util::CampaignStats stats;
+};
+
+/// Recombines per-shard campaign results into the single-process result:
+/// verdict i is taken from the shard that owns i, so the merged vector is
+/// bitwise identical to an unsharded run of the same campaign; the merged
+/// stats are the raw-counter sums (CampaignStats::merge_from), from which
+/// every derived ratio recomputes correctly.  Requires a complete,
+/// consistent partition -- all shards agreeing on `count` and vector
+/// size, with every shard index 0..count-1 present exactly once -- and
+/// throws std::invalid_argument naming the violation otherwise.
+std::vector<Verdict> merge_shard_results(const std::vector<ShardResult>& shards,
+                                         util::CampaignStats* stats = nullptr);
 
 /// Fig. 11: individual and cumulative defect coverage of the MA tests for
 /// each interconnect of a bus.  "The MA test for interconnect i" is the

@@ -78,9 +78,11 @@ bool slot_like(const std::string& line) {
 }  // namespace
 
 CampaignCheckpoint::CampaignCheckpoint(std::string path, std::string key,
-                                       std::size_t flush_every)
+                                       std::size_t flush_every,
+                                       std::string tag)
     : path_(std::move(path)),
       key_(std::move(key)),
+      tag_(std::move(tag)),
       flush_every_(flush_every == 0 ? 1 : flush_every) {
   cleanup_stale_tmps();
   std::ifstream in(path_, std::ios::binary);
@@ -203,12 +205,22 @@ void CampaignCheckpoint::cleanup_stale_tmps() const {
   const fs::path p(path_);
   const fs::path dir = p.parent_path().empty() ? fs::path(".")
                                                : p.parent_path();
-  const std::string prefix = p.filename().string() + ".tmp";
+  // Only THIS checkpoint's stale tmps are fair game: the name must be
+  // "<file>.tmp.<our tag>.<pid>" (or "<file>.tmp.<pid>" for an untagged
+  // instance -- a digits-only suffix, so an untagged cleanup can never
+  // swallow a tagged shard's in-flight tmp sharing the same path).
+  const std::string prefix =
+      p.filename().string() + ".tmp." + (tag_.empty() ? "" : tag_ + ".");
   fs::directory_iterator it(dir, ec);
   if (ec) return;
   for (const auto& entry : it) {
     const std::string name = entry.path().filename().string();
-    if (name.rfind(prefix, 0) == 0) fs::remove(entry.path(), ec);
+    if (name.rfind(prefix, 0) != 0) continue;
+    const std::string pid_part = name.substr(prefix.size());
+    if (pid_part.empty() ||
+        pid_part.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    fs::remove(entry.path(), ec);
   }
 }
 
@@ -296,8 +308,9 @@ std::string CampaignCheckpoint::render_locked() const {
 void CampaignCheckpoint::flush_locked() {
   util::FaultInjector& inj = util::FaultInjector::global();
   const std::string data = render_locked();
-  const std::string tmp =
-      path_ + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const std::string tmp = path_ + ".tmp." +
+                          (tag_.empty() ? "" : tag_ + ".") +
+                          std::to_string(static_cast<long>(::getpid()));
   int fd = -1;
   try {
     inj.maybe_fail("checkpoint.open");

@@ -7,10 +7,14 @@
 // bitwise identical to an uninterrupted one at any thread count.
 //
 // The file is plain text, diffable, and crash-durable: the full state is
-// written to a pid-unique "<path>.tmp.<pid>", fsync'd, renamed over
-// <path>, and the directory entry is fsync'd, so a crash at any point
-// leaves either the previous or the new complete checkpoint -- never a
-// torn one.  Stale tmp files from a previous crash are removed on open.
+// written to a pid-unique "<path>.tmp.<pid>" ("<path>.tmp.<tag>.<pid>"
+// when the checkpoint carries a tag, e.g. a campaign shard index),
+// fsync'd, renamed over <path>, and the directory entry is fsync'd, so a
+// crash at any point leaves either the previous or the new complete
+// checkpoint -- never a torn one.  Stale tmp files from a previous crash
+// are removed on open; cleanup is tag-aware, so per-shard checkpoints of
+// one campaign sharing a directory (or even a path) can never delete each
+// other's in-flight tmp files.
 //
 //   xtest-checkpoint v2
 //   key <free-form campaign identity line>
@@ -64,12 +68,18 @@ class CampaignCheckpoint {
   /// is salvaged (see salvage()); std::runtime_error is thrown only for a
   /// file that is not a checkpoint at all, an unreadable file, or a
   /// CRC-valid key mismatch.  `flush_every` is the number of record()
-  /// calls between automatic atomic flushes.
+  /// calls between automatic atomic flushes.  `tag` (e.g. "s3" for shard
+  /// 3) namespaces the tmp files: this instance writes
+  /// "<path>.tmp.<tag>.<pid>" and its stale-tmp cleanup removes only tmps
+  /// carrying the same tag, so concurrent worker processes with their own
+  /// tags cannot delete each other's in-flight writes.  An untagged
+  /// checkpoint writes "<path>.tmp.<pid>" and cleans only untagged tmps.
   CampaignCheckpoint(std::string path, std::string key,
-                     std::size_t flush_every = 32);
+                     std::size_t flush_every = 32, std::string tag = "");
 
   const std::string& path() const { return path_; }
   const std::string& key() const { return key_; }
+  const std::string& tag() const { return tag_; }
 
   /// Result of the constructor's load: clean, fresh, or salvaged.
   const SalvageReport& salvage() const { return salvage_; }
@@ -110,6 +120,7 @@ class CampaignCheckpoint {
 
   std::string path_;
   std::string key_;
+  std::string tag_;
   std::size_t flush_every_;
   std::size_t dirty_ = 0;
   std::size_t flush_failures_ = 0;

@@ -296,6 +296,24 @@ const std::vector<KeyDef>& key_table() {
        [](ScenarioSpec& s, const std::string& v) {
          s.compare_bist = bool_value(v);
        }},
+      {"campaign.workers",
+       [](const ScenarioSpec& s) { return u64_text(s.workers); },
+       [](ScenarioSpec& s, const std::string& v) {
+         s.workers = static_cast<std::size_t>(u64_value(v));
+       }},
+      {"campaign.shard",
+       [](const ScenarioSpec& s) {
+         return u64_text(s.shard_index) + "/" + u64_text(s.shard_count);
+       },
+       [](ScenarioSpec& s, const std::string& v) {
+         const std::size_t slash = v.find('/');
+         if (slash == std::string::npos)
+           throw std::invalid_argument("expected K/N, got '" + v + "'");
+         s.shard_index =
+             static_cast<std::size_t>(u64_value(v.substr(0, slash)));
+         s.shard_count =
+             static_cast<std::size_t>(u64_value(v.substr(slash + 1)));
+       }},
   };
   return table;
 }
@@ -378,6 +396,7 @@ sim::CampaignOptions ScenarioSpec::campaign_options(
   opts.defect_deadline_ms = defect_deadline_ms;
   opts.batched = batched;
   opts.batch_size = batch_size;
+  opts.shard = {shard_index, shard_count};
   return opts;
 }
 
@@ -414,6 +433,17 @@ void ScenarioSpec::validate() const {
     throw SpecParseError(0, "campaign.cycle_factor must be positive");
   if (batch_size == 0)
     throw SpecParseError(0, "campaign.batch_size must be at least 1");
+  if (shard_count == 0)
+    throw SpecParseError(0, "campaign.shard count must be at least 1");
+  if (shard_index >= shard_count)
+    throw SpecParseError(0, "campaign.shard index " +
+                                std::to_string(shard_index) +
+                                " out of range for " +
+                                std::to_string(shard_count) + " shard(s)");
+  if (workers > 0 && shard_count > 1)
+    throw SpecParseError(
+        0, "campaign.workers and campaign.shard are mutually exclusive (a "
+           "worker process is a shard)");
 }
 
 namespace {

@@ -108,6 +108,17 @@ struct ScenarioSpec {
   /// Also run the hardware-BIST baseline over the same library and report
   /// the coverage comparison (the paper's Section 1 argument).
   bool compare_bist = false;
+  /// Multi-process execution (campaign.workers): when > 0 the CLI runs
+  /// the campaign under a supervisor with this many crash-isolated worker
+  /// processes, each owning shard k of `workers` and its own checkpoint;
+  /// 0 = in-process (the default).  Mutually exclusive with a non-trivial
+  /// `shard_count` -- a worker IS a shard.
+  std::size_t workers = 0;
+  /// Shard of the defect library this campaign simulates
+  /// (campaign.shard = "K/N", sim::ShardSpec): shard K owns every defect
+  /// index congruent to K mod N.  The default 0/1 owns everything.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
 
   bool operator==(const ScenarioSpec&) const = default;
 

@@ -1,5 +1,6 @@
 #include "util/parallel.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -136,6 +137,87 @@ std::string CampaignStats::json(const std::string& label) const {
       static_cast<unsigned long long>(batched_transitions), batch_lanes,
       batch_capacity, batch_fill());
   return buf;
+}
+
+void CampaignStats::merge_from(const CampaignStats& other) {
+  defects_simulated += other.defects_simulated;
+  simulated_cycles += other.simulated_cycles;
+  wall_seconds += other.wall_seconds;
+  threads = std::max(threads, other.threads);
+  detected += other.detected;
+  detected_by_timeout += other.detected_by_timeout;
+  undetected += other.undetected;
+  sim_errors += other.sim_errors;
+  retries += other.retries;
+  restored_from_checkpoint += other.restored_from_checkpoint;
+  salvaged_sections += other.salvaged_sections;
+  dropped_slots += other.dropped_slots;
+  flush_failures += other.flush_failures;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  gold_reuses += other.gold_reuses;
+  gold_evictions += other.gold_evictions;
+  batch_screened += other.batch_screened;
+  batched_transitions += other.batched_transitions;
+  batch_lanes += other.batch_lanes;
+  batch_capacity += other.batch_capacity;
+  error_log.insert(error_log.end(), other.error_log.begin(),
+                   other.error_log.end());
+}
+
+namespace {
+
+/// Extracts `"key":<number>` from a flat JSON object; false if absent.
+bool json_number(const std::string& obj, const char* key, double& out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t pos = obj.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* start = obj.c_str() + pos + needle.size();
+  char* end = nullptr;
+  out = std::strtod(start, &end);
+  return end != start;
+}
+
+template <typename T>
+bool json_counter(const std::string& obj, const char* key, T& field) {
+  double v = 0.0;
+  if (!json_number(obj, key, v)) return false;
+  field = static_cast<T>(v);
+  return true;
+}
+
+}  // namespace
+
+bool parse_stats_json(const std::string& line, CampaignStats& out) {
+  const std::size_t open = line.find('{');
+  const std::size_t close = line.rfind('}');
+  if (open == std::string::npos || close == std::string::npos || close < open)
+    return false;
+  const std::string obj = line.substr(open, close - open + 1);
+  bool any = false;
+  any |= json_counter(obj, "defects", out.defects_simulated);
+  any |= json_counter(obj, "simulated_cycles", out.simulated_cycles);
+  any |= json_counter(obj, "wall_seconds", out.wall_seconds);
+  any |= json_counter(obj, "threads", out.threads);
+  any |= json_counter(obj, "detected", out.detected);
+  any |= json_counter(obj, "detected_by_timeout", out.detected_by_timeout);
+  any |= json_counter(obj, "undetected", out.undetected);
+  any |= json_counter(obj, "sim_errors", out.sim_errors);
+  any |= json_counter(obj, "retries", out.retries);
+  any |= json_counter(obj, "restored_from_checkpoint",
+                      out.restored_from_checkpoint);
+  any |= json_counter(obj, "salvaged_sections", out.salvaged_sections);
+  any |= json_counter(obj, "dropped_slots", out.dropped_slots);
+  any |= json_counter(obj, "flush_failures", out.flush_failures);
+  any |= json_counter(obj, "cache_hits", out.cache_hits);
+  any |= json_counter(obj, "cache_misses", out.cache_misses);
+  any |= json_counter(obj, "gold_reuses", out.gold_reuses);
+  any |= json_counter(obj, "gold_evictions", out.gold_evictions);
+  any |= json_counter(obj, "batch_screened", out.batch_screened);
+  any |= json_counter(obj, "batched_transitions", out.batched_transitions);
+  any |= json_counter(obj, "batch_lanes", out.batch_lanes);
+  any |= json_counter(obj, "batch_capacity", out.batch_capacity);
+  return any;
 }
 
 }  // namespace xtest::util

@@ -165,7 +165,26 @@ struct CampaignStats {
   /// build type -- so a perf artifact is interpretable on its own (e.g.
   /// "threads=4 slower than threads=1" is expected on a 1-CPU host).
   std::string json(const std::string& label) const;
+
+  /// Adds another campaign's RAW counters onto this one (shard merge,
+  /// supervised workers).  Every derived ratio -- cache_hit_rate,
+  /// batch_fill, defects_per_second -- stays a function over the merged
+  /// raw counters, so merging never averages rates: the merged hit rate
+  /// is (sum hits) / (sum hits + sum misses), not the mean of per-shard
+  /// rates.  wall_seconds accumulates (aggregate time inside campaign
+  /// calls, as for multi-session sweeps); `threads` keeps the maximum of
+  /// the two resolved worker counts; error_log entries are appended.
+  void merge_from(const CampaignStats& other);
 };
+
+/// Best-effort inverse of CampaignStats::json for the flat numeric fields
+/// (verdict breakdown, cycles, cache/batch/gold counters, wall_seconds,
+/// threads).  Scans `line` for the first '{'...'}' JSON object; returns
+/// false when no such object or no known key is found.  Environment
+/// fields (hardware_concurrency, build_type) and derived ratios are
+/// ignored -- ratios are recomputed from the raw counters.  This is how a
+/// supervisor reads a worker process's --stats-json line back.
+bool parse_stats_json(const std::string& line, CampaignStats& out);
 
 /// The CMake build type the library was compiled as ("Release",
 /// "RelWithDebInfo", ...; "unknown" when the build system did not say).

@@ -1,0 +1,150 @@
+#include "util/subprocess.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace xtest::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+ExitStatus decode(int raw) {
+  ExitStatus st;
+  if (WIFEXITED(raw)) {
+    st.exited = true;
+    st.code = WEXITSTATUS(raw);
+  } else if (WIFSIGNALED(raw)) {
+    st.signaled = true;
+    st.sig = WTERMSIG(raw);
+  }
+  return st;
+}
+
+}  // namespace
+
+std::string ExitStatus::describe() const {
+  if (exited) return "exit " + std::to_string(code);
+  if (signaled) {
+    const char* name = strsignal(sig);
+    return "signal " + std::to_string(sig) +
+           (name != nullptr ? " (" + std::string(name) + ")" : "");
+  }
+  return "running";
+}
+
+Pipe make_pipe() {
+  int fds[2];
+#ifdef O_CLOEXEC
+  if (::pipe2(fds, O_CLOEXEC) != 0) fail("pipe2");
+#else
+  if (::pipe(fds) != 0) fail("pipe");
+  ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+  ::fcntl(fds[1], F_SETFD, FD_CLOEXEC);
+#endif
+  return {fds[0], fds[1]};
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    fail("fcntl(O_NONBLOCK)");
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) ::close(fd);
+  fd = -1;
+}
+
+ChildProcess::ChildProcess(ChildProcess&& other) noexcept
+    : pid_(other.pid_), reaped_(other.reaped_), status_(other.status_) {
+  other.pid_ = -1;
+  other.reaped_ = false;
+}
+
+ChildProcess& ChildProcess::operator=(ChildProcess&& other) noexcept {
+  if (this != &other) {
+    pid_ = other.pid_;
+    reaped_ = other.reaped_;
+    status_ = other.status_;
+    other.pid_ = -1;
+    other.reaped_ = false;
+  }
+  return *this;
+}
+
+ChildProcess ChildProcess::spawn(const SpawnSpec& spec) {
+  if (spec.argv.empty())
+    throw std::runtime_error("subprocess: empty argv");
+  // execv wants mutable char*; build the array before forking so the
+  // child does nothing but dup2 + exec (async-signal-safe territory).
+  std::vector<char*> argv;
+  argv.reserve(spec.argv.size() + 1);
+  for (const std::string& a : spec.argv)
+    argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) fail("fork");
+  if (pid == 0) {
+    // Child: only async-signal-safe calls from here to exec.
+    for (const auto& [child_fd, parent_fd] : spec.pass_fds)
+      if (::dup2(parent_fd, child_fd) < 0) ::_exit(127);
+    if (spec.stdout_fd >= 0 && ::dup2(spec.stdout_fd, STDOUT_FILENO) < 0)
+      ::_exit(127);
+    if (spec.stderr_fd >= 0 && ::dup2(spec.stderr_fd, STDERR_FILENO) < 0)
+      ::_exit(127);
+    ::execv(argv[0], argv.data());
+    ::_exit(127);
+  }
+  ChildProcess child;
+  child.pid_ = pid;
+  return child;
+}
+
+ExitStatus ChildProcess::poll_status() {
+  if (reaped_ || pid_ <= 0) return status_;
+  int raw = 0;
+  const pid_t r = ::waitpid(pid_, &raw, WNOHANG);
+  if (r == pid_) {
+    status_ = decode(raw);
+    reaped_ = !status_.running();
+  }
+  return status_;
+}
+
+ExitStatus ChildProcess::wait() {
+  if (reaped_ || pid_ <= 0) return status_;
+  int raw = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(pid_, &raw, 0);
+  } while (r < 0 && errno == EINTR);
+  if (r == pid_) {
+    status_ = decode(raw);
+    reaped_ = !status_.running();
+  }
+  return status_;
+}
+
+void ChildProcess::kill(int sig) const {
+  if (pid_ > 0 && !reaped_) ::kill(pid_, sig);
+}
+
+std::string current_executable() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  return buf;
+}
+
+}  // namespace xtest::util

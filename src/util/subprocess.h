@@ -1,0 +1,107 @@
+// Minimal POSIX child-process layer for the campaign supervisor.
+//
+// The supervisor runs campaign shards in *separate processes* so one
+// crashing, wedging, or OOM-killed worker can never take the whole
+// campaign down.  That needs exactly four primitives: a CLOEXEC pipe, a
+// fork/exec spawn that can rewire a handful of child fds (heartbeat
+// write end, captured stdout/stderr), non-blocking status polling via
+// waitpid, and signal delivery.  Everything here is deliberately thin --
+// error handling is exceptions on the parent side and _exit(127) on the
+// child side between fork and exec, where nothing else is safe.
+
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xtest::util {
+
+/// An anonymous pipe; both ends are CLOEXEC so they never leak into an
+/// exec'd child unless explicitly passed via SpawnSpec::pass_fds.
+/// Close-on-destruction is NOT automatic -- the owner closes ends as the
+/// handoff dance requires (parent closes the child's end after spawn).
+struct Pipe {
+  int read_fd = -1;
+  int write_fd = -1;
+};
+
+/// Creates a CLOEXEC pipe; throws std::runtime_error on failure.
+Pipe make_pipe();
+
+/// Puts `fd` into non-blocking mode (the supervisor polls many pipes).
+void set_nonblocking(int fd);
+
+/// Closes `fd` if it is valid, ignoring errors; resets it to -1.
+void close_fd(int& fd);
+
+/// What to spawn and how to wire its standard environment.
+struct SpawnSpec {
+  /// argv[0] is the executable path (execv semantics, no PATH search).
+  std::vector<std::string> argv;
+  /// Child fd rewiring, applied in order in the child after fork:
+  /// dup2(parent_fd, child_fd).  dup2 clears CLOEXEC on the target, so
+  /// this is also how a CLOEXEC pipe end is deliberately handed to the
+  /// child (e.g. {3, heartbeat.write_fd} then "--heartbeat-fd 3").
+  std::vector<std::pair<int, int>> pass_fds;  // {child_fd, parent_fd}
+  /// When >= 0, dup2'd over the child's stdout / stderr.
+  int stdout_fd = -1;
+  int stderr_fd = -1;
+};
+
+/// How a child ended (or has not yet).
+struct ExitStatus {
+  bool exited = false;    ///< normal _exit/return; `code` is valid
+  bool signaled = false;  ///< killed by a signal; `sig` is valid
+  int code = 0;
+  int sig = 0;
+
+  bool running() const { return !exited && !signaled; }
+  /// Human description: "exit 0", "signal 9 (SIGKILL)", "running".
+  std::string describe() const;
+};
+
+/// One spawned child.  Movable, not copyable; the destructor does NOT
+/// kill or reap -- the supervisor owns the child's lifecycle explicitly.
+class ChildProcess {
+ public:
+  ChildProcess() = default;
+  ChildProcess(ChildProcess&& other) noexcept;
+  ChildProcess& operator=(ChildProcess&& other) noexcept;
+  ChildProcess(const ChildProcess&) = delete;
+  ChildProcess& operator=(const ChildProcess&) = delete;
+  ~ChildProcess() = default;
+
+  /// fork + execv.  Throws std::runtime_error when the fork fails; an
+  /// exec failure inside the child surfaces as exit code 127.
+  static ChildProcess spawn(const SpawnSpec& spec);
+
+  pid_t pid() const { return pid_; }
+  bool valid() const { return pid_ > 0; }
+
+  /// Non-blocking status check (waitpid WNOHANG).  Once a terminal
+  /// status has been collected it is cached and returned forever; the
+  /// child is reaped exactly once.
+  ExitStatus poll_status();
+
+  /// Blocking wait for termination; reaps and caches like poll_status.
+  ExitStatus wait();
+
+  /// Best-effort signal delivery (no-op once reaped or invalid).
+  void kill(int sig) const;
+
+ private:
+  pid_t pid_ = -1;
+  bool reaped_ = false;
+  ExitStatus status_;
+};
+
+/// Absolute path of the running executable (/proc/self/exe); empty when
+/// the platform cannot say.  The supervisor re-execs this binary as its
+/// shard workers.
+std::string current_executable();
+
+}  // namespace xtest::util

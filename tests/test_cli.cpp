@@ -1,6 +1,7 @@
 #include "tools/cli.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -205,7 +206,7 @@ TEST(Cli, FaultsFlagInjectsAndTheRetryPathAbsorbsIt) {
                             "parallel.item@3"});
   ASSERT_EQ(r.code, 0) << r.err;
   EXPECT_NE(r.out.find("retries=1 "), std::string::npos) << r.out;
-  EXPECT_NE(r.out.find("sim_errors=0 "), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("sim_errors=0\n"), std::string::npos) << r.out;
 }
 
 TEST(Cli, InterruptFlagExitsWithCode5AndResumeCompletes) {
@@ -272,6 +273,59 @@ TEST(Cli, CampaignCheckpointResumesAndReportsRestored) {
   EXPECT_EQ(first.out.substr(0, first.out.find('\n')),
             second.out.substr(0, second.out.find('\n')));
   std::remove(ckpt.c_str());
+}
+
+std::string line_starting_with(const std::string& text,
+                               const std::string& prefix) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line))
+    if (line.rfind(prefix, 0) == 0) return line;
+  return {};
+}
+
+TEST(Cli, ShardFlagRunsOneSliceOfTheLibrary) {
+  // Shard 1 of 3 over 12 defects owns indices 1, 4, 7, 10.
+  const CliRun r = run_cli({"campaign", "--bus", "data", "--defects", "12",
+                            "--seed", "7", "--threads", "1", "--shard",
+                            "1/3"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("shard=1/3 owned=4"), std::string::npos) << r.out;
+}
+
+TEST(Cli, BadShardSpecsAreUsageErrors) {
+  // Shard index out of range, missing '/', and --workers + --shard
+  // (a worker IS a shard) are all rejected before anything runs.
+  EXPECT_EQ(run_cli({"campaign", "--shard", "3/2"}).code, 2);
+  EXPECT_EQ(run_cli({"campaign", "--shard", "2"}).code, 2);
+  EXPECT_EQ(run_cli({"campaign", "--workers", "2", "--shard", "0/2"}).code, 2);
+}
+
+TEST(Cli, SupervisedWorkersMatchTheSerialVerdictLines) {
+  // run() here executes in the test binary, so point the supervisor's
+  // worker processes at the real xtest executable.
+  ASSERT_EQ(setenv("XTEST_WORKER_BINARY", XTEST_BINARY_PATH, 1), 0);
+  const std::vector<std::string> serial_args = {
+      "campaign", "--bus", "data",      "--defects", "10",
+      "--seed",   "7",     "--threads", "1"};
+  std::vector<std::string> supervised_args = serial_args;
+  supervised_args.insert(supervised_args.end(), {"--workers", "2"});
+  const CliRun serial = run_cli(serial_args);
+  const CliRun supervised = run_cli(supervised_args);
+  unsetenv("XTEST_WORKER_BINARY");
+
+  ASSERT_EQ(serial.code, 0) << serial.err;
+  ASSERT_EQ(supervised.code, 0) << supervised.err << supervised.out;
+  // Coverage and verdict breakdown are bitwise identical to the serial
+  // run; the supervised summary adds its worker accounting line.
+  EXPECT_EQ(line_starting_with(supervised.out, "bus="),
+            line_starting_with(serial.out, "bus="));
+  EXPECT_EQ(line_starting_with(supervised.out, "detected="),
+            line_starting_with(serial.out, "detected="));
+  EXPECT_NE(supervised.out.find("workers=2 "), std::string::npos)
+      << supervised.out;
+  EXPECT_NE(supervised.out.find("quarantined=0"), std::string::npos)
+      << supervised.out;
 }
 
 TEST(Cli, ScenarioFlagMatchesDefaultCampaignAtEveryThreadCount) {

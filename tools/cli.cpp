@@ -1,6 +1,9 @@
 #include "tools/cli.h"
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -13,6 +16,7 @@
 #include "sbst/generator.h"
 #include "sim/campaign.h"
 #include "sim/serialize.h"
+#include "sim/supervisor.h"
 #include "sim/verify.h"
 #include "soc/system.h"
 #include "soc/waveform.h"
@@ -20,6 +24,7 @@
 #include "util/fault_injector.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/subprocess.h"
 #include "util/table.h"
 
 namespace xtest::cli {
@@ -66,7 +71,12 @@ const std::vector<CommandDef>& command_table() {
         {"defect-deadline-ms", "N"},
         {"batch-size", "N"},
         {"no-batch", nullptr},
-        {"stats-json", nullptr}}},
+        {"stats-json", nullptr},
+        {"workers", "N"},
+        {"shard", "K/N"},
+        {"worker-retries", "N"},
+        {"worker-backoff-ms", "MS"},
+        {"heartbeat-fd", "FD"}}},
       {"chaos",
        nullptr,
        {{"scenario", "NAME|FILE"},
@@ -76,7 +86,9 @@ const std::vector<CommandDef>& command_table() {
         {"cycles", "K"},
         {"threads", "T"},
         {"batch-size", "N"},
-        {"no-batch", nullptr}}},
+        {"no-batch", nullptr},
+        {"workers", "N"},
+        {"faults", "SPEC"}}},
       {"scenarios", nullptr, {{"dump", "NAME|FILE"}}},
   };
   return table;
@@ -168,8 +180,14 @@ int usage(std::ostream& err) {
          "notes: --threads 0 = auto ($XTEST_THREADS); --faults or "
          "$XTEST_FAULTS:\n"
          "       site[@N|%P],...[:seed]; --defect-deadline-ms 0 = off\n"
+         "       --workers N runs the campaign as N crash-isolated shard\n"
+         "       processes under a retrying supervisor; --shard K/N runs\n"
+         "       one shard in-process; --heartbeat-fd is the internal\n"
+         "       worker handshake\n"
          "exit codes: 0 ok, 2 usage, 3 I/O, 4 simulation, 5 interrupted "
-         "(resumable)\n";
+         "(resumable),\n"
+         "            6 degraded (worker shard quarantined; partial "
+         "results)\n";
   return kExitUsage;
 }
 
@@ -247,6 +265,19 @@ void apply_overrides(const Parsed& p, spec::ScenarioSpec& s) {
     s.batch_size = static_cast<std::size_t>(parse_u64("batch-size", v));
   }
   if (p.options.count("no-batch")) s.batched = false;
+  if (p.options.count("workers"))
+    s.workers =
+        static_cast<std::size_t>(parse_u64("workers", p.options.at("workers")));
+  if (p.options.count("shard")) {
+    const std::string& v = p.options.at("shard");
+    const std::size_t slash = v.find('/');
+    if (slash == std::string::npos)
+      throw UsageError("--shard: expected K/N (e.g. 0/4), got '" + v + "'");
+    s.shard_index = static_cast<std::size_t>(
+        parse_u64("shard", v.substr(0, slash)));
+    s.shard_count = static_cast<std::size_t>(
+        parse_u64("shard", v.substr(slash + 1)));
+  }
 }
 
 int cmd_generate(const Parsed& p, std::ostream& out) {
@@ -349,48 +380,47 @@ int cmd_run(const Parsed& p, std::ostream& out) {
   return 0;
 }
 
-int cmd_campaign(const Parsed& p, std::ostream& out, std::ostream& err) {
-  spec::ScenarioSpec s = base_scenario(p);
-  apply_overrides(p, s);
-  if (p.options.count("no-retry")) s.retry_errors = false;
-  if (p.options.count("defect-deadline-ms"))
-    s.defect_deadline_ms =
-        parse_u64("defect-deadline-ms", p.options.at("defect-deadline-ms"));
-  s.validate();
-
-  const FaultSpecGuard faults(
-      p.options.count("faults") ? p.options.at("faults") : "");
-
-  const auto lib = s.make_library();
-  const auto sessions = s.make_sessions();
-  util::CampaignStats stats;
-
-  sim::CampaignOptions opts = s.campaign_options(&stats);
-  opts.cancel = &interrupt_flag();
-  if (p.options.count("checkpoint")) {
-    opts.checkpoint_path = p.options.at("checkpoint");
-    if (opts.checkpoint_path.empty())
-      throw UsageError("--checkpoint: missing file name");
-    opts.checkpoint_key = sim::default_checkpoint_key(s.bus, lib);
+/// The standard campaign summary, shared by the in-process and the
+/// supervised paths so the two outputs stay diffable line for line.  The
+/// verdict breakdown and the resilience counters are separate lines: the
+/// first is a pure function of the campaign inputs (what CI diffs between
+/// serial and supervised runs), the second describes how this particular
+/// run got there.  A sharded run counts only its owned slots.
+void print_campaign_summary(std::ostream& out, const spec::ScenarioSpec& s,
+                            std::size_t lib_size,
+                            const std::vector<sim::Verdict>& det,
+                            const util::CampaignStats& stats) {
+  const sim::ShardSpec shard{s.shard_index, s.shard_count};
+  std::vector<sim::Verdict> owned;
+  const std::vector<sim::Verdict>* counted = &det;
+  if (shard.count > 1) {
+    owned.reserve(shard.owned_of(det.size()));
+    for (std::size_t i = shard.index; i < det.size(); i += shard.count)
+      owned.push_back(det[i]);
+    counted = &owned;
   }
-  const std::vector<sim::Verdict> det =
-      sim::run_detection_sessions(s.system, sessions, s.bus, lib, opts);
-
-  const sim::VerdictCounts vc = sim::count_verdicts(det);
+  const sim::VerdictCounts vc = sim::count_verdicts(*counted);
   char buf[768];
   std::snprintf(buf, sizeof buf,
-                "bus=%s defects=%zu coverage=%.1f%% (seed %llu)\n"
-                "detected=%zu timeout=%zu undetected=%zu sim_errors=%zu "
+                "bus=%s defects=%zu coverage=%.1f%% (seed %llu)\n",
+                soc::to_string(s.bus).c_str(), lib_size,
+                100.0 * sim::coverage(*counted),
+                static_cast<unsigned long long>(s.seed));
+  out << buf;
+  if (shard.count > 1) {
+    std::snprintf(buf, sizeof buf, "shard=%zu/%zu owned=%zu\n", shard.index,
+                  shard.count, counted->size());
+    out << buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "detected=%zu timeout=%zu undetected=%zu sim_errors=%zu\n"
                 "retries=%zu restored=%zu salvaged=%zu dropped=%zu\n"
                 "threads=%u simulations=%zu cycles=%llu wall=%.3fs "
                 "defects/sec=%.0f\n"
                 "cache_hits=%llu cache_misses=%llu cache_hit_rate=%.1f%% "
                 "gold_reuses=%zu\n",
-                soc::to_string(s.bus).c_str(), lib.size(),
-                100.0 * sim::coverage(det),
-                static_cast<unsigned long long>(s.seed), vc.detected,
-                vc.detected_by_timeout, vc.undetected, vc.sim_errors,
-                stats.retries, stats.restored_from_checkpoint,
+                vc.detected, vc.detected_by_timeout, vc.undetected,
+                vc.sim_errors, stats.retries, stats.restored_from_checkpoint,
                 stats.salvaged_sections, stats.dropped_slots, stats.threads,
                 stats.defects_simulated,
                 static_cast<unsigned long long>(stats.simulated_cycles),
@@ -410,32 +440,197 @@ int cmd_campaign(const Parsed& p, std::ostream& out, std::ostream& err) {
     std::snprintf(buf, sizeof buf, "batch=off\n");
   }
   out << buf;
-  if (s.compare_bist) {
-    // Section 1 comparison: a test-mode hardware BIST drives the full MA
-    // set directly on the same nominal network / error model / library.
-    const soc::System sys(s.system);
-    const xtalk::RcNetwork* net = &sys.nominal_address_network();
-    const xtalk::CrosstalkErrorModel* model = &sys.address_model();
-    bool bidirectional = false;
-    if (s.bus == soc::BusKind::kData) {
-      net = &sys.nominal_data_network();
-      model = &sys.data_model();
-      bidirectional = s.program.data_both_directions;
-    } else if (s.bus == soc::BusKind::kControl) {
-      net = &sys.nominal_control_network();
-      model = &sys.control_model();
-    }
-    const hwbist::HardwareBist bist(net->width(), bidirectional);
-    const std::vector<sim::Verdict> bv =
-        bist.run_library(*net, *model, lib, opts.parallel);
-    std::snprintf(buf, sizeof buf,
-                  "bist coverage=%.1f%% (%zu MA patterns) sbst=%.1f%% "
-                  "delta=%+.1f\n",
-                  100.0 * sim::coverage(bv), bist.patterns().size(),
-                  100.0 * sim::coverage(det),
-                  100.0 * (sim::coverage(bv) - sim::coverage(det)));
-    out << buf;
+}
+
+/// Section 1 comparison: a test-mode hardware BIST drives the full MA set
+/// directly on the same nominal network / error model / library.
+void print_bist_compare(std::ostream& out, const spec::ScenarioSpec& s,
+                        const xtalk::DefectLibrary& lib,
+                        const std::vector<sim::Verdict>& det,
+                        const util::ParallelConfig& parallel) {
+  const soc::System sys(s.system);
+  const xtalk::RcNetwork* net = &sys.nominal_address_network();
+  const xtalk::CrosstalkErrorModel* model = &sys.address_model();
+  bool bidirectional = false;
+  if (s.bus == soc::BusKind::kData) {
+    net = &sys.nominal_data_network();
+    model = &sys.data_model();
+    bidirectional = s.program.data_both_directions;
+  } else if (s.bus == soc::BusKind::kControl) {
+    net = &sys.nominal_control_network();
+    model = &sys.control_model();
   }
+  const hwbist::HardwareBist bist(net->width(), bidirectional);
+  const std::vector<sim::Verdict> bv =
+      bist.run_library(*net, *model, lib, parallel);
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "bist coverage=%.1f%% (%zu MA patterns) sbst=%.1f%% "
+                "delta=%+.1f\n",
+                100.0 * sim::coverage(bv), bist.patterns().size(),
+                100.0 * sim::coverage(det),
+                100.0 * (sim::coverage(bv) - sim::coverage(det)));
+  out << buf;
+}
+
+/// Builds the supervisor's job description for a scenario: materialized
+/// library metadata plus the worker-facing scenario file (`<base>.job.scn`,
+/// the exact spec with supervision stripped so a worker can never recurse
+/// into spawning its own workers).  The caller owns deleting the job file.
+sim::SupervisorJob make_supervisor_job(const spec::ScenarioSpec& s,
+                                       const xtalk::DefectLibrary& lib,
+                                       std::size_t session_count,
+                                       const std::vector<bool>& session_live,
+                                       const std::string& checkpoint_base,
+                                       const std::string& fault_spec) {
+  sim::SupervisorJob job;
+  // $XTEST_WORKER_BINARY lets a process that embeds the CLI library (the
+  // tests) point workers at the real xtest binary instead of itself.
+  const char* worker_bin = std::getenv("XTEST_WORKER_BINARY");
+  job.binary = worker_bin != nullptr && *worker_bin != '\0'
+                   ? worker_bin
+                   : util::current_executable();
+  if (job.binary.empty())
+    throw IoError("cannot resolve own executable path to spawn workers");
+  job.defect_count = lib.size();
+  for (std::size_t i = 0; i < session_count; ++i)
+    if (session_live[i]) job.sections.push_back("session" + std::to_string(i));
+  job.checkpoint_key = sim::default_checkpoint_key(s.bus, lib);
+  job.checkpoint_base = checkpoint_base;
+  job.fault_spec = fault_spec;
+
+  spec::ScenarioSpec worker_spec = s;
+  worker_spec.workers = 0;
+  job.scenario_path = checkpoint_base + ".job.scn";
+  write_file(job.scenario_path, spec::serialize_scenario(worker_spec));
+  return job;
+}
+
+/// Removes a temp file on scope exit (the worker job scenario).
+struct FileCleanup {
+  std::string path;
+  ~FileCleanup() {
+    if (!path.empty()) std::remove(path.c_str());
+  }
+};
+
+int cmd_campaign_supervised(const Parsed& p, const spec::ScenarioSpec& s,
+                            std::ostream& out, std::ostream& err) {
+  const std::string fault_spec =
+      p.options.count("faults") ? p.options.at("faults") : "";
+  // Armed in the parent for the supervisor.* sites; the same spec travels
+  // to every worker on its command line for the worker-side sites.
+  const FaultSpecGuard faults(fault_spec);
+
+  const auto lib = s.make_library();
+  const auto sessions = s.make_sessions();
+  std::vector<bool> live(sessions.size());
+  for (std::size_t i = 0; i < sessions.size(); ++i)
+    live[i] = !sessions[i].program.tests.empty();
+
+  std::string base;
+  if (p.options.count("checkpoint")) {
+    base = p.options.at("checkpoint");
+    if (base.empty()) throw UsageError("--checkpoint: missing file name");
+  } else {
+    // Deterministic default so an interrupted supervised run resumes when
+    // re-invoked with the same scenario.
+    base = (std::filesystem::temp_directory_path() /
+            ("xtest_" + s.name + "_" + soc::to_string(s.bus) + "_" +
+             std::to_string(static_cast<unsigned long long>(s.seed)) +
+             ".ckpt"))
+               .string();
+  }
+
+  const sim::SupervisorJob job =
+      make_supervisor_job(s, lib, sessions.size(), live, base, fault_spec);
+  const FileCleanup job_file{job.scenario_path};
+
+  sim::SupervisorOptions sup;
+  sup.workers = s.workers;
+  if (p.options.count("worker-retries"))
+    sup.worker_retries = static_cast<std::size_t>(
+        parse_u64("worker-retries", p.options.at("worker-retries")));
+  if (p.options.count("worker-backoff-ms"))
+    sup.worker_backoff_ms =
+        parse_u64("worker-backoff-ms", p.options.at("worker-backoff-ms"));
+  sup.cancel = &interrupt_flag();
+  sup.log = &err;
+
+  sim::Supervisor supervisor(job, sup);
+  const sim::SupervisorResult r = supervisor.run();
+
+  print_campaign_summary(out, s, lib.size(), r.verdicts, r.stats);
+  std::size_t spawns = 0;
+  for (const sim::ShardOutcome& o : r.shards) spawns += o.spawns;
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "workers=%zu spawns=%zu respawns=%zu heartbeats=%zu "
+                "quarantined=%zu\n",
+                s.workers, spawns, r.respawns, r.heartbeats,
+                r.quarantined().size());
+  out << buf;
+  if (s.compare_bist)
+    print_bist_compare(out, s, lib, r.verdicts, {s.threads});
+  if (p.options.count("stats-json")) out << r.stats.json("campaign") << '\n';
+  for (const std::string& e : r.stats.error_log)
+    err << "warning: " << e << '\n';
+  return r.degraded() ? kExitDegraded : kExitOk;
+}
+
+int cmd_campaign(const Parsed& p, std::ostream& out, std::ostream& err) {
+  spec::ScenarioSpec s = base_scenario(p);
+  apply_overrides(p, s);
+  if (p.options.count("no-retry")) s.retry_errors = false;
+  if (p.options.count("defect-deadline-ms"))
+    s.defect_deadline_ms =
+        parse_u64("defect-deadline-ms", p.options.at("defect-deadline-ms"));
+  s.validate();
+
+  // --heartbeat-fd marks a supervisor-spawned worker; workers never spawn
+  // workers of their own (the supervisor also strips `workers` from the
+  // job scenario, this is the second line of defence).
+  const bool worker_mode = p.options.count("heartbeat-fd") != 0;
+  if (s.workers > 0 && !worker_mode)
+    return cmd_campaign_supervised(p, s, out, err);
+
+  const FaultSpecGuard faults(
+      p.options.count("faults") ? p.options.at("faults") : "");
+
+  const auto lib = s.make_library();
+  const auto sessions = s.make_sessions();
+  util::CampaignStats stats;
+
+  sim::CampaignOptions opts = s.campaign_options(&stats);
+  opts.cancel = &interrupt_flag();
+  if (p.options.count("checkpoint")) {
+    opts.checkpoint_path = p.options.at("checkpoint");
+    if (opts.checkpoint_path.empty())
+      throw UsageError("--checkpoint: missing file name");
+    opts.checkpoint_key = sim::default_checkpoint_key(s.bus, lib);
+  }
+  if (worker_mode) {
+    const int hb_fd = static_cast<int>(
+        parse_u64("heartbeat-fd", p.options.at("heartbeat-fd")));
+    // Startup heartbeat: tells the supervisor the exec succeeded before
+    // the (potentially long) gold run begins.
+    const char hello = '+';
+    if (::write(hb_fd, &hello, 1) < 0) {
+      // The supervisor is gone; keep running, the checkpoint still counts.
+    }
+    opts.progress = [hb_fd] {
+      // The worker.exit site models a worker dying abruptly mid-campaign
+      // (std::_Exit: no flush, no destructors -- exactly a crash).
+      if (util::FaultInjector::global().fire("worker.exit")) std::_Exit(70);
+      const char beat = '+';
+      [[maybe_unused]] const ssize_t n = ::write(hb_fd, &beat, 1);
+    };
+  }
+  const std::vector<sim::Verdict> det =
+      sim::run_detection_sessions(s.system, sessions, s.bus, lib, opts);
+
+  print_campaign_summary(out, s, lib.size(), det, stats);
+  if (s.compare_bist) print_bist_compare(out, s, lib, det, opts.parallel);
   if (p.options.count("stats-json")) out << stats.json("campaign") << '\n';
   for (const std::string& e : stats.error_log)
     err << "warning: " << e << '\n';
@@ -481,7 +676,134 @@ struct ChaosOutcome {
   std::size_t completions = 0;
 };
 
+/// Worker-kill soak (`chaos --workers N`): runs the campaign supervised,
+/// SIGKILLing random worker processes on a steady cadence, and requires
+/// the merged verdicts to be bitwise equal to the uninterrupted
+/// in-process run -- the multi-process half of the resilience contract.
+/// --faults forwards a spec to the supervisor (supervisor.spawn,
+/// supervisor.heartbeat) and every worker (worker.exit, checkpoint.*).
+int cmd_chaos_workers(const Parsed& p, std::ostream& out, std::ostream& err) {
+  const bool has_scenario = p.options.count("scenario") != 0;
+  spec::ScenarioSpec scn = base_scenario(p);
+  if (!has_scenario) scn.defect_count = 12;  // chaos's own small default
+  apply_overrides(p, scn);
+  if (scn.workers == 0)
+    throw UsageError("chaos: --workers must be at least 1");
+  // Small flushes so every kill exercises checkpoint resume; bounded
+  // worker threads so N processes do not oversubscribe the host.
+  scn.checkpoint_every = 3;
+  if (scn.threads == 0) scn.threads = 2;
+  scn.validate();
+
+  const std::size_t kill_budget =
+      p.options.count("cycles")
+          ? static_cast<std::size_t>(
+                parse_u64("cycles", p.options.at("cycles")))
+          : 12;
+  const std::string fault_spec =
+      p.options.count("faults") ? p.options.at("faults") : "";
+
+  std::vector<soc::BusKind> buses = {soc::BusKind::kAddress,
+                                     soc::BusKind::kData,
+                                     soc::BusKind::kControl};
+  if (p.options.count("bus"))
+    buses = {parse_bus(p.options.at("bus"))};
+  else if (has_scenario)
+    buses = {scn.bus};
+
+  util::FaultInjector& inj = util::FaultInjector::global();
+  struct Disarm {
+    ~Disarm() { util::FaultInjector::global().disarm(); }
+  } disarm_on_exit;
+
+  std::size_t total_kills = 0;
+  std::size_t total_respawns = 0;
+  for (const soc::BusKind bus : buses) {
+    spec::ScenarioSpec s = scn;
+    s.bus = bus;
+    const auto lib = s.make_library();
+    const auto sessions = s.make_sessions();
+    std::vector<bool> live(sessions.size());
+    for (std::size_t i = 0; i < sessions.size(); ++i)
+      live[i] = !sessions[i].program.tests.empty();
+
+    // Uninterrupted in-process reference, injector disarmed: the merged
+    // supervised result must match it bit for bit.
+    inj.disarm();
+    util::CampaignStats ref_stats;
+    const sim::CampaignOptions ref_opts = s.campaign_options(&ref_stats);
+    const std::vector<sim::Verdict> reference =
+        sim::run_detection_sessions(s.system, sessions, s.bus, lib, ref_opts);
+
+    const std::string base =
+        (std::filesystem::temp_directory_path() /
+         ("xtest_wchaos_" + soc::to_string(bus) + ".ckpt"))
+            .string();
+    for (std::size_t k = 0; k < s.workers; ++k)
+      std::remove(sim::Supervisor::shard_checkpoint_path(base, k).c_str());
+
+    if (!fault_spec.empty()) {
+      try {
+        inj.configure(fault_spec);
+      } catch (const std::invalid_argument& e) {
+        throw UsageError(e.what());
+      }
+    }
+    const sim::SupervisorJob job =
+        make_supervisor_job(s, lib, sessions.size(), live, base, fault_spec);
+    const FileCleanup job_file{job.scenario_path};
+
+    sim::SupervisorOptions sup;
+    sup.workers = s.workers;
+    sup.chaos_kill_ms = 25;
+    sup.chaos_seed = s.seed ^ static_cast<std::uint64_t>(bus);
+    sup.chaos_max_kills = kill_budget;
+    sup.cancel = &interrupt_flag();
+    const sim::SupervisorResult r = sim::Supervisor(job, sup).run();
+    inj.disarm();
+
+    if (r.degraded()) {
+      err << "error: chaos: a worker shard was quarantined (bus="
+          << soc::to_string(bus) << ")\n";
+      for (const std::string& e : r.stats.error_log)
+        err << "  " << e << '\n';
+      return kExitSim;
+    }
+    if (r.verdicts != reference) {
+      err << "error: chaos: merged supervised verdicts diverged from the "
+             "uninterrupted in-process reference (bus="
+          << soc::to_string(bus) << " workers=" << s.workers << ")\n";
+      return kExitSim;
+    }
+    total_kills += r.chaos_kills;
+    total_respawns += r.respawns;
+    std::size_t spawns = 0;
+    for (const sim::ShardOutcome& o : r.shards) spawns += o.spawns;
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "chaos bus=%s workers=%zu: %zu worker kills, %zu "
+                  "respawns, %zu spawns, verdicts identical\n",
+                  soc::to_string(bus).c_str(), s.workers, r.chaos_kills,
+                  r.respawns, spawns);
+    out << buf;
+    for (std::size_t k = 0; k < s.workers; ++k)
+      std::remove(sim::Supervisor::shard_checkpoint_path(base, k).c_str());
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "worker chaos soak passed: %zu kills, %zu respawns across "
+                "%zu bus(es)\n",
+                total_kills, total_respawns, buses.size());
+  out << buf;
+  return kExitOk;
+}
+
 int cmd_chaos(const Parsed& p, std::ostream& out, std::ostream& err) {
+  if (p.options.count("workers")) return cmd_chaos_workers(p, out, err);
+  if (p.options.count("faults"))
+    throw UsageError(
+        "chaos: --faults requires --workers (the in-process soak drives "
+        "the injector itself)");
   const bool has_scenario = p.options.count("scenario") != 0;
   spec::ScenarioSpec scn = base_scenario(p);
   if (!has_scenario) scn.defect_count = 12;  // chaos's own small default

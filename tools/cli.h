@@ -9,9 +9,9 @@
 //   xtest campaign [--bus addr|data|ctrl] [--defects N] [--seed S]
 //                  [--threads T] [--checkpoint FILE] [--no-retry]
 //                  [--faults SPEC] [--defect-deadline-ms N]
-//                                                 defect-coverage campaign
+//                  [--workers N] [--shard K/N]    defect-coverage campaign
 //   xtest chaos [--bus B] [--defects N] [--seed S] [--cycles K]
-//               [--threads T]                     kill/resume soak test
+//               [--threads T] [--workers N]       kill/resume soak test
 //
 // Images use the text format of sim/serialize.h.
 
@@ -33,6 +33,12 @@ inline constexpr int kExitUsage = 2;        // bad command line
 inline constexpr int kExitIo = 3;           // cannot read/write a file
 inline constexpr int kExitSim = 4;          // simulation/campaign failure
 inline constexpr int kExitInterrupted = 5;  // SIGINT/SIGTERM, resumable
+/// A supervised multi-process campaign completed, but at least one worker
+/// shard exhausted its retries and was quarantined: the summary is
+/// printed, unrecovered defects are reported as sim errors, and this code
+/// tells wrappers the result is partial (graceful degradation, not a
+/// crash).
+inline constexpr int kExitDegraded = 6;
 
 /// Bad command line: unknown flag value, missing operand, unparsable
 /// number.  Mapped to kExitUsage at the run() boundary.
