@@ -13,6 +13,7 @@
 
 #include "util/crc32.h"
 #include "util/fault_injector.h"
+#include "util/retry.h"
 
 namespace xtest::sim {
 
@@ -318,17 +319,10 @@ void CampaignCheckpoint::flush_locked() {
     if (fd < 0)
       throw std::runtime_error("checkpoint: cannot open " + tmp + ": " +
                                std::strerror(errno));
-    std::size_t off = 0;
-    while (off < data.size()) {
-      inj.maybe_fail("checkpoint.write");
-      const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        throw std::runtime_error("checkpoint: write failed for " + tmp +
-                                 ": " + std::strerror(errno));
-      }
-      off += static_cast<std::size_t>(n);
-    }
+    inj.maybe_fail("checkpoint.write");
+    if (!util::write_full(fd, data.data(), data.size()))
+      throw std::runtime_error("checkpoint: write failed for " + tmp + ": " +
+                               std::strerror(errno));
     // The rename below publishes the file; without this fsync a crash
     // could publish a name whose *contents* never reached the disk.
     inj.maybe_fail("checkpoint.fsync");

@@ -17,6 +17,7 @@
 #include "sim/campaign.h"
 #include "sim/checkpoint.h"
 #include "util/fault_injector.h"
+#include "util/retry.h"
 #include "util/rng.h"
 #include "util/subprocess.h"
 
@@ -77,21 +78,41 @@ void append_capped(std::string& buf, const char* data, std::size_t n) {
 
 /// Drains a non-blocking fd; returns bytes read this call (0 on EAGAIN or
 /// EOF -- the reap path distinguishes those, the drain loop does not need
-/// to).
+/// to).  EINTR is retried inside the read (util::retry_eintr): a signal
+/// landing mid-drain must not end the pass early, or heartbeat bytes
+/// already in the pipe would be counted a poll cycle late under a signal
+/// storm.
 std::size_t drain(int fd, std::string* into) {
   if (fd < 0) return 0;
   std::size_t total = 0;
   char buf[4096];
   for (;;) {
-    const ssize_t n = ::read(fd, buf, sizeof buf);
+    const ssize_t n =
+        util::retry_eintr([&] { return ::read(fd, buf, sizeof buf); });
     if (n > 0) {
       if (into != nullptr) append_capped(*into, buf, std::size_t(n));
       total += std::size_t(n);
       continue;
     }
-    break;  // 0 = EOF, -1 = EAGAIN/EINTR; both end this drain pass
+    break;  // 0 = EOF, -1 = EAGAIN; both end this drain pass
   }
   return total;
+}
+
+/// Sleeps until `until`, waking every few milliseconds to honour the
+/// cooperative cancel flag.  Returns false the moment the flag is seen, so
+/// a SIGTERM during a multi-second respawn-backoff window aborts promptly
+/// instead of sleeping the window out.
+bool wait_until_cancellable(Clock::time_point until,
+                            const std::atomic<bool>* cancel) {
+  for (;;) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed))
+      return false;
+    const Clock::time_point now = Clock::now();
+    if (now >= until) return true;
+    std::this_thread::sleep_for(
+        std::min<Clock::duration>(until - now, std::chrono::milliseconds(5)));
+  }
 }
 
 }  // namespace
@@ -311,17 +332,28 @@ SupervisorResult Supervisor::run() {
       }
     }
     if (fds.empty()) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      // Everyone alive is waiting out a respawn backoff: sleep until the
+      // earliest next_spawn (capped so chaos/new work stays responsive),
+      // but wake immediately on cancel -- a SIGTERM during a backoff
+      // window must not sleep out the rest of the budget.
+      Clock::time_point until = now + std::chrono::milliseconds(50);
+      for (const Worker& w : workers)
+        if (!w.running && !w.done && !w.quarantined)
+          until = std::min(until, w.next_spawn);
+      wait_until_cancellable(std::max(until, now), opt_.cancel);
     } else {
-      ::poll(fds.data(), nfds_t(fds.size()), 25);
+      util::retry_eintr(
+          [&] { return ::poll(fds.data(), nfds_t(fds.size()), 25); });
     }
 
+    std::size_t new_beats = 0;
     for (Worker& w : workers) {
       if (!w.running) continue;
       drain(w.out_fd, &w.output);
       const std::size_t beats = drain(w.hb_fd, nullptr);
       if (beats > 0) {
         result.heartbeats += beats;
+        new_beats += beats;
         if (inj.fire("supervisor.heartbeat")) {
           // Injected monitoring failure: the heartbeat is "lost", the
           // deadline lapses immediately and the wedged-worker path runs
@@ -334,6 +366,7 @@ SupervisorResult Supervisor::run() {
         }
       }
     }
+    if (new_beats > 0 && opt_.on_progress) opt_.on_progress(new_beats);
 
     // Wedged workers: silent past the deadline -> SIGKILL.  The reap
     // below decides the outcome from the *actual* exit status, so a
@@ -386,8 +419,15 @@ SupervisorResult Supervisor::run() {
         util::CampaignStats shard_stats;
         bool parsed = false;
         std::istringstream lines(w.output);
-        for (std::string line; std::getline(lines, line);)
-          if (util::parse_stats_json(line, shard_stats)) parsed = true;
+        for (std::string line; std::getline(lines, line);) {
+          // A worker SIGKILLed mid-printf (or racing its own crash) can
+          // leave a torn stats line in the capture; damage is a skipped
+          // line, never a supervisor failure or silently-wrong counters.
+          try {
+            if (util::parse_stats_json(line, shard_stats)) parsed = true;
+          } catch (const util::StatsJsonError&) {
+          }
+        }
         if (parsed) result.stats.merge_from(shard_stats);
         log(shard_name(w) + ": completed (" + w.last_status + ", " +
             std::to_string(w.spawns) + " spawn(s))");

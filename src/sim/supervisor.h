@@ -36,6 +36,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -96,8 +97,15 @@ struct SupervisorOptions {
   std::size_t chaos_max_kills = 0;
   /// Cooperative cancellation (SIGINT/SIGTERM): workers get SIGTERM,
   /// flush their checkpoints, and the run throws CampaignInterrupted --
-  /// resumable exactly like a single-process campaign.
+  /// resumable exactly like a single-process campaign.  The flag is also
+  /// honoured *inside* respawn-backoff windows: a cancel during a backoff
+  /// wait aborts promptly instead of sleeping the window out.
   const std::atomic<bool>* cancel = nullptr;
+  /// When non-null, called from the monitor loop with the number of new
+  /// worker heartbeats just drained (i.e. verdicts completed since the
+  /// last call).  This is how the serve daemon streams live progress for
+  /// a supervised job; must not throw.
+  std::function<void(std::size_t)> on_progress;
   /// Supervisor event log (spawns, kills, backoff, quarantine); null =
   /// silent.
   std::ostream* log = nullptr;

@@ -1,0 +1,144 @@
+#include "util/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/retry.h"
+
+namespace xtest::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+int cloexec_socket(int domain) {
+  const int fd = ::socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) fail("socket");
+  return fd;
+}
+
+}  // namespace
+
+int listen_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path)
+    throw std::runtime_error("socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = cloexec_socket(AF_UNIX);
+  // A stale socket file from a dead daemon blocks bind forever; connect()
+  // distinguishes live from stale: ECONNREFUSED means nobody is listening
+  // and the path is safe to reclaim.
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno == EADDRINUSE) {
+      const int probe = cloexec_socket(AF_UNIX);
+      const int r = retry_eintr([&] {
+        return ::connect(probe, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof addr);
+      });
+      ::close(probe);
+      if (r == 0) {
+        ::close(fd);
+        errno = EADDRINUSE;
+        fail("bind (a daemon is already listening on " + path + ")");
+      }
+      ::unlink(path.c_str());
+      if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        ::close(fd);
+        fail("bind " + path);
+      }
+    } else {
+      ::close(fd);
+      fail("bind " + path);
+    }
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    fail("listen " + path);
+  }
+  return fd;
+}
+
+int listen_tcp(std::uint16_t port, std::uint16_t* bound_port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+
+  const int fd = cloexec_socket(AF_INET);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    fail("bind 127.0.0.1:" + std::to_string(port));
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    fail("getsockname");
+  }
+  if (bound_port != nullptr) *bound_port = ntohs(addr.sin_port);
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    fail("listen 127.0.0.1:" + std::to_string(port));
+  }
+  return fd;
+}
+
+int accept_connection(int listen_fd) {
+  return static_cast<int>(retry_eintr([&] {
+    return ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+  }));
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    errno = ENAMETOOLONG;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = cloexec_socket(AF_UNIX);
+  const int r = static_cast<int>(retry_eintr([&] {
+    return ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  }));
+  if (r != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  return fd;
+}
+
+int connect_tcp(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  const int fd = cloexec_socket(AF_INET);
+  const int r = static_cast<int>(retry_eintr([&] {
+    return ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  }));
+  if (r != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace xtest::util

@@ -1,0 +1,42 @@
+// Minimal socket endpoints for the campaign service.
+//
+// The serve daemon listens on a Unix-domain socket (the default: one host,
+// filesystem permissions as access control) or a loopback TCP port (for
+// harnesses that cannot share a filesystem path).  This layer owns exactly
+// the endpoint plumbing -- listen, accept, connect -- and nothing about
+// the frame protocol; every call retries EINTR (util/retry.h) and reports
+// failure by exception on the daemon side (a daemon that cannot bind has
+// nothing to degrade to) and by -1/errno on the client side (clients
+// retry with backoff).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xtest::util {
+
+/// Binds and listens on a Unix-domain socket at `path`, replacing a stale
+/// socket file from a dead daemon (bind would otherwise fail with
+/// EADDRINUSE forever).  Returns the listening fd (CLOEXEC).  Throws
+/// std::runtime_error on failure.
+int listen_unix(const std::string& path);
+
+/// Binds and listens on 127.0.0.1:`port` (0 = ephemeral).  The port
+/// actually bound is written to `bound_port`.  Returns the listening fd
+/// (CLOEXEC).  Throws std::runtime_error on failure.
+int listen_tcp(std::uint16_t port, std::uint16_t* bound_port);
+
+/// Accepts one pending connection; returns the connection fd (CLOEXEC),
+/// or -1 when none is pending (EAGAIN) or the accept genuinely failed
+/// (errno says which).  Never throws: a bad peer must not take the
+/// accept loop down.
+int accept_connection(int listen_fd);
+
+/// Connects to a Unix-domain socket / loopback TCP port.  Returns the
+/// connected fd (CLOEXEC) or -1 with errno set.  Blocking; clients wrap
+/// these in their own retry/backoff loop.
+int connect_unix(const std::string& path);
+int connect_tcp(std::uint16_t port);
+
+}  // namespace xtest::util

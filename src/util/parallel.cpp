@@ -1,6 +1,7 @@
 #include "util/parallel.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -168,6 +169,9 @@ void CampaignStats::merge_from(const CampaignStats& other) {
 namespace {
 
 /// Extracts `"key":<number>` from a flat JSON object; false if absent.
+/// A key that is present but undecodable -- no digits after the colon, a
+/// non-finite value, or a second occurrence disagreeing with the first --
+/// is damage, not absence, and throws the typed error.
 bool json_number(const std::string& obj, const char* key, double& out) {
   const std::string needle = std::string("\"") + key + "\":";
   const std::size_t pos = obj.find(needle);
@@ -175,7 +179,22 @@ bool json_number(const std::string& obj, const char* key, double& out) {
   const char* start = obj.c_str() + pos + needle.size();
   char* end = nullptr;
   out = std::strtod(start, &end);
-  return end != start;
+  if (end == start)
+    throw StatsJsonError(std::string("stats json: unparsable value for \"") +
+                         key + "\"");
+  if (!std::isfinite(out))
+    throw StatsJsonError(std::string("stats json: non-finite value for \"") +
+                         key + "\"");
+  const std::size_t dup = obj.find(needle, pos + needle.size());
+  if (dup != std::string::npos) {
+    const char* dstart = obj.c_str() + dup + needle.size();
+    char* dend = nullptr;
+    const double dv = std::strtod(dstart, &dend);
+    if (dend == dstart || dv != out)
+      throw StatsJsonError(std::string("stats json: duplicate key \"") + key +
+                           "\" with conflicting values");
+  }
+  return true;
 }
 
 template <typename T>
@@ -191,8 +210,9 @@ bool json_counter(const std::string& obj, const char* key, T& field) {
 bool parse_stats_json(const std::string& line, CampaignStats& out) {
   const std::size_t open = line.find('{');
   const std::size_t close = line.rfind('}');
-  if (open == std::string::npos || close == std::string::npos || close < open)
-    return false;
+  if (open == std::string::npos) return false;
+  if (close == std::string::npos || close < open)
+    throw StatsJsonError("stats json: truncated object (no closing '}')");
   const std::string obj = line.substr(open, close - open + 1);
   bool any = false;
   any |= json_counter(obj, "defects", out.defects_simulated);

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -177,10 +178,22 @@ struct CampaignStats {
   void merge_from(const CampaignStats& other);
 };
 
+/// A stats line that LOOKS like a stats object but cannot be decoded:
+/// truncated (an opening '{' with no closing '}'), a known key whose value
+/// is not a finite number, or a known key appearing twice with conflicting
+/// values.  The supervisor and the serve daemon read these lines from
+/// worker process output -- i.e. from a process that may have been
+/// SIGKILLed mid-printf -- so damage must surface as this typed error
+/// (callers skip the line), never as silently-wrong counters or UB.
+struct StatsJsonError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 /// Best-effort inverse of CampaignStats::json for the flat numeric fields
 /// (verdict breakdown, cycles, cache/batch/gold counters, wall_seconds,
 /// threads).  Scans `line` for the first '{'...'}' JSON object; returns
-/// false when no such object or no known key is found.  Environment
+/// false when no such object or no known key is found, and throws
+/// StatsJsonError for an object that is damaged (see above).  Environment
 /// fields (hardware_concurrency, build_type) and derived ratios are
 /// ignored -- ratios are recomputed from the raw counters.  This is how a
 /// supervisor reads a worker process's --stats-json line back.

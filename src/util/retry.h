@@ -1,0 +1,83 @@
+// EINTR-safe syscall retry helpers.
+//
+// Every read/write loop in the tree talks to the kernel while signals fly:
+// the supervisor drains worker pipes under SIGCHLD storms, campaign workers
+// heartbeat while the operator mashes Ctrl-C, and the serve daemon moves
+// frames across sockets while chaos soaks SIGKILL its peers.  A syscall
+// interrupted by a signal fails with EINTR -- which is not an error, just a
+// request to try again -- and a short read/write is not a failure either,
+// just a partial delivery.  Hand-rolling `do { } while (EINTR)` at every
+// call site gets one of the two wrong eventually (the pre-PR-8 supervisor
+// drain treated EINTR like EAGAIN and could under-count heartbeats), so the
+// idiom lives here once.
+
+#pragma once
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+
+namespace xtest::util {
+
+/// Calls `fn` (a syscall-shaped callable returning a signed count) until it
+/// either succeeds (>= 0) or fails with an errno other than EINTR.
+template <typename Fn>
+auto retry_eintr(Fn&& fn) -> decltype(fn()) {
+  decltype(fn()) r;
+  do {
+    r = fn();
+  } while (r < 0 && errno == EINTR);
+  return r;
+}
+
+/// Writes all `n` bytes to a blocking fd, retrying EINTR and continuing
+/// after short writes.  Returns false on any real error (errno is set) --
+/// including EAGAIN on a non-blocking fd, which callers that buffer must
+/// handle themselves.
+inline bool write_full(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = retry_eintr([&] { return ::write(fd, p, n); });
+    if (w < 0) return false;
+    p += static_cast<std::size_t>(w);
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// write_full for sockets.  A plain write() to a socket whose peer
+/// vanished raises SIGPIPE and kills the whole process with no message --
+/// exactly the failure a reconnecting client or a daemon shedding a dead
+/// peer must survive.  MSG_NOSIGNAL turns that into a plain EPIPE error
+/// return the caller can handle like any other broken connection.
+inline bool send_full(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w =
+        retry_eintr([&] { return ::send(fd, p, n, MSG_NOSIGNAL); });
+    if (w < 0) return false;
+    p += static_cast<std::size_t>(w);
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// Reads exactly `n` bytes from a blocking fd, retrying EINTR and
+/// continuing after short reads.  Returns the byte count actually read:
+/// `n` on success, less on EOF, -1 on a real error (errno is set).
+inline ssize_t read_full(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r =
+        retry_eintr([&] { return ::read(fd, p + got, n - got); });
+    if (r < 0) return -1;
+    if (r == 0) break;  // EOF
+    got += static_cast<std::size_t>(r);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+}  // namespace xtest::util

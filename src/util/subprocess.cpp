@@ -9,6 +9,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/retry.h"
+
 namespace xtest::util {
 
 namespace {
@@ -113,7 +115,8 @@ ChildProcess ChildProcess::spawn(const SpawnSpec& spec) {
 ExitStatus ChildProcess::poll_status() {
   if (reaped_ || pid_ <= 0) return status_;
   int raw = 0;
-  const pid_t r = ::waitpid(pid_, &raw, WNOHANG);
+  const pid_t r =
+      retry_eintr([&] { return ::waitpid(pid_, &raw, WNOHANG); });
   if (r == pid_) {
     status_ = decode(raw);
     reaped_ = !status_.running();
@@ -124,10 +127,7 @@ ExitStatus ChildProcess::poll_status() {
 ExitStatus ChildProcess::wait() {
   if (reaped_ || pid_ <= 0) return status_;
   int raw = 0;
-  pid_t r;
-  do {
-    r = ::waitpid(pid_, &raw, 0);
-  } while (r < 0 && errno == EINTR);
+  const pid_t r = retry_eintr([&] { return ::waitpid(pid_, &raw, 0); });
   if (r == pid_) {
     status_ = decode(raw);
     reaped_ = !status_.running();

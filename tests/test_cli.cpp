@@ -417,6 +417,54 @@ TEST(Cli, UsageIsGeneratedFromTheFlagTable) {
   EXPECT_NE(r.err.find("paper-baseline"), std::string::npos);
 }
 
+TEST(Cli, NegativeHeartbeatFdIsAUsageErrorNamingTheFlag) {
+  // stoull would wrap "-1" into a huge descriptor; the CLI must reject the
+  // sign up front instead of failing later with EBADF.
+  const CliRun r = run_cli({"campaign", "--defects", "4", "--heartbeat-fd",
+                            "-1"});
+  EXPECT_EQ(r.code, kExitUsage);
+  EXPECT_NE(r.err.find("--heartbeat-fd"), std::string::npos) << r.err;
+}
+
+TEST(Cli, ClosedHeartbeatFdIsAUsageErrorNamingTheFlag) {
+  // Descriptor 973 is valid syntax but not open in this process.
+  const CliRun r = run_cli({"campaign", "--defects", "4", "--heartbeat-fd",
+                            "973"});
+  EXPECT_EQ(r.code, kExitUsage);
+  EXPECT_NE(r.err.find("--heartbeat-fd: descriptor 973 is not open"),
+            std::string::npos)
+      << r.err;
+}
+
+TEST(Cli, ServeRequiresExactlyOneEndpointAndAQueue) {
+  const CliRun neither = run_cli({"serve", "--queue", temp_path("q1")});
+  EXPECT_EQ(neither.code, kExitUsage);
+  EXPECT_NE(neither.err.find("--socket"), std::string::npos) << neither.err;
+
+  const CliRun both = run_cli({"serve", "--socket", temp_path("s.sock"),
+                               "--port", "1", "--queue", temp_path("q2")});
+  EXPECT_EQ(both.code, kExitUsage);
+
+  const CliRun no_queue = run_cli({"serve", "--socket", temp_path("s.sock")});
+  EXPECT_EQ(no_queue.code, kExitUsage);
+  EXPECT_NE(no_queue.err.find("--queue"), std::string::npos) << no_queue.err;
+}
+
+TEST(Cli, SubmitRequiresAnEndpointAndAValidPriority) {
+  const CliRun no_endpoint = run_cli({"submit"});
+  EXPECT_EQ(no_endpoint.code, kExitUsage);
+
+  const CliRun bad_priority = run_cli({"submit", "--port", "1", "--priority",
+                                       "12"});
+  EXPECT_EQ(bad_priority.code, kExitUsage);
+  EXPECT_NE(bad_priority.err.find("--priority"), std::string::npos)
+      << bad_priority.err;
+
+  const CliRun negative = run_cli({"submit", "--port", "1", "--priority",
+                                   "-3"});
+  EXPECT_EQ(negative.code, kExitUsage);
+}
+
 TEST(Cli, RunAcceptsAScenarioForTheSystemConfig) {
   const std::string src = temp_path("scn_run.s");
   const std::string img = temp_path("scn_run.img");

@@ -1,0 +1,735 @@
+// Campaign service tests: frame codec (hostile-input-proof), persistent
+// job queue (salvage), and the live daemon end to end -- submit/stream,
+// malformed-byte rejection, submit dedupe, reconnect replay, idle reap,
+// and restart-resume from the queue file.  Server tests run the daemon
+// in-process on an ephemeral loopback port but spawn REAL worker
+// processes (XTEST_BINARY_PATH), exactly like test_supervisor.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/client.h"
+#include "serve/frame.h"
+#include "serve/queue.h"
+#include "serve/server.h"
+#include "sim/campaign.h"
+#include "spec/scenario.h"
+#include "util/fault_injector.h"
+#include "util/net.h"
+#include "util/parallel.h"
+#include "util/retry.h"
+#include "util/rng.h"
+#include "util/subprocess.h"
+
+namespace xtest::serve {
+namespace {
+
+// --- frame codec -----------------------------------------------------------
+
+Frame make_frame(FrameType type, std::uint32_t seq, std::string payload) {
+  Frame f;
+  f.type = type;
+  f.seq = seq;
+  f.payload = std::move(payload);
+  return f;
+}
+
+TEST(Frame, RoundTripsEveryType) {
+  for (std::uint8_t t = 1; t <= static_cast<std::uint8_t>(FrameType::kShutdown);
+       ++t) {
+    const Frame in = make_frame(static_cast<FrameType>(t), 7u * t,
+                                "payload for type " + std::to_string(t));
+    FrameDecoder dec;
+    ASSERT_TRUE(dec.feed(encode_frame(in)));
+    const auto out = dec.next();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->type, in.type);
+    EXPECT_EQ(out->seq, in.seq);
+    EXPECT_EQ(out->payload, in.payload);
+    EXPECT_FALSE(dec.next().has_value());
+    EXPECT_FALSE(dec.poisoned());
+  }
+}
+
+TEST(Frame, DecodesByteAtATime) {
+  const std::string bytes =
+      encode_frame(make_frame(FrameType::kSubmit, 42, "one byte at a time"));
+  FrameDecoder dec;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    ASSERT_TRUE(dec.feed(bytes.data() + i, 1));
+    ASSERT_FALSE(dec.next().has_value()) << "frame completed early at " << i;
+  }
+  ASSERT_TRUE(dec.feed(bytes.data() + bytes.size() - 1, 1));
+  const auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->payload, "one byte at a time");
+}
+
+TEST(Frame, DecodesSeveralFramesFromOneFeed) {
+  std::string bytes;
+  for (int i = 0; i < 5; ++i)
+    bytes += encode_frame(
+        make_frame(FrameType::kEvent, std::uint32_t(i), std::to_string(i)));
+  FrameDecoder dec;
+  ASSERT_TRUE(dec.feed(bytes));
+  for (int i = 0; i < 5; ++i) {
+    const auto f = dec.next();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->payload, std::to_string(i));
+  }
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(Frame, TruncationIsIncompleteNotError) {
+  const std::string bytes =
+      encode_frame(make_frame(FrameType::kSubmit, 1, "truncated mid-flight"));
+  FrameDecoder dec;
+  ASSERT_TRUE(dec.feed(bytes.data(), bytes.size() / 2));
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_FALSE(dec.poisoned());
+  EXPECT_GT(dec.buffered(), 0u);
+}
+
+TEST(Frame, BadMagicPoisons) {
+  std::string bytes = encode_frame(make_frame(FrameType::kPing, 1, ""));
+  bytes[0] = 'x';
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.feed(bytes));
+  EXPECT_EQ(dec.error(), FrameError::kBadMagic);
+  EXPECT_FALSE(dec.next().has_value());
+  // Poisoned decoders never resynchronize, even on valid bytes.
+  EXPECT_FALSE(dec.feed(encode_frame(make_frame(FrameType::kPing, 2, ""))));
+}
+
+TEST(Frame, BadVersionPoisons) {
+  std::string bytes = encode_frame(make_frame(FrameType::kPing, 1, ""));
+  bytes[4] = 9;
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.feed(bytes));
+  EXPECT_EQ(dec.error(), FrameError::kBadVersion);
+}
+
+TEST(Frame, BadTypePoisons) {
+  for (const std::uint8_t bad : {std::uint8_t(0), std::uint8_t(14),
+                                 std::uint8_t(255)}) {
+    std::string bytes = encode_frame(make_frame(FrameType::kPing, 1, ""));
+    bytes[5] = static_cast<char>(bad);
+    FrameDecoder dec;
+    EXPECT_FALSE(dec.feed(bytes));
+    EXPECT_EQ(dec.error(), FrameError::kBadType);
+  }
+}
+
+TEST(Frame, NonzeroReservedPoisons) {
+  std::string bytes = encode_frame(make_frame(FrameType::kPing, 1, ""));
+  bytes[6] = 1;
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.feed(bytes));
+  EXPECT_EQ(dec.error(), FrameError::kBadReserved);
+}
+
+TEST(Frame, OversizeLengthRejectedBeforeBuffering) {
+  // A hostile length field alone -- no payload bytes ever arrive -- must
+  // poison as soon as the header is readable.
+  std::string header;
+  header.append(kMagic, sizeof kMagic);
+  header.push_back(char(kProtocolVersion));
+  header.push_back(char(static_cast<std::uint8_t>(FrameType::kSubmit)));
+  header.push_back('\0');
+  header.push_back('\0');
+  put_u32(header, 1);
+  put_u32(header, 0xFFFFFFFFu);  // 4 GiB "payload"
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.feed(header));
+  EXPECT_EQ(dec.error(), FrameError::kOversize);
+  EXPECT_LE(dec.buffered(), kHeaderSize);
+}
+
+TEST(Frame, CorruptedByteFailsCrc) {
+  std::string bytes =
+      encode_frame(make_frame(FrameType::kSubmit, 3, "check my integrity"));
+  bytes[kHeaderSize + 4] ^= 0x20;
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.feed(bytes));
+  EXPECT_EQ(dec.error(), FrameError::kBadCrc);
+}
+
+TEST(Frame, FuzzedBytesNeverThrow) {
+  // Property: arbitrary bytes either decode or poison; feed() never
+  // throws and never fabricates a frame that passes CRC by luck (the
+  // 1-in-2^32 chance is below fuzz-budget noise).
+  util::Rng rng(20010618);
+  for (int round = 0; round < 200; ++round) {
+    FrameDecoder dec;
+    const std::size_t n = 1 + rng.below(512);
+    std::string junk(n, '\0');
+    for (char& c : junk) c = static_cast<char>(rng.below(256));
+    dec.feed(junk);
+    while (dec.next().has_value()) {
+    }
+    SUCCEED();
+  }
+}
+
+TEST(Frame, FuzzMutatedValidFramesRoundTripOrPoison) {
+  util::Rng rng(42);
+  for (int round = 0; round < 200; ++round) {
+    std::string payload(rng.below(64), 'x');
+    for (char& c : payload) c = static_cast<char>('a' + rng.below(26));
+    const Frame in = make_frame(
+        static_cast<FrameType>(1 + rng.below(13)),
+        static_cast<std::uint32_t>(rng.below(1u << 20)), payload);
+    std::string bytes = encode_frame(in);
+    const bool mutate = rng.below(2) == 0;
+    if (mutate) bytes[rng.below(bytes.size())] ^= char(1 + rng.below(255));
+    FrameDecoder dec;
+    dec.feed(bytes);
+    const auto out = dec.next();
+    if (!mutate) {
+      ASSERT_TRUE(out.has_value());
+      EXPECT_EQ(out->payload, in.payload);
+      EXPECT_EQ(out->type, in.type);
+      EXPECT_EQ(out->seq, in.seq);
+    } else if (out.has_value()) {
+      // A mutation that still decodes must have produced a frame whose
+      // bytes re-encode identically (i.e. it flipped nothing the CRC
+      // covers -- impossible -- or cancelled out).  Accept only exact
+      // equality with the original.
+      EXPECT_EQ(encode_frame(*out), encode_frame(in));
+    } else {
+      EXPECT_TRUE(dec.poisoned() || dec.buffered() > 0);
+    }
+  }
+}
+
+TEST(Frame, PayloadHelpersAreBoundsChecked) {
+  std::string buf;
+  put_u32(buf, 0xDEADBEEFu);
+  put_u64(buf, 0x0123456789ABCDEFull);
+  std::size_t pos = 0;
+  std::uint32_t u32 = 0;
+  std::uint64_t u64 = 0;
+  ASSERT_TRUE(get_u32(buf, pos, u32));
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  ASSERT_TRUE(get_u64(buf, pos, u64));
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  // Reads past the end fail instead of walking off the buffer.
+  EXPECT_FALSE(get_u32(buf, pos, u32));
+  pos = buf.size() - 3;
+  EXPECT_FALSE(get_u32(buf, pos, u32));
+  pos = buf.size() - 7;
+  EXPECT_FALSE(get_u64(buf, pos, u64));
+}
+
+// --- retry helpers ---------------------------------------------------------
+
+TEST(Retry, WriteFullAndReadFullMoveEveryByte) {
+  util::Pipe p = util::make_pipe();
+  const std::string msg = "short write discipline";
+  ASSERT_TRUE(util::write_full(p.write_fd, msg.data(), msg.size()));
+  std::string got(msg.size(), '\0');
+  ASSERT_EQ(util::read_full(p.read_fd, got.data(), got.size()),
+            static_cast<ssize_t>(msg.size()));
+  EXPECT_EQ(got, msg);
+  util::close_fd(p.write_fd);
+  // EOF: read_full reports the short count, not an error.
+  char extra[8];
+  EXPECT_EQ(util::read_full(p.read_fd, extra, sizeof extra), 0);
+  util::close_fd(p.read_fd);
+}
+
+TEST(Retry, RetryEintrPassesThroughResults) {
+  int calls = 0;
+  const long r = util::retry_eintr([&]() -> long {
+    ++calls;
+    if (calls < 3) {
+      errno = EINTR;
+      return -1;
+    }
+    return 17;
+  });
+  EXPECT_EQ(r, 17);
+  EXPECT_EQ(calls, 3);
+  errno = ENOENT;
+  const long e = util::retry_eintr([]() -> long { return -1; });
+  EXPECT_EQ(e, -1);
+}
+
+// --- job queue -------------------------------------------------------------
+
+std::string temp_file(const std::string& name) {
+  return ::testing::TempDir() + "xtest_serve_" + name + "_" +
+         std::to_string(static_cast<long>(::getpid()));
+}
+
+TEST(JobQueue, PriorityOrderFifoWithinBand) {
+  JobQueue q("");  // in-memory
+  q.enqueue("scn-a", 3);
+  q.enqueue("scn-b", 7);
+  q.enqueue("scn-c", 7);
+  q.enqueue("scn-d", 9);
+  ASSERT_NE(q.next_queued(), nullptr);
+  EXPECT_EQ(q.next_queued()->scenario, "scn-d");
+  q.next_queued()->state = JobState::kDone;
+  EXPECT_EQ(q.next_queued()->scenario, "scn-b");  // FIFO inside priority 7
+  q.next_queued()->state = JobState::kDone;
+  EXPECT_EQ(q.next_queued()->scenario, "scn-c");
+}
+
+TEST(JobQueue, PersistsAndReloadsEverything) {
+  const std::string path = temp_file("queue_roundtrip");
+  std::remove(path.c_str());
+  {
+    JobQueue q(path);
+    q.enqueue("multi\nline\nscenario", 4);
+    const std::uint64_t id = q.enqueue("second", 8);
+    Job* j = q.find(id);
+    j->state = JobState::kDone;
+    j->verdicts = "DDUT";
+    j->stats_json = "{\"defects\":4}";
+    j->exit_code = 0;
+    j->attempts = 1;
+    q.persist();
+  }
+  JobQueue q2(path);
+  EXPECT_EQ(q2.load(), 2u);
+  EXPECT_EQ(q2.salvage_dropped(), 0u);
+  ASSERT_NE(q2.find(1), nullptr);
+  EXPECT_EQ(q2.find(1)->scenario, "multi\nline\nscenario");
+  EXPECT_EQ(q2.find(1)->state, JobState::kQueued);
+  ASSERT_NE(q2.find(2), nullptr);
+  EXPECT_EQ(q2.find(2)->state, JobState::kDone);
+  EXPECT_EQ(q2.find(2)->verdicts, "DDUT");
+  EXPECT_EQ(q2.find(2)->stats_json, "{\"defects\":4}");
+  // New ids continue past everything reloaded.
+  EXPECT_EQ(q2.enqueue("third", 5), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(JobQueue, RunningJobReloadsAsQueued) {
+  const std::string path = temp_file("queue_running");
+  std::remove(path.c_str());
+  {
+    JobQueue q(path);
+    const std::uint64_t id = q.enqueue("interrupted", 5);
+    q.find(id)->state = JobState::kRunning;
+    q.persist();
+  }
+  JobQueue q2(path);
+  ASSERT_EQ(q2.load(), 1u);
+  EXPECT_EQ(q2.find(1)->state, JobState::kQueued);
+  std::remove(path.c_str());
+}
+
+TEST(JobQueue, TornTailKeepsValidPrefix) {
+  const std::string path = temp_file("queue_torn");
+  std::remove(path.c_str());
+  {
+    JobQueue q(path);
+    q.enqueue("job-one", 5);
+    q.enqueue("job-two", 5);
+  }
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  ASSERT_FALSE(ec);
+  // Truncate at every byte offset: load must never throw and must keep a
+  // valid prefix of records (possibly zero).
+  for (std::uintmax_t cut = 0; cut < size; cut += 7) {
+    {
+      JobQueue q(path);
+      q.enqueue("job-one", 5);
+      q.enqueue("job-two", 5);
+    }
+    std::filesystem::resize_file(path, cut, ec);
+    ASSERT_FALSE(ec);
+    JobQueue q2(path);
+    const std::size_t kept = q2.load();
+    EXPECT_LE(kept, 2u);
+    for (const Job& j : q2.jobs())
+      EXPECT_TRUE(j.scenario == "job-one" || j.scenario == "job-two");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(JobQueue, ForeignFileRefusedLoudly) {
+  const std::string path = temp_file("queue_foreign");
+  {
+    std::ofstream out(path);
+    out << "this is not a queue file\n";
+  }
+  JobQueue q(path);
+  EXPECT_THROW(q.load(), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(JobQueue, EnqueueRollsBackWhenPersistFails) {
+  const std::string path = temp_file("queue_rollback");
+  std::remove(path.c_str());
+  JobQueue q(path);
+  util::FaultInjector::global().configure("serve.enqueue@1");
+  EXPECT_THROW(q.enqueue("doomed", 5), std::exception);
+  util::FaultInjector::global().disarm();
+  EXPECT_TRUE(q.jobs().empty());
+  // The rolled-back id is reissued, so ids stay dense and durable.
+  EXPECT_EQ(q.enqueue("survivor", 5), 1u);
+  std::remove(path.c_str());
+}
+
+// --- live daemon -----------------------------------------------------------
+
+spec::ScenarioSpec serve_spec(std::size_t defects = 6) {
+  spec::ScenarioSpec s;
+  s.name = "serve-test";
+  s.bus = soc::BusKind::kData;
+  s.defect_count = defects;
+  s.multi_session = false;
+  s.threads = 1;
+  s.workers = 2;
+  s.checkpoint_every = 2;
+  return s;
+}
+
+std::string reference_chars(const spec::ScenarioSpec& in) {
+  spec::ScenarioSpec s = in;
+  s.workers = 0;
+  const auto lib = s.make_library();
+  const auto sessions = s.make_sessions();
+  util::CampaignStats stats;
+  const sim::CampaignOptions opts = s.campaign_options(&stats);
+  const std::vector<sim::Verdict> v =
+      sim::run_detection_sessions(s.system, sessions, s.bus, lib, opts);
+  std::string chars;
+  for (const sim::Verdict verdict : v) chars.push_back(sim::to_char(verdict));
+  return chars;
+}
+
+class ServeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // In-process daemon, real worker processes: point workers at the
+    // built binary, not this test executable.
+    ::setenv("XTEST_WORKER_BINARY", XTEST_BINARY_PATH, 1);
+    queue_path_ = temp_file(std::string("srv_") +
+                            ::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name());
+    std::remove(queue_path_.c_str());
+  }
+
+  void TearDown() override {
+    stop();
+    util::FaultInjector::global().disarm();
+    std::remove(queue_path_.c_str());
+    // Per-job scratch (checkpoints, job scenario files).
+    for (std::uint64_t id = 1; id <= 8; ++id) {
+      const std::string base = queue_path_ + ".job" + std::to_string(id) +
+                               ".ckpt";
+      std::remove((base + ".job.scn").c_str());
+      for (std::size_t k = 0; k < 8; ++k)
+        std::remove((base + ".shard" + std::to_string(k)).c_str());
+    }
+  }
+
+  void start(ServerOptions o = {}) {
+    cancel_.store(false);
+    if (::getenv("XTEST_SERVE_TEST_LOG")) o.log = &std::cerr;
+    o.tcp_port = 0;
+    o.queue_path = queue_path_;
+    o.cancel = &cancel_;
+    if (o.job_backoff_ms == 100) o.job_backoff_ms = 20;
+    server_ = std::make_unique<Server>(std::move(o));
+    server_->start();
+    port_ = server_->bound_port();
+    thread_ = std::thread([this] { pending_ = server_->run(); });
+  }
+
+  void stop() {
+    cancel_.store(true);
+    if (thread_.joinable()) thread_.join();
+    server_.reset();
+  }
+
+  ClientOptions client_options() const {
+    ClientOptions o;
+    o.tcp_port = port_;
+    o.reconnect_backoff_ms = 20;
+    return o;
+  }
+
+  std::string queue_path_;
+  std::atomic<bool> cancel_{false};
+  std::unique_ptr<Server> server_;
+  std::thread thread_;
+  std::uint16_t port_ = 0;
+  std::size_t pending_ = SIZE_MAX;
+};
+
+TEST_F(ServeFixture, SubmitStreamsBitwiseEqualVerdicts) {
+  const spec::ScenarioSpec s = serve_spec();
+  const std::string reference = reference_chars(s);
+  start();
+  Client c(client_options());
+  const std::uint64_t job = c.submit(spec::serialize_scenario(s), 5);
+  EXPECT_EQ(job, 1u);
+  const JobResult r = c.wait(job);
+  EXPECT_FALSE(r.failed);
+  EXPECT_FALSE(r.degraded);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.verdicts, reference);
+  EXPECT_FALSE(r.stats_json.empty());
+  stop();
+  EXPECT_EQ(pending_, 0u);
+}
+
+TEST_F(ServeFixture, ReplayAfterReconnectMatches) {
+  const spec::ScenarioSpec s = serve_spec();
+  const std::string reference = reference_chars(s);
+  start();
+  std::uint64_t job = 0;
+  {
+    Client first(client_options());
+    job = first.submit(spec::serialize_scenario(s), 5);
+    const JobResult r = first.wait(job);
+    EXPECT_EQ(r.verdicts, reference);
+  }  // first client gone
+  // A brand-new client resumes from seq 0 and gets the identical stream.
+  Client second(client_options());
+  const JobResult replay = second.wait(job);
+  EXPECT_EQ(replay.verdicts, reference);
+  EXPECT_EQ(replay.exit_code, 0);
+}
+
+TEST_F(ServeFixture, MalformedBytesDropOnlyThatConnection) {
+  start();
+  int fd = util::connect_tcp(port_);
+  ASSERT_GE(fd, 0);
+  const std::string garbage = "GET / HTTP/1.1\r\nHost: nope\r\n\r\n";
+  ASSERT_TRUE(util::write_full(fd, garbage.data(), garbage.size()));
+  // The daemon answers with a kError frame and closes; read to EOF.
+  char buf[4096];
+  while (util::retry_eintr([&] { return ::read(fd, buf, sizeof buf); }) > 0) {
+  }
+  util::close_fd(fd);
+  // The daemon is alive and well for the next client.
+  Client c(client_options());
+  EXPECT_NO_THROW(c.status());
+  EXPECT_GE(server_->stats().frames_rejected, 1u);
+}
+
+TEST_F(ServeFixture, OversizedFrameRejectedWithoutCrash) {
+  start();
+  int fd = util::connect_tcp(port_);
+  ASSERT_GE(fd, 0);
+  std::string header;
+  header.append(kMagic, sizeof kMagic);
+  header.push_back(char(kProtocolVersion));
+  header.push_back(char(static_cast<std::uint8_t>(FrameType::kSubmit)));
+  header.push_back('\0');
+  header.push_back('\0');
+  put_u32(header, 1);
+  put_u32(header, kMaxPayload + 1);
+  ASSERT_TRUE(util::write_full(fd, header.data(), header.size()));
+  char buf[4096];
+  while (util::retry_eintr([&] { return ::read(fd, buf, sizeof buf); }) > 0) {
+  }
+  util::close_fd(fd);
+  Client c(client_options());
+  EXPECT_NO_THROW(c.status());
+}
+
+TEST_F(ServeFixture, SubmitRetransmitIsDedupedPerConnection) {
+  const spec::ScenarioSpec s = serve_spec(4);
+  start();
+  int fd = util::connect_tcp(port_);
+  ASSERT_GE(fd, 0);
+  Frame submit;
+  submit.type = FrameType::kSubmit;
+  submit.seq = 11;
+  submit.payload.push_back(char(5));
+  submit.payload += spec::serialize_scenario(s);
+  const std::string bytes = encode_frame(submit);
+  // The "ack was lost" path: the client sends the same submit twice.
+  ASSERT_TRUE(util::write_full(fd, bytes.data(), bytes.size()));
+  ASSERT_TRUE(util::write_full(fd, bytes.data(), bytes.size()));
+  FrameDecoder dec;
+  std::vector<Frame> acks;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+  while (acks.size() < 2 && std::chrono::steady_clock::now() < deadline) {
+    char buf[4096];
+    const ssize_t n =
+        util::retry_eintr([&] { return ::read(fd, buf, sizeof buf); });
+    if (n <= 0) break;
+    ASSERT_TRUE(dec.feed(buf, static_cast<std::size_t>(n)));
+    while (auto f = dec.next())
+      if (f->type == FrameType::kSubmitAck) acks.push_back(*f);
+  }
+  util::close_fd(fd);
+  ASSERT_EQ(acks.size(), 2u);
+  // Both acks name the SAME job: one submit, one enqueue.
+  std::size_t pos = 0;
+  std::uint32_t echo0 = 0, echo1 = 0;
+  std::uint64_t job0 = 0, job1 = 0;
+  ASSERT_TRUE(get_u32(acks[0].payload, pos, echo0));
+  ASSERT_TRUE(get_u64(acks[0].payload, pos, job0));
+  pos = 0;
+  ASSERT_TRUE(get_u32(acks[1].payload, pos, echo1));
+  ASSERT_TRUE(get_u64(acks[1].payload, pos, job1));
+  EXPECT_EQ(echo0, 11u);
+  EXPECT_EQ(echo1, 11u);
+  EXPECT_EQ(job0, job1);
+  Client c(client_options());
+  const std::string status = c.status();
+  EXPECT_EQ(status.find("job 2"), std::string::npos) << status;
+}
+
+TEST_F(ServeFixture, InvalidScenarioIsRejectedInBand) {
+  start();
+  Client c(client_options());
+  EXPECT_THROW(c.submit("definitely = not\na = scenario", 5),
+               std::runtime_error);
+  // The daemon survives the rejection.
+  EXPECT_NO_THROW(c.status());
+}
+
+TEST_F(ServeFixture, EnqueueFaultRejectsSubmitAndRollsBack) {
+  start();
+  Client c(client_options());
+  util::FaultInjector::global().configure("serve.enqueue@1");
+  EXPECT_THROW(c.submit(spec::serialize_scenario(serve_spec(4)), 5),
+               std::runtime_error);
+  util::FaultInjector::global().disarm();
+  // The daemon recovers and the rolled-back id is reissued.
+  const std::uint64_t job =
+      c.submit(spec::serialize_scenario(serve_spec(4)), 5);
+  EXPECT_EQ(job, 1u);
+}
+
+TEST_F(ServeFixture, IdleConnectionsAreReaped) {
+  ServerOptions o;
+  o.idle_timeout_ms = 150;
+  start(std::move(o));
+  int fd = util::connect_tcp(port_);
+  ASSERT_GE(fd, 0);
+  // Say nothing: the half-open deadline must close us.
+  char buf[16];
+  const ssize_t n =
+      util::retry_eintr([&] { return ::read(fd, buf, sizeof buf); });
+  EXPECT_LE(n, 0);
+  util::close_fd(fd);
+  EXPECT_GE(server_->stats().idle_reaped, 1u);
+}
+
+TEST_F(ServeFixture, DrainRequeuesRunningJobAndRestartResumes) {
+  const spec::ScenarioSpec s = serve_spec(8);
+  const std::string reference = reference_chars(s);
+  start();
+  std::uint64_t job = 0;
+  {
+    Client c(client_options());
+    job = c.submit(spec::serialize_scenario(s), 5);
+    // Watch until the job stream is live, then abandon mid-stream (the
+    // client-kill shape) and drain the daemon mid-run.
+    const JobResult peek =
+        c.wait(job, [](const JobEvent&) { return false; });
+    EXPECT_TRUE(peek.aborted);
+    c.kill_connection();
+  }
+  stop();  // SIGTERM shape: drain, requeue the running job, persist
+
+  // Second daemon incarnation on the same queue file.
+  start();
+  Client c2(client_options());
+  const JobResult r = c2.wait(job);
+  EXPECT_FALSE(r.failed);
+  EXPECT_EQ(r.verdicts, reference);
+  stop();
+  EXPECT_EQ(pending_, 0u);
+}
+
+TEST_F(ServeFixture, StatusListsJobs) {
+  const spec::ScenarioSpec s = serve_spec(4);
+  start();
+  Client c(client_options());
+  const std::uint64_t job = c.submit(spec::serialize_scenario(s), 7);
+  const std::string status = c.status();
+  EXPECT_NE(status.find("job " + std::to_string(job)), std::string::npos);
+  EXPECT_NE(status.find("prio=7"), std::string::npos);
+}
+
+// --- stats json hardening (parse_stats_json contract) ----------------------
+
+TEST(StatsJson, TruncatedObjectThrowsTyped) {
+  util::CampaignStats out;
+  EXPECT_THROW(
+      util::parse_stats_json("{\"defects\":12,\"retries\":0", out),
+      util::StatsJsonError);
+}
+
+TEST(StatsJson, MalformedKnownValueThrowsTyped) {
+  util::CampaignStats out;
+  EXPECT_THROW(util::parse_stats_json("{\"defects\": twelve}", out),
+               util::StatsJsonError);
+  EXPECT_THROW(util::parse_stats_json("{\"wall_seconds\": nan}", out),
+               util::StatsJsonError);
+}
+
+TEST(StatsJson, ConflictingDuplicateKeyThrowsTyped) {
+  util::CampaignStats out;
+  EXPECT_THROW(
+      util::parse_stats_json("{\"defects\":12,\"defects\":13}", out),
+      util::StatsJsonError);
+  // Agreeing duplicates are merely redundant, not damaged.
+  util::CampaignStats ok;
+  EXPECT_TRUE(
+      util::parse_stats_json("{\"defects\":12,\"defects\":12}", ok));
+  EXPECT_EQ(ok.defects_simulated, 12u);
+}
+
+TEST(StatsJson, FuzzRoundTripProperty) {
+  // Property: for randomized stats, json() -> parse -> json() is a fixed
+  // point on every raw counter parse_stats_json restores.
+  util::Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    util::CampaignStats st;
+    st.defects_simulated = rng.below(1u << 20);
+    st.simulated_cycles = rng.below(1u << 30);
+    st.retries = rng.below(100);
+    st.restored_from_checkpoint = rng.below(100);
+    st.salvaged_sections = rng.below(10);
+    st.dropped_slots = rng.below(1000);
+    st.cache_hits = rng.below(1u << 20);
+    st.cache_misses = rng.below(1u << 20);
+    st.gold_reuses = rng.below(1000);
+    st.batch_screened = rng.below(1000);
+    st.batched_transitions = rng.below(1u << 20);
+    util::CampaignStats back;
+    ASSERT_TRUE(util::parse_stats_json(st.json("fuzz"), back));
+    EXPECT_EQ(back.defects_simulated, st.defects_simulated);
+    EXPECT_EQ(back.simulated_cycles, st.simulated_cycles);
+    EXPECT_EQ(back.retries, st.retries);
+    EXPECT_EQ(back.restored_from_checkpoint, st.restored_from_checkpoint);
+    EXPECT_EQ(back.salvaged_sections, st.salvaged_sections);
+    EXPECT_EQ(back.dropped_slots, st.dropped_slots);
+    EXPECT_EQ(back.cache_hits, st.cache_hits);
+    EXPECT_EQ(back.cache_misses, st.cache_misses);
+    EXPECT_EQ(back.gold_reuses, st.gold_reuses);
+    EXPECT_EQ(back.batch_screened, st.batch_screened);
+    EXPECT_EQ(back.batched_transitions, st.batched_transitions);
+  }
+}
+
+}  // namespace
+}  // namespace xtest::serve

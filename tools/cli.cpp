@@ -1,7 +1,9 @@
 #include "tools/cli.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -14,6 +16,8 @@
 #include "cpu/assembler.h"
 #include "hwbist/bist.h"
 #include "sbst/generator.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "sim/campaign.h"
 #include "sim/serialize.h"
 #include "sim/supervisor.h"
@@ -23,6 +27,7 @@
 #include "spec/scenario.h"
 #include "util/fault_injector.h"
 #include "util/parallel.h"
+#include "util/retry.h"
 #include "util/rng.h"
 #include "util/subprocess.h"
 #include "util/table.h"
@@ -88,7 +93,36 @@ const std::vector<CommandDef>& command_table() {
         {"batch-size", "N"},
         {"no-batch", nullptr},
         {"workers", "N"},
+        {"serve", nullptr},
         {"faults", "SPEC"}}},
+      {"serve",
+       nullptr,
+       {{"socket", "PATH"},
+        {"port", "N"},
+        {"queue", "FILE"},
+        {"idle-timeout-ms", "MS"},
+        {"job-retries", "N"},
+        {"job-backoff-ms", "MS"},
+        {"worker-retries", "N"},
+        {"worker-backoff-ms", "MS"},
+        {"faults", "SPEC"}}},
+      {"submit",
+       nullptr,
+       {{"socket", "PATH"},
+        {"port", "N"},
+        {"scenario", "NAME|FILE"},
+        {"bus", "addr|data|ctrl"},
+        {"defects", "N"},
+        {"seed", "S"},
+        {"threads", "T"},
+        {"batch-size", "N"},
+        {"no-batch", nullptr},
+        {"workers", "N"},
+        {"priority", "0..9"},
+        {"no-wait", nullptr},
+        {"stats-json", nullptr},
+        {"status", nullptr},
+        {"shutdown", nullptr}}},
       {"scenarios", nullptr, {{"dump", "NAME|FILE"}}},
   };
   return table;
@@ -184,6 +218,9 @@ int usage(std::ostream& err) {
          "       processes under a retrying supervisor; --shard K/N runs\n"
          "       one shard in-process; --heartbeat-fd is the internal\n"
          "       worker handshake\n"
+         "       serve runs the campaign daemon (framed protocol, see\n"
+         "       README); submit queues a scenario on a daemon and streams\n"
+         "       the result; chaos --serve soaks the daemon\n"
          "exit codes: 0 ok, 2 usage, 3 I/O, 4 simulation, 5 interrupted "
          "(resumable),\n"
          "            6 degraded (worker shard quarantined; partial "
@@ -610,12 +647,20 @@ int cmd_campaign(const Parsed& p, std::ostream& out, std::ostream& err) {
     opts.checkpoint_key = sim::default_checkpoint_key(s.bus, lib);
   }
   if (worker_mode) {
-    const int hb_fd = static_cast<int>(
-        parse_u64("heartbeat-fd", p.options.at("heartbeat-fd")));
+    // stoull would silently wrap "-1" to 2^64-1; reject the sign up front
+    // so a bad fd is a usage error naming the flag, not an EBADF later.
+    const std::string& hb = p.options.at("heartbeat-fd");
+    if (hb.empty() || hb[0] == '-')
+      throw UsageError(
+          "--heartbeat-fd: must be a non-negative open descriptor, got '" +
+          hb + "'");
+    const int hb_fd = static_cast<int>(parse_u64("heartbeat-fd", hb));
+    if (::fcntl(hb_fd, F_GETFD) == -1)
+      throw UsageError("--heartbeat-fd: descriptor " + hb + " is not open");
     // Startup heartbeat: tells the supervisor the exec succeeded before
     // the (potentially long) gold run begins.
     const char hello = '+';
-    if (::write(hb_fd, &hello, 1) < 0) {
+    if (!util::write_full(hb_fd, &hello, 1)) {
       // The supervisor is gone; keep running, the checkpoint still counts.
     }
     opts.progress = [hb_fd] {
@@ -623,7 +668,7 @@ int cmd_campaign(const Parsed& p, std::ostream& out, std::ostream& err) {
       // (std::_Exit: no flush, no destructors -- exactly a crash).
       if (util::FaultInjector::global().fire("worker.exit")) std::_Exit(70);
       const char beat = '+';
-      [[maybe_unused]] const ssize_t n = ::write(hb_fd, &beat, 1);
+      (void)util::write_full(hb_fd, &beat, 1);
     };
   }
   const std::vector<sim::Verdict> det =
@@ -798,7 +843,312 @@ int cmd_chaos_workers(const Parsed& p, std::ostream& out, std::ostream& err) {
   return kExitOk;
 }
 
+// ---------------------------------------------------------------------------
+// serve / submit: the campaign service (src/serve).
+
+/// Endpoint options shared by submit and the chaos serve soak.
+serve::ClientOptions client_endpoint(const Parsed& p) {
+  serve::ClientOptions o;
+  if (p.options.count("socket")) o.socket_path = p.options.at("socket");
+  if (p.options.count("port"))
+    o.tcp_port =
+        static_cast<std::uint16_t>(parse_u64("port", p.options.at("port")));
+  if (o.socket_path.empty() && o.tcp_port == 0)
+    throw UsageError(p.command + ": --socket PATH or --port N required");
+  return o;
+}
+
+int cmd_serve(const Parsed& p, std::ostream& out, std::ostream& err) {
+  serve::ServerOptions o;
+  if (p.options.count("socket")) o.socket_path = p.options.at("socket");
+  if (p.options.count("port"))
+    o.tcp_port =
+        static_cast<std::uint16_t>(parse_u64("port", p.options.at("port")));
+  if (p.options.count("socket") == p.options.count("port"))
+    throw UsageError("serve: exactly one of --socket PATH / --port N");
+  if (!p.options.count("queue"))
+    throw UsageError(
+        "serve: --queue FILE required (job persistence and restart-resume)");
+  o.queue_path = p.options.at("queue");
+  if (p.options.count("idle-timeout-ms"))
+    o.idle_timeout_ms =
+        parse_u64("idle-timeout-ms", p.options.at("idle-timeout-ms"));
+  if (p.options.count("job-retries"))
+    o.job_retries = static_cast<std::size_t>(
+        parse_u64("job-retries", p.options.at("job-retries")));
+  if (p.options.count("job-backoff-ms"))
+    o.job_backoff_ms =
+        parse_u64("job-backoff-ms", p.options.at("job-backoff-ms"));
+  if (p.options.count("worker-retries"))
+    o.worker_retries = static_cast<std::size_t>(
+        parse_u64("worker-retries", p.options.at("worker-retries")));
+  if (p.options.count("worker-backoff-ms"))
+    o.worker_backoff_ms =
+        parse_u64("worker-backoff-ms", p.options.at("worker-backoff-ms"));
+  o.fault_spec = p.options.count("faults") ? p.options.at("faults") : "";
+  // Arms the daemon-side serve.* sites; the same spec travels to every
+  // job's workers via SupervisorJob::fault_spec.
+  const FaultSpecGuard faults(o.fault_spec);
+  o.cancel = &interrupt_flag();
+  o.log = &err;
+
+  serve::Server server(std::move(o));
+  server.start();
+  if (p.options.count("socket"))
+    out << "serve: listening on " << p.options.at("socket") << '\n';
+  else
+    out << "serve: listening on 127.0.0.1:" << server.bound_port() << '\n';
+  out << "serve: ready" << std::endl;  // flushed: harnesses wait for this
+
+  const std::size_t pending = server.run();
+  const serve::ServerStats& st = server.stats();
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "serve: jobs completed=%zu failed=%zu degraded=%zu "
+                "retries=%zu pending=%zu\n"
+                "serve: connections accepted=%zu dropped=%zu rejected=%zu "
+                "idle_reaped=%zu events=%zu\n",
+                st.jobs_completed, st.jobs_failed, st.jobs_degraded,
+                st.job_retries, pending, st.connections_accepted,
+                st.connections_dropped, st.frames_rejected, st.idle_reaped,
+                st.events_streamed);
+  out << buf;
+  // Interrupted-with-work-pending is the resumable exit, same as a
+  // checkpointed campaign: restart with the same --queue to continue.
+  return pending > 0 ? kExitInterrupted : kExitOk;
+}
+
+int cmd_submit(const Parsed& p, std::ostream& out, std::ostream& err) {
+  serve::Client client(client_endpoint(p));
+  if (p.options.count("status")) {
+    out << client.status();
+    return kExitOk;
+  }
+  if (p.options.count("shutdown")) {
+    client.request_shutdown();
+    out << "shutdown requested\n";
+    return kExitOk;
+  }
+  spec::ScenarioSpec s = base_scenario(p);
+  apply_overrides(p, s);
+  s.validate();
+  int priority = 5;
+  if (p.options.count("priority")) {
+    const std::string& v = p.options.at("priority");
+    if (v.empty() || v[0] == '-' || parse_u64("priority", v) > 9)
+      throw UsageError("--priority: must be 0..9, got '" + v + "'");
+    priority = static_cast<int>(parse_u64("priority", v));
+  }
+
+  const std::uint64_t job =
+      client.submit(spec::serialize_scenario(s), priority);
+  out << "job " << job << " submitted (priority " << priority << ")\n";
+  if (p.options.count("no-wait")) return kExitOk;
+
+  const serve::JobResult r = client.wait(job);
+  std::vector<sim::Verdict> verdicts;
+  verdicts.reserve(r.verdicts.size());
+  for (const char c : r.verdicts) {
+    sim::Verdict v;
+    if (sim::verdict_from_char(c, v)) verdicts.push_back(v);
+  }
+  const sim::VerdictCounts vc = sim::count_verdicts(verdicts);
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "job %llu done: exit=%d coverage=%.1f%% detected=%zu "
+                "timeout=%zu undetected=%zu sim_errors=%zu\n",
+                static_cast<unsigned long long>(job), r.exit_code,
+                100.0 * sim::coverage(verdicts), vc.detected,
+                vc.detected_by_timeout, vc.undetected, vc.sim_errors);
+  out << buf;
+  if (p.options.count("stats-json") && !r.stats_json.empty())
+    out << r.stats_json << '\n';
+  if (r.failed) {
+    err << "error: job " << job << " failed: " << r.error << '\n';
+    return kExitSim;
+  }
+  if (r.degraded) {
+    err << "warning: job " << job
+        << " completed degraded (a worker shard was quarantined)\n";
+    return kExitDegraded;
+  }
+  return kExitOk;
+}
+
+// ---------------------------------------------------------------------------
+// chaos --serve: daemon soak.
+//
+// Spawns a REAL daemon child (so SIGKILL is genuine), submits three
+// scenarios from two concurrently-connected clients, abandons one client
+// mid-stream, SIGKILLs the daemon mid-job and restarts it against the
+// same queue file, then requires every streamed verdict string to be
+// bitwise equal to an uninterrupted in-process run of the same scenario.
+// Socket-level faults (serve.read/serve.write) fire inside the daemon by
+// default, so reconnect-and-resume is exercised on every lost connection.
+
+int cmd_chaos_serve(const Parsed& p, std::ostream& out, std::ostream& err) {
+  const char* worker_bin = std::getenv("XTEST_WORKER_BINARY");
+  const std::string binary = worker_bin != nullptr && *worker_bin != '\0'
+                                 ? worker_bin
+                                 : util::current_executable();
+  if (binary.empty())
+    throw IoError("cannot resolve own executable path to spawn the daemon");
+
+  const bool has_scenario = p.options.count("scenario") != 0;
+  spec::ScenarioSpec scn = base_scenario(p);
+  if (!has_scenario) {
+    scn.defect_count = 10;
+    scn.multi_session = false;
+    scn.threads = 1;
+  }
+  apply_overrides(p, scn);
+  scn.workers = scn.workers == 0 ? 2 : scn.workers;
+  scn.validate();
+
+  std::vector<soc::BusKind> buses = {soc::BusKind::kAddress,
+                                     soc::BusKind::kData,
+                                     soc::BusKind::kControl};
+  if (p.options.count("bus"))
+    buses = {parse_bus(p.options.at("bus"))};
+  else if (has_scenario)
+    buses = {scn.bus};
+
+  // One scenario (and one in-process reference, injector disarmed) per
+  // bus; three by default -- the daemon must retire all of them.
+  std::vector<std::string> scenario_texts;
+  std::vector<std::string> references;
+  for (const soc::BusKind bus : buses) {
+    spec::ScenarioSpec s = scn;
+    s.bus = bus;
+    s.name = "chaos-serve-" + soc::to_string(bus);
+    const auto lib = s.make_library();
+    const auto sessions = s.make_sessions();
+    util::CampaignStats stats;
+    spec::ScenarioSpec ref = s;
+    ref.workers = 0;  // the reference is the plain in-process campaign
+    const sim::CampaignOptions opts = ref.campaign_options(&stats);
+    const std::vector<sim::Verdict> verdicts =
+        sim::run_detection_sessions(s.system, sessions, s.bus, lib, opts);
+    std::string chars;
+    chars.reserve(verdicts.size());
+    for (const sim::Verdict v : verdicts) chars.push_back(sim::to_char(v));
+    scenario_texts.push_back(spec::serialize_scenario(s));
+    references.push_back(std::move(chars));
+  }
+  while (scenario_texts.size() < 3) {
+    // A single-bus run still soaks with three jobs: duplicates are fine,
+    // determinism makes their verdicts identical.
+    scenario_texts.push_back(scenario_texts.back());
+    references.push_back(references.back());
+  }
+
+  const std::string stem =
+      (std::filesystem::temp_directory_path() /
+       ("xtest_serve_chaos_" + std::to_string(static_cast<long>(::getpid()))))
+          .string();
+  const std::string sock = stem + ".sock";
+  const std::string queue = stem + ".queue";
+  std::remove(sock.c_str());
+  std::remove(queue.c_str());
+
+  const std::string fault_spec =
+      p.options.count("faults")
+          ? p.options.at("faults")
+          : "serve.read%0.01,serve.write%0.01:" + std::to_string(scn.seed);
+
+  const auto spawn_daemon = [&] {
+    util::SpawnSpec spec;
+    spec.argv = {binary,          "serve",
+                 "--socket",      sock,
+                 "--queue",       queue,
+                 "--idle-timeout-ms", "20000",
+                 "--job-backoff-ms",  "50",
+                 "--faults",      fault_spec};
+    return util::ChildProcess::spawn(spec);
+  };
+
+  util::ChildProcess daemon = spawn_daemon();
+  serve::ClientOptions co;
+  co.socket_path = sock;
+
+  std::size_t client_kills = 0;
+  std::size_t daemon_kills = 0;
+  int rc = kExitOk;
+  std::vector<std::uint64_t> job_ids;
+  try {
+    // Two concurrently-connected clients submit the three jobs
+    // interleaved.  Priorities order the queue 0, 1, 2.
+    serve::Client a(co);
+    serve::Client b(co);
+    job_ids.push_back(a.submit(scenario_texts[0], 7));
+    job_ids.push_back(b.submit(scenario_texts[1], 5));
+    job_ids.push_back(b.submit(scenario_texts[2], 3));
+
+    // Client kill: A watches its job until the stream is live, then is
+    // abandoned mid-stream with no goodbye.
+    const serve::JobResult peek =
+        a.wait(job_ids[0], [](const serve::JobEvent&) { return false; });
+    if (!peek.aborted)
+      throw std::runtime_error("chaos serve: observer failed to abort");
+    a.kill_connection();
+    ++client_kills;
+
+    // Daemon kill: SIGKILL mid-campaign, restart against the same queue.
+    daemon.kill(SIGKILL);
+    daemon.wait();
+    ++daemon_kills;
+    daemon = spawn_daemon();
+
+    // Fresh client resumes A's job from scratch; B's next wait rides its
+    // own reconnect-with-backoff across the restart gap.
+    serve::Client a2(co);
+    const serve::JobResult r0 = a2.wait(job_ids[0]);
+    const serve::JobResult r1 = b.wait(job_ids[1]);
+    const serve::JobResult r2 = b.wait(job_ids[2]);
+
+    const std::vector<const serve::JobResult*> results = {&r0, &r1, &r2};
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const serve::JobResult& r = *results[i];
+      if (r.failed)
+        throw std::runtime_error("chaos serve: job " +
+                                 std::to_string(job_ids[i]) +
+                                 " failed: " + r.error);
+      if (r.degraded)
+        throw std::runtime_error("chaos serve: job " +
+                                 std::to_string(job_ids[i]) + " degraded");
+      if (r.verdicts != references[i]) {
+        err << "error: chaos serve: job " << job_ids[i]
+            << " verdicts diverged from the in-process reference\n";
+        rc = kExitSim;
+      }
+    }
+    if (rc == kExitOk) {
+      char buf[192];
+      std::snprintf(buf, sizeof buf,
+                    "serve chaos soak passed: %zu jobs, %zu client kill(s), "
+                    "%zu daemon SIGKILL+restart, verdicts identical\n",
+                    job_ids.size(), client_kills, daemon_kills);
+      out << buf;
+    }
+  } catch (...) {
+    daemon.kill(SIGKILL);
+    daemon.wait();
+    std::remove(sock.c_str());
+    std::remove(queue.c_str());
+    throw;
+  }
+
+  // Signal-based drain (protocol shutdown could be lost to an injected
+  // read fault); SIGTERM is the daemon's documented drain path.
+  daemon.kill(SIGTERM);
+  daemon.wait();
+  std::remove(sock.c_str());
+  std::remove(queue.c_str());
+  return rc;
+}
+
 int cmd_chaos(const Parsed& p, std::ostream& out, std::ostream& err) {
+  if (p.options.count("serve")) return cmd_chaos_serve(p, out, err);
   if (p.options.count("workers")) return cmd_chaos_workers(p, out, err);
   if (p.options.count("faults"))
     throw UsageError(
@@ -955,6 +1305,8 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (p.command == "run") return cmd_run(p, out);
     if (p.command == "campaign") return cmd_campaign(p, out, err);
     if (p.command == "chaos") return cmd_chaos(p, out, err);
+    if (p.command == "serve") return cmd_serve(p, out, err);
+    if (p.command == "submit") return cmd_submit(p, out, err);
     if (p.command == "scenarios") return cmd_scenarios(p, out);
     return usage(err);
   } catch (const UsageError& e) {

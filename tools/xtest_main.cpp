@@ -26,6 +26,11 @@ extern "C" void request_shutdown(int sig) {
 int main(int argc, char** argv) {
   std::signal(SIGINT, request_shutdown);
   std::signal(SIGTERM, request_shutdown);
+  // A serve client retransmitting into a daemon that was SIGKILLed (or a
+  // daemon streaming to a client that vanished) must see EPIPE, not die
+  // silently from SIGPIPE.  Socket writes also pass MSG_NOSIGNAL; this is
+  // the belt for any fd that is not a socket.
+  std::signal(SIGPIPE, SIG_IGN);
   try {
     std::vector<std::string> args(argv + 1, argv + argc);
     return xtest::cli::run(args, std::cout, std::cerr);
