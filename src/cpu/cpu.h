@@ -57,6 +57,20 @@ class BusPort {
   virtual void internal_cycle() = 0;
 };
 
+/// Complete architectural state of the core, used as the handoff between
+/// execution tiers: an accelerated executor (soc/exec_tier.cpp) lifts the
+/// state out with state(), runs instructions against the same BusPort
+/// semantics, and writes the result back with restore() -- after which the
+/// reference interpreter can continue the run as if it had executed every
+/// instruction itself (the bail-out path).
+struct CpuState {
+  Addr pc = 0;
+  std::uint8_t acc = 0;
+  Flags flags;
+  HaltReason reason = HaltReason::kHltInstruction;
+  std::uint64_t cycles = 0;
+};
+
 class Cpu {
  public:
   explicit Cpu(BusPort& port) : port_(port) {}
@@ -81,6 +95,16 @@ class Cpu {
   /// Test hooks.
   void set_acc(std::uint8_t a) { acc_ = a; }
   void set_flags(Flags f) { flags_ = f; }
+
+  /// Execution-tier handoff (see CpuState).
+  CpuState state() const { return {pc_, acc_, flags_, reason_, cycles_}; }
+  void restore(const CpuState& s) {
+    pc_ = s.pc;
+    acc_ = s.acc;
+    flags_ = s.flags;
+    reason_ = s.reason;
+    cycles_ = s.cycles;
+  }
 
  private:
   std::uint8_t bus_read(Addr a);

@@ -1,0 +1,146 @@
+#include "cpu/jit_buffer.h"
+
+#include <cstring>
+
+#include "util/fault_injector.h"
+
+#if defined(XTEST_ENABLE_JIT) && defined(__unix__)
+#define XTEST_JIT_MMAP 1
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace xtest::cpu {
+
+const char* to_string(JitError e) {
+  switch (e) {
+    case JitError::kOk:
+      return "ok";
+    case JitError::kUnsupported:
+      return "unsupported";
+    case JitError::kMapFailed:
+      return "map_failed";
+    case JitError::kProtectFailed:
+      return "protect_failed";
+    case JitError::kBufferFull:
+      return "buffer_full";
+    case JitError::kInjected:
+      return "injected";
+  }
+  return "unsupported";
+}
+
+bool JitBuffer::platform_supported() {
+#ifdef XTEST_JIT_MMAP
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool jit_backend_available() {
+#if defined(XTEST_JIT_MMAP) && defined(__x86_64__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+JitBuffer::~JitBuffer() { unmap(); }
+
+JitError JitBuffer::map(std::size_t capacity) {
+#ifdef XTEST_JIT_MMAP
+  if (mapped()) return JitError::kOk;
+  if (util::FaultInjector::global().fire("cpu.jit_map"))
+    return JitError::kInjected;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  const std::size_t align = page > 0 ? static_cast<std::size_t>(page) : 4096;
+  const std::size_t bytes = (capacity + align - 1) / align * align;
+  void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) return JitError::kMapFailed;
+  base_ = static_cast<std::uint8_t*>(p);
+  capacity_ = bytes;
+  used_ = 0;
+  executable_ = false;
+  return JitError::kOk;
+#else
+  (void)capacity;
+  return JitError::kUnsupported;
+#endif
+}
+
+void JitBuffer::unmap() {
+#ifdef XTEST_JIT_MMAP
+  if (base_ != nullptr) ::munmap(base_, capacity_);
+#endif
+  base_ = nullptr;
+  capacity_ = 0;
+  used_ = 0;
+  executable_ = false;
+}
+
+JitError JitBuffer::make_writable() {
+#ifdef XTEST_JIT_MMAP
+  if (!mapped()) return JitError::kUnsupported;
+  if (!executable_) return JitError::kOk;
+  if (::mprotect(base_, capacity_, PROT_READ | PROT_WRITE) != 0)
+    return JitError::kProtectFailed;
+  executable_ = false;
+  return JitError::kOk;
+#else
+  return JitError::kUnsupported;
+#endif
+}
+
+JitError JitBuffer::make_executable() {
+#ifdef XTEST_JIT_MMAP
+  if (!mapped()) return JitError::kUnsupported;
+  if (executable_) return JitError::kOk;
+  if (::mprotect(base_, capacity_, PROT_READ | PROT_EXEC) != 0)
+    return JitError::kProtectFailed;
+  executable_ = true;
+  return JitError::kOk;
+#else
+  return JitError::kUnsupported;
+#endif
+}
+
+bool JitBuffer::emit8(std::uint8_t b) {
+  if (!mapped() || executable_ || used_ + 1 > capacity_) return false;
+  base_[used_++] = b;
+  return true;
+}
+
+bool JitBuffer::emit32(std::uint32_t v) {
+  if (!mapped() || executable_ || used_ + 4 > capacity_) return false;
+  std::memcpy(base_ + used_, &v, 4);
+  used_ += 4;
+  return true;
+}
+
+bool JitBuffer::emit64(std::uint64_t v) {
+  if (!mapped() || executable_ || used_ + 8 > capacity_) return false;
+  std::memcpy(base_ + used_, &v, 8);
+  used_ += 8;
+  return true;
+}
+
+bool JitBuffer::emit_rel32_placeholder(Label* out) {
+  if (out != nullptr) out->pos = used_;
+  return emit32(0);
+}
+
+void JitBuffer::patch_rel32(Label site, std::size_t target) {
+  if (!mapped() || executable_ || site.pos + 4 > used_) return;
+  const std::int32_t rel =
+      static_cast<std::int32_t>(static_cast<std::int64_t>(target) -
+                                static_cast<std::int64_t>(site.pos + 4));
+  std::memcpy(base_ + site.pos, &rel, 4);
+}
+
+void JitBuffer::truncate(std::size_t offset) {
+  if (offset <= used_) used_ = offset;
+}
+
+}  // namespace xtest::cpu

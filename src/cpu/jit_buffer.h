@@ -1,0 +1,100 @@
+// Minimal runtime assembler buffer for the optional template JIT tier.
+//
+// A JitBuffer is an mmap'd code region with an append cursor, a W^X
+// protection toggle (the buffer is writable XOR executable, never both),
+// and rel32 label patching for forward branches.  It deliberately knows
+// nothing about the PARWAN core: the exec-tier block compiler (soc side)
+// emits call-threaded x86-64 code through the raw emit primitives.
+//
+// Every operation reports a JitError instead of throwing: JIT is an
+// opportunistic acceleration and every failure -- unsupported platform,
+// mmap/mprotect refusal, buffer exhaustion, injected fault -- must degrade
+// gracefully to the decoded (and ultimately reference) interpreter rather
+// than erroring the defect being simulated.
+//
+// The build flag XTEST_ENABLE_JIT (CMake option, default ON) compiles the
+// mmap backend in; without it, or on non-POSIX platforms, map() reports
+// kUnsupported and the callers fall back.  Code *generation* additionally
+// requires x86-64 (jit_backend_available()).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xtest::cpu {
+
+enum class JitError : std::uint8_t {
+  kOk,
+  kUnsupported,    ///< no mmap backend compiled in / platform lacks it
+  kMapFailed,      ///< mmap refused the allocation
+  kProtectFailed,  ///< mprotect refused a W^X toggle
+  kBufferFull,     ///< emission would exceed the mapped capacity
+  kInjected,       ///< fault site "cpu.jit_map" fired (chaos coverage)
+};
+
+const char* to_string(JitError e);
+
+class JitBuffer {
+ public:
+  JitBuffer() = default;
+  ~JitBuffer();
+  JitBuffer(const JitBuffer&) = delete;
+  JitBuffer& operator=(const JitBuffer&) = delete;
+
+  /// Whether this build can map code buffers at all (mmap backend).
+  static bool platform_supported();
+
+  /// Maps `capacity` bytes RW (rounded up to the page size).  Consults
+  /// fault-injection site "cpu.jit_map" so chaos runs can exercise the
+  /// degradation path deterministically.
+  JitError map(std::size_t capacity);
+  void unmap();
+  bool mapped() const { return base_ != nullptr; }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+  bool executable() const { return executable_; }
+
+  /// W^X toggle.  Emission requires writable; running requires executable.
+  JitError make_writable();
+  JitError make_executable();
+
+  /// Appends at the cursor.  False (and no partial write) when full or
+  /// when the buffer is not writable.
+  bool emit8(std::uint8_t b);
+  bool emit32(std::uint32_t v);
+  bool emit64(std::uint64_t v);
+
+  /// A patchable site: the buffer offset of a 4-byte rel32 placeholder.
+  struct Label {
+    std::size_t pos = 0;
+  };
+
+  /// Emits a 4-byte placeholder and records its position for patching.
+  bool emit_rel32_placeholder(Label* out);
+
+  /// Patches the placeholder at `site` to reach buffer offset `target`
+  /// (rel32 is relative to the end of the placeholder, x86 convention).
+  void patch_rel32(Label site, std::size_t target);
+
+  /// Truncates the cursor back to `offset` (block cache invalidation).
+  void truncate(std::size_t offset);
+
+  /// Entry pointer for a finished block.  Only meaningful while
+  /// executable() is true.
+  const void* entry(std::size_t offset) const { return base_ + offset; }
+
+ private:
+  std::uint8_t* base_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+  bool executable_ = false;
+};
+
+/// Whether the template JIT can generate code here: a mappable buffer
+/// plus the x86-64 call-threaded emitter.  When false, exec tier "jit"
+/// silently runs the decoded interpreter instead.
+bool jit_backend_available();
+
+}  // namespace xtest::cpu

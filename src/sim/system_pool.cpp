@@ -1,0 +1,88 @@
+#include "sim/system_pool.h"
+
+#include "util/fault_injector.h"
+
+namespace xtest::sim {
+
+namespace {
+/// Idle simulators kept per configuration: enough for a worker fan-out
+/// plus the gold/lead simulator; beyond that, released ones are dropped.
+constexpr std::size_t kMaxIdlePerConfig = 8;
+}  // namespace
+
+SystemPool::Lease::~Lease() {
+  if (system_ == nullptr || home_ == nullptr) return;
+  home_->release(std::move(system_), config_);
+}
+
+soc::CacheCounters SystemPool::Lease::cache_delta() const {
+  const soc::CacheCounters now = system_->transition_cache_counters();
+  return {now.hits - cache0_.hits, now.misses - cache0_.misses};
+}
+
+soc::TierCounters SystemPool::Lease::tier_delta() const {
+  const soc::TierCounters now = system_->tier_counters();
+  return {now.decoded_programs - tiers0_.decoded_programs,
+          now.decode_cache_hits - tiers0_.decode_cache_hits,
+          now.jit_blocks - tiers0_.jit_blocks,
+          now.jit_bailouts - tiers0_.jit_bailouts};
+}
+
+SystemPool::Lease SystemPool::acquire(const soc::SystemConfig& config) {
+  Lease lease;
+  lease.config_ = config;
+  const bool pooled = config.exec_tier != cpu::ExecTier::kReference &&
+                      !util::FaultInjector::global().armed();
+  if (pooled) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Entry& e : entries_) {
+      if (!(e.config == config) || e.idle.empty()) continue;
+      lease.system_ = std::move(e.idle.back());
+      e.idle.pop_back();
+      break;
+    }
+  }
+  if (lease.system_ == nullptr)
+    lease.system_ = std::make_unique<soc::System>(config);
+  lease.home_ = pooled ? this : nullptr;
+  lease.cache0_ = lease.system_->transition_cache_counters();
+  lease.tiers0_ = lease.system_->tier_counters();
+  return lease;
+}
+
+void SystemPool::release(std::unique_ptr<soc::System> system,
+                         const soc::SystemConfig& config) {
+  // Return the simulator defect-free, unpinned and untraced; its memos
+  // (warm, pooled defects, decode memo) are what the next lease is for.
+  system->clear_defects();
+  system->set_micro_program(nullptr);
+  system->set_trace(nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_) {
+    if (!(e.config == config)) continue;
+    if (e.idle.size() < kMaxIdlePerConfig)
+      e.idle.push_back(std::move(system));
+    return;
+  }
+  entries_.push_back(Entry{config, {}});
+  entries_.back().idle.push_back(std::move(system));
+}
+
+void SystemPool::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+std::size_t SystemPool::idle_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const Entry& e : entries_) n += e.idle.size();
+  return n;
+}
+
+SystemPool& SystemPool::global() {
+  static SystemPool* pool = new SystemPool;
+  return *pool;
+}
+
+}  // namespace xtest::sim

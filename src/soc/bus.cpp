@@ -32,9 +32,11 @@ util::BusWord TristateBus::transfer(util::BusWord word,
   const std::uint64_t driven = word.bits();
   held_ = word;
   if (eval == nullptr || eval->width() == 0) return word;
-  // Early exit: no wire toggles, so receive is the identity (no aggressor
-  // injects charge and no victim transitions).  Guarded by the evaluator
-  // because a non-positive glitch threshold would flip even a quiet bus.
+  // Early exits: an evaluator whose worst case provably never deviates
+  // (calibrated nominal networks) samples the driven word on *every*
+  // transition, and a quiet bus (no wire toggles) does so whenever the
+  // glitch threshold is positive.  Neither case touches the cache.
+  if (eval->always_identity()) return word;
   if (held == driven && eval->quiet_is_identity()) return word;
   if (cache != nullptr && cache->enabled()) {
     const std::uint64_t key = (held << width_) | driven;

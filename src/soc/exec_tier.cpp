@@ -1,0 +1,510 @@
+// Accelerated execution tiers for System::run (cpu::ExecTier).
+//
+// The decoded tier fuses the CPU instruction loop with the bus plumbing:
+// instead of virtual BusPort dispatch through Cpu::step -> System::read,
+// a flat loop walks the pre-decoded micro-op array (cpu/microcode.h) and
+// drives each bus transaction directly.  Crucially, every transaction
+// still routes through TristateBus::transfer against the same evaluator
+// and transition cache the reference path uses, so the bus traffic -- and
+// therefore every verdict -- is bit-identical by construction; only the
+// interpretation overhead between transfers is removed.
+//
+// Equivalence is enforced structurally, not hoped for:
+//   * A micro-op is used only when the instruction byte that actually
+//     arrived over the (possibly corrupted) data bus equals the byte the
+//     table was decoded from.  A divergent fetch -- a self-modifying
+//     store that rewrote an executed instruction, or a corrupted fetch --
+//     finishes the current instruction via the plain decode table (still
+//     exact: decode is a pure function of the byte) and then *bails out*:
+//     the architectural state is restored into the Cpu and the reference
+//     interpreter finishes the run.
+//   * Runs the tier cannot cover at all (mid-program resumes from the
+//     watchdog slicer, attached traces, forced MAFs, MMIO windows, the
+//     reference receive path) never enter the loop.
+//
+// The JIT tier compiles straight-line micro-op runs into call-threaded
+// x86-64 blocks (cpu/jit_buffer.h): one `call` per instruction into a
+// step thunk that executes the same fused step.  Any JIT unavailability
+// -- non-x86-64 host, mmap/mprotect failure, injected "cpu.jit_map"
+// fault, buffer exhaustion -- degrades to the decoded loop, which itself
+// degrades to the reference interpreter.
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/jit_buffer.h"
+#include "cpu/microcode.h"
+#include "soc/system.h"
+
+namespace xtest::soc {
+
+namespace {
+
+/// The views a provably-clean control bus always delivers: the received
+/// word equals the driven word, and the system only ever drives READ and
+/// WRITE.
+const ControlView kCleanRead{control_word(/*write=*/false)};
+const ControlView kCleanWrite{control_word(/*write=*/true)};
+
+/// The fused per-instruction executor.  Pointers are lifted out of the
+/// System once per run; architectural state lives in locals and is
+/// written back through Cpu::restore at exit.
+struct ExecCtx {
+  TristateBus* addr_bus = nullptr;
+  TristateBus* data_bus = nullptr;
+  TristateBus* ctrl_bus = nullptr;
+  const xtalk::BusEvaluator* addr_eval = nullptr;
+  const xtalk::BusEvaluator* data_eval = nullptr;
+  const xtalk::BusEvaluator* ctrl_eval = nullptr;
+  xtalk::TransitionCache* addr_cache = nullptr;
+  xtalk::TransitionCache* data_cache = nullptr;
+  xtalk::TransitionCache* ctrl_cache = nullptr;
+  Memory* memory = nullptr;
+  const cpu::MicroProgram* prog = nullptr;
+  std::uint64_t max_cycles = 0;
+  /// Per-channel identity proofs (BusEvaluator::always_identity), hoisted
+  /// once per run: an identity channel's transfer returns the driven word
+  /// on every transition, so the loop skips the bus machinery for it.
+  bool addr_id = false;
+  bool data_id = false;
+  bool ctrl_id = false;
+
+  cpu::Addr pc = 0;
+  std::uint8_t acc = 0;
+  cpu::Flags flags;
+  cpu::HaltReason reason = cpu::HaltReason::kRunning;
+  std::uint64_t cycles = 0;
+  /// Set when a fetched instruction byte diverged from the pre-decoded
+  /// image: the rest of the run belongs to the reference interpreter.
+  bool bail = false;
+  /// Address the memory saw on the most recent transfer (selects the
+  /// micro-op for a fetch: the byte came from this location).
+  cpu::Addr seen = 0;
+
+  std::uint8_t held_data() const {
+    return static_cast<std::uint8_t>(data_bus->held().bits());
+  }
+
+  // The identity short-circuits below skip the held-value updates their
+  // transfers would have made.  That is safe exactly because of what the
+  // held word feeds: an identity channel's own transfers return the
+  // driven word regardless of it (including after a bail-out, where the
+  // reference interpreter's transfers take the same always_identity
+  // exit), and the cross-channel read of the *data* bus's held word --
+  // the floating-bus sample under a corrupted control word -- is
+  // unreachable while the control channel is identity, so the data bus
+  // keeps its held word exact through an ideal transfer when it is not.
+
+  cpu::Addr send_address(cpu::Addr a) {
+    if (addr_id) return a;
+    return static_cast<cpu::Addr>(
+        addr_bus->transfer(util::BusWord(cpu::kAddrBits, a), addr_eval,
+                           addr_cache)
+            .bits());
+  }
+
+  std::uint8_t send_data(std::uint8_t byte) {
+    if (data_id) {
+      if (!ctrl_id)
+        data_bus->transfer(util::BusWord(cpu::kDataBits, byte), nullptr,
+                           nullptr);
+      return byte;
+    }
+    return static_cast<std::uint8_t>(
+        data_bus->transfer(util::BusWord(cpu::kDataBits, byte), data_eval,
+                           data_cache)
+            .bits());
+  }
+
+  ControlView send_control(bool write) {
+    if (ctrl_id) return write ? kCleanWrite : kCleanRead;
+    return ControlView(
+        ctrl_bus->transfer(control_word(write), ctrl_eval, ctrl_cache));
+  }
+
+  // Cpu::bus_read + System::read, fused (no MMIO windows on this path).
+  std::uint8_t bus_read(cpu::Addr a) {
+    ++cycles;
+    seen = send_address(cpu::wrap(a));
+    const ControlView ctrl = send_control(/*write=*/false);
+    if (!ctrl.cs) return held_data();
+    if (ctrl.wr) memory->write(seen, held_data());
+    if (!ctrl.rd) return held_data();
+    return send_data(memory->read(seen));
+  }
+
+  // Cpu::bus_write + System::write, fused.
+  void bus_write(cpu::Addr a, std::uint8_t d) {
+    ++cycles;
+    const cpu::Addr target = send_address(cpu::wrap(a));
+    const ControlView ctrl = send_control(/*write=*/true);
+    const std::uint8_t byte = send_data(d);
+    if (ctrl.cs && ctrl.wr) memory->write(target, byte);
+  }
+
+  void internal() { ++cycles; }
+
+  void set_zn(std::uint8_t value) {
+    flags.z = value == 0;
+    flags.n = (value & 0x80) != 0;
+  }
+
+  void exec_memref(const cpu::Decoded& d, std::uint8_t offset_byte) {
+    const cpu::Addr ax = cpu::make_addr(d.page, offset_byte);
+    switch (d.opcode) {
+      case cpu::Opcode::kLda:
+        acc = bus_read(ax);
+        set_zn(acc);
+        break;
+      case cpu::Opcode::kAnd:
+        acc &= bus_read(ax);
+        set_zn(acc);
+        break;
+      case cpu::Opcode::kAdd: {
+        const std::uint8_t m = bus_read(ax);
+        const unsigned r = static_cast<unsigned>(acc) + m;
+        flags.c = r > 0xFF;
+        flags.v = (~(acc ^ m) & (acc ^ r) & 0x80) != 0;
+        acc = static_cast<std::uint8_t>(r);
+        set_zn(acc);
+        break;
+      }
+      case cpu::Opcode::kSub: {
+        const std::uint8_t m = bus_read(ax);
+        const unsigned r = static_cast<unsigned>(acc) - m;
+        flags.c = acc >= m;  // no borrow
+        flags.v = ((acc ^ m) & (acc ^ r) & 0x80) != 0;
+        acc = static_cast<std::uint8_t>(r);
+        set_zn(acc);
+        break;
+      }
+      case cpu::Opcode::kOra:
+        acc |= bus_read(ax);
+        set_zn(acc);
+        break;
+      case cpu::Opcode::kXra:
+        acc ^= bus_read(ax);
+        set_zn(acc);
+        break;
+      case cpu::Opcode::kSta:
+        bus_write(ax, acc);
+        break;
+      case cpu::Opcode::kJmp:
+        pc = ax;
+        break;
+      case cpu::Opcode::kJsr:
+        bus_write(ax, cpu::offset_of(pc));
+        pc = cpu::wrap(ax + 1u);
+        break;
+      case cpu::Opcode::kJmi: {
+        const std::uint8_t t = bus_read(ax);
+        pc = cpu::make_addr(cpu::page_of(ax), t);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void exec_single(cpu::SingleOp op) {
+    switch (op) {
+      case cpu::SingleOp::kNop:
+        break;
+      case cpu::SingleOp::kCla:
+        acc = 0;
+        set_zn(acc);
+        break;
+      case cpu::SingleOp::kCma:
+        acc = static_cast<std::uint8_t>(~acc);
+        set_zn(acc);
+        break;
+      case cpu::SingleOp::kCmc:
+        flags.c = !flags.c;
+        break;
+      case cpu::SingleOp::kStc:
+        flags.c = true;
+        break;
+      case cpu::SingleOp::kAsl: {
+        flags.c = (acc & 0x80) != 0;
+        const std::uint8_t r = static_cast<std::uint8_t>(acc << 1);
+        flags.v = ((acc ^ r) & 0x80) != 0;
+        acc = r;
+        set_zn(acc);
+        break;
+      }
+      case cpu::SingleOp::kAsr:
+        flags.c = (acc & 0x01) != 0;
+        acc = static_cast<std::uint8_t>((acc >> 1) | (acc & 0x80));
+        set_zn(acc);
+        break;
+      case cpu::SingleOp::kInc: {
+        const unsigned r = static_cast<unsigned>(acc) + 1u;
+        flags.c = r > 0xFF;
+        flags.v = acc == 0x7F;
+        acc = static_cast<std::uint8_t>(r);
+        set_zn(acc);
+        break;
+      }
+      case cpu::SingleOp::kHlt:
+        reason = cpu::HaltReason::kHltInstruction;
+        break;
+    }
+  }
+
+  /// Exactly Cpu::step against the fused bus plumbing.
+  void step_one() {
+    const cpu::Addr instr_addr = pc;
+    const std::uint8_t b1 = bus_read(pc);
+    pc = cpu::wrap(pc + 1u);
+    internal();  // decode
+
+    const cpu::MicroOp& u = prog->at(seen);
+    const cpu::Decoded* d = &u.d;
+    if (b1 != u.byte) {
+      // The byte on the wires is not the byte this table was decoded
+      // from (self-modified or corrupted fetch).  decode(b1) is still
+      // exact, so finish this instruction -- then bail to the reference
+      // interpreter for the rest of the run.
+      bail = true;
+      d = &cpu::MicroProgram::decode_table()[b1];
+    }
+    if (d->kind == cpu::Decoded::Kind::kIllegal) {
+      reason = cpu::HaltReason::kIllegalOpcode;
+      return;
+    }
+
+    std::uint8_t b2 = 0;
+    if (d->two_bytes()) {
+      b2 = bus_read(pc);
+      pc = cpu::wrap(pc + 1u);
+    }
+
+    switch (d->kind) {
+      case cpu::Decoded::Kind::kMemRef:
+        exec_memref(*d, b2);
+        internal();  // execute/write-back
+        break;
+      case cpu::Decoded::Kind::kBranch:
+        if (d->cond_mask & flags.mask())
+          pc = cpu::make_addr(cpu::page_of(instr_addr), b2);
+        internal();
+        break;
+      case cpu::Decoded::Kind::kSingle:
+        exec_single(d->single);
+        internal();
+        break;
+      case cpu::Decoded::Kind::kIllegal:
+        break;  // unreachable
+    }
+  }
+
+  bool live() const {
+    return reason == cpu::HaltReason::kRunning && cycles < max_cycles && !bail;
+  }
+};
+
+void run_decoded_loop(ExecCtx& ctx) {
+  while (ctx.live()) ctx.step_one();
+}
+
+// --- JIT tier -----------------------------------------------------------
+
+/// Per-instruction entry point the call-threaded blocks dial into.
+/// Executes one fused step when the baked address still matches the live
+/// program counter; the return value is "control fell through to the next
+/// sequential instruction and the run may continue", i.e. whether the
+/// block's next baked call is valid.
+bool jit_step_thunk(void* p, std::uint16_t addr_bits) {
+  ExecCtx& ctx = *static_cast<ExecCtx*>(p);
+  const cpu::Addr addr = static_cast<cpu::Addr>(addr_bits);
+  if (!ctx.live() || ctx.pc != addr) return false;
+  const bool two = ctx.prog->at(addr).d.two_bytes();
+  ctx.step_one();
+  if (!ctx.live()) return false;
+  return ctx.pc == cpu::wrap(addr + (two ? 2u : 1u));
+}
+
+/// Whether control cannot fall through to the next sequential address.
+/// (A not-taken branch *does* fall through; the thunk's pc check handles
+/// the taken case, so branches do not have to end a block.)
+bool ends_block(const cpu::Decoded& d) {
+  if (d.kind == cpu::Decoded::Kind::kIllegal) return true;
+  if (d.kind == cpu::Decoded::Kind::kSingle)
+    return d.single == cpu::SingleOp::kHlt;
+  if (d.kind == cpu::Decoded::Kind::kMemRef)
+    return d.opcode == cpu::Opcode::kJmp || d.opcode == cpu::Opcode::kJsr ||
+           d.opcode == cpu::Opcode::kJmi;
+  return false;
+}
+
+constexpr std::size_t kJitCapacity = 1u << 16;
+constexpr int kMaxBlockLen = 64;
+constexpr std::size_t kNoBlock = static_cast<std::size_t>(-1);
+
+/// Emits one straight-line block starting at `entry`:
+///
+///   push rbx; mov rbx, rdi            ; rbx = ctx across calls
+///   per instruction:
+///     mov rdi, rbx
+///     mov esi, imm32 (address)
+///     mov rax, imm64 (thunk); call rax
+///     test al, al; jz epilogue        ; rel32 patched after emission
+///   epilogue: pop rbx; ret
+///
+/// Returns the block's buffer offset, or kNoBlock (with the cursor
+/// rewound) on any emission failure.
+std::size_t compile_block(cpu::JitBuffer& buf, const cpu::MicroProgram& prog,
+                          cpu::Addr entry) {
+  if (buf.make_writable() != cpu::JitError::kOk) return kNoBlock;
+  const std::size_t start = buf.used();
+  const std::uint64_t thunk =
+      reinterpret_cast<std::uint64_t>(&jit_step_thunk);
+  std::vector<cpu::JitBuffer::Label> exits;
+  bool ok = buf.emit8(0x53) &&                                // push rbx
+            buf.emit8(0x48) && buf.emit8(0x89) && buf.emit8(0xFB);
+  cpu::Addr a = entry;
+  for (int n = 0; ok && n < kMaxBlockLen; ++n) {
+    ok = buf.emit8(0x48) && buf.emit8(0x89) && buf.emit8(0xDF) &&  // mov rdi, rbx
+         buf.emit8(0xBE) && buf.emit32(a) &&                       // mov esi, a
+         buf.emit8(0x48) && buf.emit8(0xB8) && buf.emit64(thunk) &&
+         buf.emit8(0xFF) && buf.emit8(0xD0) &&                     // call rax
+         buf.emit8(0x84) && buf.emit8(0xC0);                       // test al, al
+    cpu::JitBuffer::Label l;
+    ok = ok && buf.emit8(0x0F) && buf.emit8(0x84) &&               // jz rel32
+         buf.emit_rel32_placeholder(&l);
+    if (!ok) break;
+    exits.push_back(l);
+    const cpu::MicroOp& u = prog.at(a);
+    if (ends_block(u.d)) break;
+    a = cpu::wrap(a + (u.d.two_bytes() ? 2u : 1u));
+  }
+  const std::size_t epilogue = buf.used();
+  ok = ok && buf.emit8(0x5B) && buf.emit8(0xC3);  // pop rbx; ret
+  if (!ok) {
+    buf.truncate(start);
+    return kNoBlock;
+  }
+  for (const cpu::JitBuffer::Label& l : exits) buf.patch_rel32(l, epilogue);
+  return start;
+}
+
+}  // namespace
+
+System::~System() = default;
+
+namespace {
+
+/// Finds or compiles the block entered at `pc`; leaves the buffer
+/// executable on success.  kNoBlock on any failure (the caller degrades
+/// to single-step decoded execution, which is always correct).
+std::size_t block_for(ExecTierJit& jit, const cpu::MicroProgram& prog,
+                      cpu::Addr pc, TierCounters& tier) {
+  auto it = jit.blocks.find(pc);
+  if (it == jit.blocks.end()) {
+    const std::size_t off = compile_block(jit.buffer, prog, pc);
+    if (off == kNoBlock) return kNoBlock;
+    it = jit.blocks.emplace(pc, off).first;
+    ++tier.jit_blocks;
+  }
+  if (!jit.buffer.executable() &&
+      jit.buffer.make_executable() != cpu::JitError::kOk) {
+    jit.unavailable = true;
+    return kNoBlock;
+  }
+  return it->second;
+}
+
+void run_jit_loop(ExecTierJit& jit, ExecCtx& ctx, TierCounters& tier) {
+  if (jit.compiled_for != ctx.prog) {
+    jit.blocks.clear();
+    if (jit.buffer.mapped() &&
+        jit.buffer.make_writable() == cpu::JitError::kOk)
+      jit.buffer.truncate(0);
+    jit.compiled_for = ctx.prog;
+  }
+  using BlockFn = bool (*)(void*);
+  while (ctx.live()) {
+    const std::size_t off = block_for(jit, *ctx.prog, ctx.pc, tier);
+    if (off == kNoBlock || jit.unavailable) {
+      ctx.step_one();  // degrade this instruction to the decoded loop
+      continue;
+    }
+    const auto fn = reinterpret_cast<BlockFn>(
+        reinterpret_cast<std::uintptr_t>(jit.buffer.entry(off)));
+    fn(&ctx);
+  }
+}
+
+}  // namespace
+
+RunResult System::run_tiered(std::uint64_t max_cycles) {
+  // Cases the accelerated tiers leave to the reference interpreter by
+  // design (no counter: the tier simply does not apply).
+  const bool covered = trace_ == nullptr && !forced_.has_value() &&
+                       mmio_.empty() && fast_receive_;
+  // Cases that *should* have run decoded but cannot: a failed/injected
+  // pre-decode, or a mid-program resume (the watchdog slicer re-entering
+  // run() with cycles already on the clock -- the embedder may have
+  // touched memory between slices, so only the reference tier is safe).
+  const bool fresh = cpu_.cycles() == 0 && !cpu_.halted();
+  if (!covered || !fresh || micro_ == nullptr) {
+    if (covered && !cpu_.halted() && (!fresh || micro_ == nullptr))
+      ++tier_.jit_bailouts;
+    cpu_.run(max_cycles);
+    return {cpu_.cycles(), cpu_.halted(), cpu_.halt_reason()};
+  }
+
+  ExecCtx ctx;
+  ctx.addr_bus = &addr_bus_;
+  ctx.data_bus = &data_bus_;
+  ctx.ctrl_bus = &ctrl_bus_;
+  ctx.addr_eval = addr_.active_eval();
+  ctx.data_eval = data_.active_eval();
+  ctx.ctrl_eval = ctrl_.active_eval();
+  ctx.addr_cache = active_cache(addr_);
+  ctx.data_cache = active_cache(data_);
+  ctx.ctrl_cache = active_cache(ctrl_);
+  ctx.addr_id = ctx.addr_eval->always_identity();
+  ctx.data_id = ctx.data_eval->always_identity();
+  ctx.ctrl_id = ctx.ctrl_eval->always_identity();
+  ctx.memory = &memory_;
+  ctx.prog = micro_.get();
+  ctx.max_cycles = max_cycles;
+  const cpu::CpuState entry = cpu_.state();
+  ctx.pc = entry.pc;
+  ctx.acc = entry.acc;
+  ctx.flags = entry.flags;
+  ctx.reason = entry.reason;
+  ctx.cycles = entry.cycles;
+
+  if (exec_tier_ == cpu::ExecTier::kJit) {
+    if (jit_ == nullptr) jit_ = std::make_unique<ExecTierJit>();
+    if (!jit_->unavailable && !jit_->buffer.mapped()) {
+      if (!cpu::jit_backend_available() ||
+          jit_->buffer.map(kJitCapacity) != cpu::JitError::kOk) {
+        // JIT/mmap unavailable: degrade (once, sticky) to the decoded
+        // interpreter -- and ultimately the reference tier -- instead of
+        // erroring the run.
+        jit_->unavailable = true;
+        ++tier_.jit_bailouts;
+      }
+    }
+    if (jit_->unavailable)
+      run_decoded_loop(ctx);
+    else
+      run_jit_loop(*jit_, ctx, tier_);
+  } else {
+    run_decoded_loop(ctx);
+  }
+
+  cpu_.restore({ctx.pc, ctx.acc, ctx.flags, ctx.reason, ctx.cycles});
+  if (ctx.bail) {
+    ++tier_.jit_bailouts;
+    cpu_.run(max_cycles);
+  }
+  return {cpu_.cycles(), cpu_.halted(), cpu_.halt_reason()};
+}
+
+}  // namespace xtest::soc

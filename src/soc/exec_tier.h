@@ -1,0 +1,33 @@
+// Per-system state for the JIT execution tier (see soc/exec_tier.cpp).
+//
+// Owned by System behind a unique_ptr and allocated lazily on the first
+// jit-tier run: the code buffer, the block index for the program the
+// buffer currently holds, and a sticky latch that degrades the system to
+// the decoded interpreter once the JIT backend proves unavailable
+// (unsupported platform, mmap/mprotect failure, injected fault).
+
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "cpu/isa.h"
+#include "cpu/jit_buffer.h"
+
+namespace xtest::cpu {
+class MicroProgram;
+}
+
+namespace xtest::soc {
+
+struct ExecTierJit {
+  cpu::JitBuffer buffer;
+  /// Program the block index was compiled against; a different program
+  /// resets the buffer (blocks bake absolute micro-op addresses).
+  const cpu::MicroProgram* compiled_for = nullptr;
+  /// Block entry address -> buffer offset.
+  std::unordered_map<cpu::Addr, std::size_t> blocks;
+  bool unavailable = false;
+};
+
+}  // namespace xtest::soc

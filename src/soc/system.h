@@ -19,9 +19,15 @@
 #include <optional>
 #include <vector>
 
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+
 #include "cpu/cpu.h"
 #include "cpu/memory_image.h"
+#include "cpu/microcode.h"
 #include "soc/bus.h"
+#include "soc/exec_tier.h"
 #include "soc/control.h"
 #include "soc/memory.h"
 #include "soc/mmio.h"
@@ -51,6 +57,14 @@ struct SystemConfig {
   /// for equivalence testing.
   bool fast_receive = true;      ///< precomputed per-defect BusEvaluator
   bool transition_cache = true;  ///< memoize (held, driven) per defect
+  /// Execution tier (cpu/microcode.h).  "decoded" pre-decodes the program
+  /// into a micro-op array and runs a fused dispatch loop; "jit"
+  /// additionally compiles straight-line blocks to native code.  Every
+  /// tier produces bitwise-identical results (tests/test_exec_tier.cpp);
+  /// runs that an accelerated tier cannot prove equivalent -- corrupted or
+  /// self-modified instruction fetches, mid-program resumes, forced MAFs,
+  /// traces, MMIO windows -- fall back to the reference interpreter.
+  cpu::ExecTier exec_tier = cpu::ExecTier::kDecoded;
 
   bool operator==(const SystemConfig&) const = default;
 };
@@ -59,6 +73,14 @@ struct SystemConfig {
 struct CacheCounters {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+};
+
+/// Execution-tier counters (all zero on the reference tier).
+struct TierCounters {
+  std::uint64_t decoded_programs = 0;   ///< pre-decode passes performed
+  std::uint64_t decode_cache_hits = 0;  ///< pre-decodes reused from a memo
+  std::uint64_t jit_blocks = 0;         ///< straight-line blocks compiled
+  std::uint64_t jit_bailouts = 0;       ///< runs degraded to a slower tier
 };
 
 struct RunResult {
@@ -76,6 +98,7 @@ struct ForcedMaf {
 class System : public cpu::BusPort {
  public:
   explicit System(const SystemConfig& config = {});
+  ~System() override;
 
   // --- configuration -----------------------------------------------------
   const xtalk::RcNetwork& nominal_address_network() const {
@@ -115,6 +138,21 @@ class System : public cpu::BusPort {
   /// construction (0/0 when the cache is disabled).
   CacheCounters transition_cache_counters() const;
 
+  cpu::ExecTier exec_tier() const { return exec_tier_; }
+
+  /// Execution-tier counters accumulated since construction.
+  TierCounters tier_counters() const { return tier_; }
+
+  /// Pins a pre-decoded micro program for the image this system is about
+  /// to keep reloading (a campaign runs one program across every defect).
+  /// load_and_reset then reuses it without re-validating the image: a
+  /// stale pin is safe -- execution checks every fetched byte and bails
+  /// out to the reference interpreter on mismatch -- it only costs speed.
+  /// Pass nullptr to restore per-load validation.
+  void set_micro_program(std::shared_ptr<const cpu::MicroProgram> p) {
+    prefetched_micro_ = std::move(p);
+  }
+
   /// Attach a peripheral core at [base, base+size).  The window shadows
   /// memory for CPU accesses.
   void attach_mmio(cpu::Addr base, cpu::Addr size, MmioDevice* device);
@@ -152,12 +190,41 @@ class System : public cpu::BusPort {
   /// Control-bus transfer (CPU drives); returns the word memory receives.
   ControlView send_control(bool write);
 
+  /// One defect's evaluation state parked for reuse.  Both the evaluator
+  /// and the transition memo are pure functions of the perturbed
+  /// capacitances, so when a campaign pass (or a later session) re-applies
+  /// the same defect, an exact content match revives them with every
+  /// cached entry intact.  `caps` holds the raw capacitances for that
+  /// exact match -- the pool key is only a content hash.
+  struct PooledDefect {
+    std::vector<double> caps;
+    xtalk::BusEvaluator eval;
+    xtalk::TransitionCache cache;
+  };
+
   /// One bus's active evaluation state: the defect-applied network, its
-  /// precomputed fast evaluator, and the per-defect transition memo.
+  /// precomputed fast evaluator, and the per-defect transition memo.  On
+  /// accelerated tiers `warm` is a second, long-lived memo used only
+  /// while the channel is nominal: a campaign perturbs one bus per
+  /// defect, so the other two re-evaluate the same nominal transitions on
+  /// every run, and clear_defects() deliberately leaves `warm` intact
+  /// (its entries are pure functions of the immutable nominal evaluator;
+  /// forced-MAF overrides are applied after the transfer, so cached words
+  /// never embed them).  `pool` extends the same idea to defect state:
+  /// accelerated tiers serve the evaluator and memo of a re-applied
+  /// defect from the pool (`pooled` non-null) instead of rebuilding them.
   struct BusChannel {
     xtalk::RcNetwork net;
     xtalk::BusEvaluator eval;
     xtalk::TransitionCache cache;
+    xtalk::TransitionCache warm;
+    bool nominal = true;
+    std::unordered_map<std::uint64_t, PooledDefect> pool;
+    PooledDefect* pooled = nullptr;
+
+    const xtalk::BusEvaluator* active_eval() const {
+      return pooled != nullptr ? &pooled->eval : &eval;
+    }
   };
 
   util::BusWord apply_bus(TristateBus& bus, BusChannel& channel,
@@ -170,6 +237,25 @@ class System : public cpu::BusPort {
   std::uint8_t core_read(cpu::Addr addr);
   void core_write(cpu::Addr addr, std::uint8_t data);
   MmioWindow* window_at(cpu::Addr addr);
+
+  /// Finds (exact capacitance match) or creates the pool entry for the
+  /// network currently installed in `channel`.
+  PooledDefect* pool_entry(BusChannel& channel,
+                           const xtalk::CrosstalkErrorModel& model);
+  /// Retires every pooled cache's counters into `retired_` and empties
+  /// the pool (capacity cap, forced-MAF belt-and-suspenders).
+  void flush_pool(BusChannel& channel);
+
+  /// The memo a transfer on `channel` consults: the persistent nominal
+  /// memo on accelerated tiers while the channel is nominal, else the
+  /// per-defect cache; null when caching is disabled.
+  xtalk::TransitionCache* active_cache(BusChannel& channel);
+
+  /// Accelerated executors (soc/exec_tier.cpp).  run_tiered dispatches a
+  /// decoded-tier-eligible run to the fused micro-op loop (optionally
+  /// through JIT-compiled blocks) and finishes any bailed-out run on the
+  /// reference interpreter.
+  RunResult run_tiered(std::uint64_t max_cycles);
 
   xtalk::RcNetwork nominal_addr_net_;
   xtalk::RcNetwork nominal_data_net_;
@@ -199,6 +285,13 @@ class System : public cpu::BusPort {
   cpu::Cpu cpu_{*this};
   BusTrace* trace_ = nullptr;
   std::optional<ForcedMaf> forced_;
+
+  cpu::ExecTier exec_tier_;
+  CacheCounters retired_;  // counters of evicted pooled caches
+  std::shared_ptr<const cpu::MicroProgram> micro_;  // pre-decode of memory_
+  std::shared_ptr<const cpu::MicroProgram> prefetched_micro_;  // pinned
+  TierCounters tier_;
+  std::unique_ptr<ExecTierJit> jit_;
 };
 
 }  // namespace xtest::soc

@@ -5,10 +5,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <set>
 #include <sstream>
 
 #include "cpu/isa.h"
+#include "cpu/microcode.h"
 #include "sim/gold_cache.h"
 #include "soc/control.h"
 
@@ -83,6 +85,14 @@ sbst::PlacementOrder order_value(const std::string& v) {
   throw std::invalid_argument(
       "expected victim-major, delays-first, glitches-first or center-out, "
       "got '" + v + "'");
+}
+
+cpu::ExecTier tier_value(const std::string& v) {
+  const std::optional<cpu::ExecTier> tier = cpu::parse_exec_tier(v);
+  if (!tier)
+    throw std::invalid_argument("expected reference, decoded or jit, got '" +
+                                v + "'");
+  return *tier;
 }
 
 std::string order_text(sbst::PlacementOrder o) {
@@ -194,6 +204,13 @@ const std::vector<KeyDef>& key_table() {
        },
        [](ScenarioSpec& s, const std::string& v) {
          s.system.transition_cache = bool_value(v);
+       }},
+      {"system.exec_tier",
+       [](const ScenarioSpec& s) {
+         return cpu::to_string(s.system.exec_tier);
+       },
+       [](ScenarioSpec& s, const std::string& v) {
+         s.system.exec_tier = tier_value(v);
        }},
       XTEST_GEOMETRY_KEYS("address", address_geometry),
       XTEST_GEOMETRY_KEYS("data", data_geometry),

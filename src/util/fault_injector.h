@@ -65,6 +65,13 @@ class FaultInjector {
   /// this hit fails.  Disarmed: returns false without counting.
   bool fire(const std::string& site);
 
+  /// Literal-site overload for per-instruction / per-defect hot paths:
+  /// the disarmed check happens before any std::string materializes.
+  bool fire(const char* site) {
+    if (!armed_.load(std::memory_order_relaxed)) return false;
+    return fire(std::string(site));
+  }
+
   /// fire(), but throws InjectedFault("injected fault at <site> (hit N)")
   /// instead of returning true.
   void maybe_fail(const std::string& site);

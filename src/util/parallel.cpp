@@ -112,7 +112,7 @@ const char* build_type() {
 }
 
 std::string CampaignStats::json(const std::string& label) const {
-  char buf[1600];
+  char buf[2048];
   std::snprintf(
       buf, sizeof buf,
       "{\"campaign\":\"%s\",\"threads\":%u,"
@@ -124,8 +124,11 @@ std::string CampaignStats::json(const std::string& label) const {
       "\"salvaged_sections\":%zu,\"dropped_slots\":%zu,"
       "\"flush_failures\":%zu,\"cache_hits\":%llu,\"cache_misses\":%llu,"
       "\"cache_hit_rate\":%.4f,\"gold_reuses\":%zu,\"gold_evictions\":%zu,"
+      "\"run_reuses\":%zu,"
       "\"batch_screened\":%zu,\"batched_transitions\":%llu,"
-      "\"batch_lanes\":%zu,\"batch_capacity\":%zu,\"batch_fill\":%.4f}",
+      "\"batch_lanes\":%zu,\"batch_capacity\":%zu,\"batch_fill\":%.4f,"
+      "\"decoded_programs\":%llu,\"decode_cache_hits\":%llu,"
+      "\"jit_blocks\":%llu,\"jit_bailouts\":%llu}",
       label.c_str(), threads, std::thread::hardware_concurrency(),
       build_type(), defects_simulated,
       static_cast<unsigned long long>(simulated_cycles), wall_seconds,
@@ -134,9 +137,13 @@ std::string CampaignStats::json(const std::string& label) const {
       dropped_slots, flush_failures,
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(cache_misses), cache_hit_rate(),
-      gold_reuses, gold_evictions, batch_screened,
+      gold_reuses, gold_evictions, run_reuses, batch_screened,
       static_cast<unsigned long long>(batched_transitions), batch_lanes,
-      batch_capacity, batch_fill());
+      batch_capacity, batch_fill(),
+      static_cast<unsigned long long>(decoded_programs),
+      static_cast<unsigned long long>(decode_cache_hits),
+      static_cast<unsigned long long>(jit_blocks),
+      static_cast<unsigned long long>(jit_bailouts));
   return buf;
 }
 
@@ -158,10 +165,15 @@ void CampaignStats::merge_from(const CampaignStats& other) {
   cache_misses += other.cache_misses;
   gold_reuses += other.gold_reuses;
   gold_evictions += other.gold_evictions;
+  run_reuses += other.run_reuses;
   batch_screened += other.batch_screened;
   batched_transitions += other.batched_transitions;
   batch_lanes += other.batch_lanes;
   batch_capacity += other.batch_capacity;
+  decoded_programs += other.decoded_programs;
+  decode_cache_hits += other.decode_cache_hits;
+  jit_blocks += other.jit_blocks;
+  jit_bailouts += other.jit_bailouts;
   error_log.insert(error_log.end(), other.error_log.begin(),
                    other.error_log.end());
 }
@@ -233,10 +245,15 @@ bool parse_stats_json(const std::string& line, CampaignStats& out) {
   any |= json_counter(obj, "cache_misses", out.cache_misses);
   any |= json_counter(obj, "gold_reuses", out.gold_reuses);
   any |= json_counter(obj, "gold_evictions", out.gold_evictions);
+  any |= json_counter(obj, "run_reuses", out.run_reuses);
   any |= json_counter(obj, "batch_screened", out.batch_screened);
   any |= json_counter(obj, "batched_transitions", out.batched_transitions);
   any |= json_counter(obj, "batch_lanes", out.batch_lanes);
   any |= json_counter(obj, "batch_capacity", out.batch_capacity);
+  any |= json_counter(obj, "decoded_programs", out.decoded_programs);
+  any |= json_counter(obj, "decode_cache_hits", out.decode_cache_hits);
+  any |= json_counter(obj, "jit_blocks", out.jit_blocks);
+  any |= json_counter(obj, "jit_bailouts", out.jit_bailouts);
   return any;
 }
 

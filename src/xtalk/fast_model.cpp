@@ -22,23 +22,48 @@ BusEvaluator::BusEvaluator(const RcNetwork& net, const ErrorModelConfig& config)
       glitch_denom_(width_),
       ground_(width_) {
   assert(width_ >= 1 && width_ <= 64);
+  // Sound worst-case bounds, conservative in the FP sense: a wire whose
+  // worst achievable excursion (all aggressors conspiring) sits strictly
+  // below the threshold -- with a relative margin dwarfing any rounding
+  // the per-transition sums can accumulate -- provably never deviates,
+  // on any transition, and receive() need not evaluate it at all.
+  constexpr double kFpMargin = 1.0 + 1e-9;
   for (unsigned i = 0; i < width_; ++i) {
-    for (unsigned j = 0; j < width_; ++j)
-      rows_[static_cast<std::size_t>(i) * width_ + j] = net.coupling(i, j);
+    double sum_abs = 0.0;    // worst |injected charge| on a stable wire
+    double sum_pos2 = 0.0;   // worst Miller load on a switching wire
+    for (unsigned j = 0; j < width_; ++j) {
+      const double c = net.coupling(i, j);
+      rows_[static_cast<std::size_t>(i) * width_ + j] = c;
+      sum_abs += c < 0.0 ? -c : c;
+      if (c > 0.0) sum_pos2 += 2.0 * c;
+    }
     // Exactly the reference's `total`: ground_cap(i) + net_coupling(i),
     // with net_coupling summing all couplings in ascending wire order.
     glitch_denom_[i] = net.ground_cap(i) + net.net_coupling(i);
     ground_[i] = net.ground_cap(i);
+
+    const double dv_max = vdd_v_ * sum_abs / glitch_denom_[i];
+    const bool can_glitch =
+        !(dv_max * kFpMargin < glitch_threshold_v_);
+    const double delay_max =
+        kLn2 * driver_resistance_ohm_ * (ground_[i] + sum_pos2) * 1e-6;
+    const bool can_delay = delay_max * kFpMargin > delay_slack_ns_;
+    if (can_glitch || can_delay) active_.push_back(i);
   }
+  always_identity_ = active_.empty();
 }
 
 std::uint64_t BusEvaluator::receive(std::uint64_t v1, std::uint64_t v2) const {
   assert(width_ != 0);
   const std::uint64_t toggled = v1 ^ v2;
   if (toggled == 0 && quiet_is_identity_) return v2;
+  if (always_identity_) return v2;
 
   std::uint64_t out = v2;
-  for (unsigned i = 0; i < width_; ++i) {
+  // Only the active wires are evaluated; the pruned ones provably keep
+  // their driven value (bounds above), and each wire's decision depends
+  // only on (v1, v2) and its own row, so skipping the others is exact.
+  for (const unsigned i : active_) {
     const double* row = &rows_[static_cast<std::size_t>(i) * width_];
     const std::uint64_t bit = std::uint64_t{1} << i;
     if ((toggled & bit) == 0) {
@@ -78,16 +103,25 @@ std::uint64_t BusEvaluator::receive(std::uint64_t v1, std::uint64_t v2) const {
 TransitionCache::TransitionCache(unsigned width, unsigned log2_entries) {
   assert(cacheable(width));
   if (log2_entries > 2 * width) log2_entries = 2 * width;
-  if (log2_entries == 0) log2_entries = 1;
+  // At least one full set of two ways (width >= 1 keeps 2 in range).
+  if (log2_entries < 2) log2_entries = 2;
   entries_.assign(std::size_t{1} << log2_entries, Entry{});
-  shift_ = 64 - log2_entries;
+  shift_ = 64 - (log2_entries - 1);  // hash selects a set, not an entry
 }
 
 bool TransitionCache::lookup(std::uint64_t key, std::uint64_t& value) {
   if (entries_.empty()) return false;
-  const Entry& e = entries_[index(key)];
-  if (e.generation == generation_ && e.key == key) {
-    value = e.value;
+  const std::size_t base = index(key);
+  Entry& e0 = entries_[base];
+  if (e0.generation == generation_ && e0.key == key) {
+    value = e0.value;
+    ++hits_;
+    return true;
+  }
+  Entry& e1 = entries_[base + 1];
+  if (e1.generation == generation_ && e1.key == key) {
+    value = e1.value;
+    std::swap(e0, e1);  // keep the set in MRU order
     ++hits_;
     return true;
   }
@@ -97,7 +131,9 @@ bool TransitionCache::lookup(std::uint64_t key, std::uint64_t& value) {
 
 void TransitionCache::insert(std::uint64_t key, std::uint64_t value) {
   if (entries_.empty()) return;
-  entries_[index(key)] = Entry{key, value, generation_};
+  const std::size_t base = index(key);
+  entries_[base + 1] = entries_[base];  // evict the LRU way
+  entries_[base] = Entry{key, value, generation_};
 }
 
 void TransitionCache::invalidate() {

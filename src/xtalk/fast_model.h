@@ -54,6 +54,21 @@ class BusEvaluator {
   /// threshold is positive (always true for calibrated configs).
   bool quiet_is_identity() const { return quiet_is_identity_; }
 
+  /// True when *every* transfer provably samples the driven word: no wire
+  /// can glitch or sample late under any transition (worst-case charge /
+  /// Miller bounds, computed once at construction).  Calibrated nominal
+  /// networks satisfy this by design -- the thresholds sit a cth_ratio
+  /// factor above anything the nominal couplings can excite -- so nominal
+  /// bus traffic needs no per-transfer evaluation at all.
+  bool always_identity() const { return always_identity_; }
+
+  /// Wires that could deviate on some transition (empty iff
+  /// always_identity).  receive() only evaluates these; for a single
+  /// coupling defect that is typically the victim and its neighbours.
+  unsigned active_wires() const {
+    return static_cast<unsigned>(active_.size());
+  }
+
   /// The word the receiver samples when `v2` is driven after `v1`.
   /// Bit-identical to CrosstalkErrorModel::receive on the same network.
   std::uint64_t receive(std::uint64_t v1, std::uint64_t v2) const;
@@ -61,6 +76,7 @@ class BusEvaluator {
  private:
   unsigned width_ = 0;
   bool quiet_is_identity_ = false;
+  bool always_identity_ = false;
   double vdd_v_ = 0.0;
   double glitch_threshold_v_ = 0.0;
   double delay_slack_ns_ = 0.0;
@@ -68,23 +84,30 @@ class BusEvaluator {
   std::vector<double> rows_;          // width x width coupling, row-major
   std::vector<double> glitch_denom_;  // ground_cap(i) + net_coupling(i)
   std::vector<double> ground_;        // ground_cap(i)
+  std::vector<unsigned> active_;      // wires whose worst case can deviate
 };
 
-/// Direct-mapped memo of receive results for one bus under one defect.
+/// Two-way set-associative memo of receive results for one bus under one
+/// defect.
 ///
 /// Key layout is `(held << width) | driven` -- unique for width <= 16 (all
-/// system buses are 12/8/3 wires), checked by `cacheable`.  Entries are
-/// validated against a generation counter so `invalidate()` is O(1); the
-/// backing table is only rebuilt on the (astronomically rare) generation
-/// wrap.  Not thread-safe: each worker's System owns its own caches, exactly
-/// like the simulator state they memoize.
+/// system buses are 12/8/3 wires), checked by `cacheable`.  The hash picks
+/// a set of two entries kept in MRU order; a straight-line SBST program has
+/// hundreds of unique transitions that each recur once per run, so a
+/// direct-mapped table ping-pongs colliding pairs into steady-state misses
+/// (~10% of all transfers) that two ways absorb almost entirely.  Entries
+/// are validated against a generation counter so `invalidate()` is O(1);
+/// the backing table is only rebuilt on the (astronomically rare)
+/// generation wrap.  Not thread-safe: each worker's System owns its own
+/// caches, exactly like the simulator state they memoize.
 class TransitionCache {
  public:
   /// Empty cache: lookups miss without counting, inserts are dropped.
   TransitionCache() = default;
 
-  /// `log2_entries` is clamped to the key space (2 * width bits).
-  explicit TransitionCache(unsigned width, unsigned log2_entries = 12);
+  /// `log2_entries` is the total entry count (two ways per set), clamped
+  /// to the key space (2 * width bits).
+  explicit TransitionCache(unsigned width, unsigned log2_entries = 14);
 
   /// Whether the packed key is collision-free for this bus width.
   static bool cacheable(unsigned width) { return width >= 1 && width <= 16; }
@@ -108,9 +131,11 @@ class TransitionCache {
     std::uint32_t generation = 0;  // valid iff == generation_
   };
 
+  /// Base of the two-entry set for `key` (always even).
   std::size_t index(std::uint64_t key) const {
-    // Fibonacci hash: spreads the low-entropy packed keys over the table.
-    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> shift_);
+    // Fibonacci hash: spreads the low-entropy packed keys over the sets.
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> shift_)
+           << 1;
   }
 
   std::vector<Entry> entries_;

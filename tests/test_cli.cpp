@@ -104,18 +104,23 @@ TEST(Cli, CampaignReportsCoverage) {
 }
 
 TEST(Cli, CampaignReportsHotPathCounters) {
+  // A seed no other in-process test uses: the process-wide run memo
+  // (sim::DefectRunCache) would otherwise replay a colliding campaign's
+  // defects wholesale and this cold run would see no cache traffic.
   const CliRun r = run_cli({"campaign", "--bus", "data", "--defects", "10",
-                            "--seed", "7", "--stats-json"});
+                            "--seed", "7031", "--stats-json"});
   ASSERT_EQ(r.code, 0) << r.err;
   // Human-readable counters line: the memo must have seen real traffic.
   EXPECT_NE(r.out.find("cache_hits="), std::string::npos) << r.out;
   EXPECT_EQ(r.out.find("cache_hits=0 "), std::string::npos) << r.out;
   EXPECT_NE(r.out.find("cache_hit_rate="), std::string::npos);
   EXPECT_NE(r.out.find("gold_reuses="), std::string::npos);
+  EXPECT_NE(r.out.find("run_reuses="), std::string::npos);
   // --stats-json appends the machine-readable record.
   EXPECT_NE(r.out.find("{\"campaign\":\"campaign\""), std::string::npos);
   EXPECT_NE(r.out.find("\"cache_hits\":"), std::string::npos);
   EXPECT_NE(r.out.find("\"gold_reuses\":"), std::string::npos);
+  EXPECT_NE(r.out.find("\"run_reuses\":"), std::string::npos);
 }
 
 TEST(Cli, CampaignThreadsFlagKeepsCoverageIdentical) {
@@ -374,6 +379,73 @@ TEST(Cli, ScenariosDumpRoundTripsThroughAFile) {
                               "data", "--defects", "6", "--seed", "7"});
   ASSERT_EQ(ran.code, 0) << ran.err;
   EXPECT_NE(ran.out.find("bus=data defects=6"), std::string::npos) << ran.out;
+}
+
+TEST(Cli, UnknownExecTierIsAUsageErrorNamingTheFlag) {
+  for (const char* cmd : {"campaign", "chaos", "submit"}) {
+    std::vector<std::string> args = {cmd, "--exec-tier", "turbo"};
+    if (std::string(cmd) == "submit")  // tier validation precedes connect
+      args.insert(args.end(), {"--socket", temp_path("no-daemon.sock")});
+    const CliRun r = run_cli(args);
+    EXPECT_EQ(r.code, kExitUsage) << cmd;
+    EXPECT_NE(r.err.find("--exec-tier"), std::string::npos) << r.err;
+    EXPECT_NE(r.err.find("turbo"), std::string::npos) << r.err;
+  }
+}
+
+TEST(Cli, ExecTierFlagSelectsTheTierAndKeepsVerdictsIdentical) {
+  const std::vector<std::string> base = {"campaign", "--bus",  "data",
+                                         "--defects", "8",     "--seed",
+                                         "11",        "--threads", "1"};
+  const auto with = [&](const char* tier) {
+    std::vector<std::string> args = base;
+    args.insert(args.end(), {"--exec-tier", tier});
+    return run_cli(args);
+  };
+  const CliRun dec = with("decoded");
+  const CliRun ref = with("reference");
+  ASSERT_EQ(dec.code, 0) << dec.err;
+  ASSERT_EQ(ref.code, 0) << ref.err;
+  EXPECT_NE(dec.out.find("tier=decoded"), std::string::npos) << dec.out;
+  EXPECT_NE(ref.out.find("tier=reference"), std::string::npos) << ref.out;
+  const auto line = [](const std::string& s, const char* prefix) {
+    const std::size_t p = s.find(prefix);
+    EXPECT_NE(p, std::string::npos) << s;
+    return s.substr(p, s.find('\n', p) - p);
+  };
+  EXPECT_EQ(line(dec.out, "detected="), line(ref.out, "detected="));
+}
+
+TEST(Cli, ScenariosDumpRoundTripsTheExecTierKey) {
+  const CliRun dump = run_cli({"scenarios", "--dump", "paper-baseline"});
+  ASSERT_EQ(dump.code, 0) << dump.err;
+  const std::string key = "system.exec_tier = decoded";
+  ASSERT_NE(dump.out.find(key), std::string::npos) << dump.out;
+
+  // Overriding the key in a scenario file survives a dump round-trip.
+  std::string text = dump.out;
+  text.replace(text.find(key), key.size(), "system.exec_tier = reference");
+  const std::string path = temp_path("tier.scn");
+  {
+    std::ofstream f(path);
+    f << text;
+  }
+  const CliRun redump = run_cli({"scenarios", "--dump", path});
+  ASSERT_EQ(redump.code, 0) << redump.err;
+  EXPECT_NE(redump.out.find("system.exec_tier = reference"),
+            std::string::npos)
+      << redump.out;
+
+  // An unknown tier value is a usage error naming the key and its line.
+  text = dump.out;
+  text.replace(text.find(key), key.size(), "system.exec_tier = warp");
+  {
+    std::ofstream f(path);
+    f << text;
+  }
+  const CliRun bad = run_cli({"campaign", "--scenario", path});
+  EXPECT_EQ(bad.code, kExitUsage);
+  EXPECT_NE(bad.err.find("exec_tier"), std::string::npos) << bad.err;
 }
 
 TEST(Cli, UnknownScenarioNameIsAnIoError) {

@@ -76,6 +76,7 @@ const std::vector<CommandDef>& command_table() {
         {"defect-deadline-ms", "N"},
         {"batch-size", "N"},
         {"no-batch", nullptr},
+        {"exec-tier", "TIER"},
         {"stats-json", nullptr},
         {"workers", "N"},
         {"shard", "K/N"},
@@ -92,6 +93,7 @@ const std::vector<CommandDef>& command_table() {
         {"threads", "T"},
         {"batch-size", "N"},
         {"no-batch", nullptr},
+        {"exec-tier", "TIER"},
         {"workers", "N"},
         {"serve", nullptr},
         {"faults", "SPEC"}}},
@@ -117,6 +119,7 @@ const std::vector<CommandDef>& command_table() {
         {"threads", "T"},
         {"batch-size", "N"},
         {"no-batch", nullptr},
+        {"exec-tier", "TIER"},
         {"workers", "N"},
         {"priority", "0..9"},
         {"no-wait", nullptr},
@@ -302,6 +305,14 @@ void apply_overrides(const Parsed& p, spec::ScenarioSpec& s) {
     s.batch_size = static_cast<std::size_t>(parse_u64("batch-size", v));
   }
   if (p.options.count("no-batch")) s.batched = false;
+  if (p.options.count("exec-tier")) {
+    const std::string& v = p.options.at("exec-tier");
+    const std::optional<cpu::ExecTier> tier = cpu::parse_exec_tier(v);
+    if (!tier)
+      throw UsageError("--exec-tier: must be reference, decoded or jit, got '" +
+                       v + "'");
+    s.system.exec_tier = *tier;
+  }
   if (p.options.count("workers"))
     s.workers =
         static_cast<std::size_t>(parse_u64("workers", p.options.at("workers")));
@@ -455,7 +466,7 @@ void print_campaign_summary(std::ostream& out, const spec::ScenarioSpec& s,
                 "threads=%u simulations=%zu cycles=%llu wall=%.3fs "
                 "defects/sec=%.0f\n"
                 "cache_hits=%llu cache_misses=%llu cache_hit_rate=%.1f%% "
-                "gold_reuses=%zu\n",
+                "gold_reuses=%zu run_reuses=%zu\n",
                 vc.detected, vc.detected_by_timeout, vc.undetected,
                 vc.sim_errors, stats.retries, stats.restored_from_checkpoint,
                 stats.salvaged_sections, stats.dropped_slots, stats.threads,
@@ -464,7 +475,8 @@ void print_campaign_summary(std::ostream& out, const spec::ScenarioSpec& s,
                 stats.wall_seconds, stats.defects_per_second(),
                 static_cast<unsigned long long>(stats.cache_hits),
                 static_cast<unsigned long long>(stats.cache_misses),
-                100.0 * stats.cache_hit_rate(), stats.gold_reuses);
+                100.0 * stats.cache_hit_rate(), stats.gold_reuses,
+                stats.run_reuses);
   out << buf;
   if (s.batched) {
     std::snprintf(buf, sizeof buf,
@@ -476,6 +488,15 @@ void print_campaign_summary(std::ostream& out, const spec::ScenarioSpec& s,
   } else {
     std::snprintf(buf, sizeof buf, "batch=off\n");
   }
+  out << buf;
+  std::snprintf(buf, sizeof buf,
+                "tier=%s decoded_programs=%llu decode_cache_hits=%llu "
+                "jit_blocks=%llu jit_bailouts=%llu\n",
+                cpu::to_string(s.system.exec_tier).c_str(),
+                static_cast<unsigned long long>(stats.decoded_programs),
+                static_cast<unsigned long long>(stats.decode_cache_hits),
+                static_cast<unsigned long long>(stats.jit_blocks),
+                static_cast<unsigned long long>(stats.jit_bailouts));
   out << buf;
 }
 
