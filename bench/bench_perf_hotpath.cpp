@@ -32,6 +32,7 @@
 #include "sbst/generator.h"
 #include "sim/campaign.h"
 #include "sim/gold_cache.h"
+#include "sim/online.h"
 #include "sim/system_pool.h"
 #include "soc/bus.h"
 #include "soc/system.h"
@@ -194,6 +195,37 @@ BatchPoint batch_point(bool batched) {
           stats.batch_fill()};
 }
 
+struct OnlinePoint {
+  double defects_per_second = 0.0;
+  std::uint64_t rounds = 0;
+  std::uint64_t latency_cycles = 0;
+  std::size_t latency_samples = 0;
+  std::uint64_t deadlines_late = 0;
+  std::uint64_t deadlines_missed = 0;
+};
+
+/// One serial on-line campaign on the online-baseline scenario (32
+/// defects): the wall cost of interleaving self-test slices with the
+/// functional workload, plus the detection-latency aggregate the perf
+/// gate tracks (the off-line flow has no such number).
+OnlinePoint online_point() {
+  sim::GoldRunCache::global().clear();
+  sim::DefectRunCache::global().clear();
+  sim::SystemPool::global().clear();
+  spec::ScenarioSpec s = spec::builtin_scenario("online-baseline");
+  s.defect_count = 32;
+  const auto sessions = s.make_sessions();
+  const auto lib = s.make_library();
+  util::CampaignStats stats;
+  sim::CampaignOptions opts = s.campaign_options(&stats);
+  opts.parallel.threads = 1;
+  sim::run_online_detection_sessions(s.system, s.online, sessions, s.bus,
+                                     lib, opts);
+  return {stats.defects_per_second(),  stats.online_rounds,
+          stats.online_detection_latency_cycles, stats.online_latency_samples,
+          stats.online_deadlines_late, stats.online_deadlines_missed};
+}
+
 void print_perf_baseline() {
   const xtalk::BusGeometry g = bench::active_spec().system.address_geometry;
   const xtalk::RcNetwork nominal(g);
@@ -275,6 +307,19 @@ void print_perf_baseline() {
               batched.batch_screened, 100.0 * batched.batch_fill,
               batch_speedup);
 
+  const OnlinePoint online = online_point();
+  std::printf("\non-line campaign (32 defects, online-baseline schedule, "
+              "serial):\n"
+              "  %8.0f defects/sec, %llu rounds\n"
+              "  detection latency: %llu cycles over %zu sample(s)\n"
+              "  deadlines: %llu late, %llu missed\n",
+              online.defects_per_second,
+              static_cast<unsigned long long>(online.rounds),
+              static_cast<unsigned long long>(online.latency_cycles),
+              online.latency_samples,
+              static_cast<unsigned long long>(online.deadlines_late),
+              static_cast<unsigned long long>(online.deadlines_missed));
+
   char json[2048];
   std::snprintf(
       json, sizeof json,
@@ -299,6 +344,12 @@ void print_perf_baseline() {
       "\"batch_speedup\":%.3f,"
       "\"batch_screened\":%zu,"
       "\"batch_fill\":%.4f,"
+      "\"online_defects_per_sec\":%.1f,"
+      "\"online_rounds\":%llu,"
+      "\"online_detection_latency_cycles\":%llu,"
+      "\"online_latency_samples\":%zu,"
+      "\"online_deadlines_late\":%llu,"
+      "\"online_deadlines_missed\":%llu,"
       "\"threads\":[1,4],"
       "\"hardware_concurrency\":%u,"
       "\"cpus_detected\":%u,"
@@ -309,6 +360,12 @@ void print_perf_baseline() {
       dec.run_reuses, t1.cache_hit_rate, t1.gold_reuses + t4.gold_reuses,
       unbatched.defects_per_second, batched.defects_per_second, batch_speedup,
       batched.batch_screened, batched.batch_fill,
+      online.defects_per_second,
+      static_cast<unsigned long long>(online.rounds),
+      static_cast<unsigned long long>(online.latency_cycles),
+      online.latency_samples,
+      static_cast<unsigned long long>(online.deadlines_late),
+      static_cast<unsigned long long>(online.deadlines_missed),
       std::thread::hardware_concurrency(),
       std::thread::hardware_concurrency(), util::build_type());
   std::printf("\n%s\n", json);

@@ -52,6 +52,11 @@ std::uint64_t gold_run_key(const soc::SystemConfig& config,
   // never cross tiers: an accelerated-tier bug must not contaminate
   // reference-tier verdicts through the memo (DESIGN.md).
   h.u64(static_cast<std::uint64_t>(config.exec_tier));
+  // The electrical backend recalibrates every receiver threshold, so a
+  // snapshot from one backend must never answer for another.
+  h.u64(static_cast<std::uint64_t>(config.electrical.backend));
+  h.f64(config.electrical.swing_ratio);
+  h.f64(config.electrical.restorer_ratio);
   // Program identity: every defined byte (address + value) plus the entry
   // point and the cells the tester unloads.
   for (std::size_t a = 0; a < cpu::kMemWords; ++a) {

@@ -1,0 +1,98 @@
+// On-line (in-field) defect-detection campaigns.
+//
+// The off-line campaign of sim/campaign.h owns the processor for the whole
+// self-test program; in the field the core must keep serving its
+// functional workload, so the on-line mode interleaves them
+// (soc/online.h): every round runs one functional window and one self-test
+// slice, and the tester-visible response cells are compared against the
+// defect-free schedule at every slice boundary.  Two metrics fall out that
+// the off-line flow cannot express:
+//
+//   * detection latency -- global-clock cycles from defect activation
+//     (cycle 0: a field defect is present from power-on of the schedule)
+//     to the first slice boundary where the responses diverge from gold;
+//   * functional interference -- heartbeat deadlines the workload missed
+//     because the self-test held the core (and, under a defect, because
+//     the defect corrupted the workload's own traffic).
+//
+// Every per-defect outcome is a pure function of (config, online config,
+// program, bus, defect), so results are bitwise identical at any thread
+// count and across checkpoint interrupt/resume -- the same contract as the
+// off-line campaign, enforced by tests/test_online.cpp.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sbst/generator.h"
+#include "sbst/program.h"
+#include "sim/campaign.h"
+#include "sim/verdict.h"
+#include "soc/online.h"
+#include "soc/system.h"
+#include "util/parallel.h"
+#include "xtalk/defect.h"
+
+namespace xtest::sim {
+
+/// Per-defect outcome of an on-line campaign round sequence.
+struct OnlineOutcome {
+  Verdict verdict = Verdict::kUndetected;
+  /// Global-clock cycles from activation to the first diverging slice
+  /// boundary; 0 for an undetected defect.
+  std::uint64_t detection_latency_cycles = 0;
+  /// Interleaved rounds this defect's schedule executed.
+  std::uint64_t rounds = 0;
+  /// Functional-interference counters of this defect's schedule.
+  std::uint64_t heartbeats = 0;
+  std::uint64_t deadlines_late = 0;
+  std::uint64_t deadlines_missed = 0;
+
+  bool operator==(const OnlineOutcome&) const = default;
+};
+
+/// Result of one on-line campaign: verdicts (same taxonomy as off-line)
+/// plus the per-defect outcomes and the defect-free baseline schedule.
+struct OnlineResult {
+  std::vector<Verdict> verdicts;
+  std::vector<OnlineOutcome> outcomes;
+  /// The gold (defect-free) schedule: its interference counters are the
+  /// scheduling cost of the self-test itself, before any defect.
+  OnlineOutcome gold;
+};
+
+/// Runs `program` under every defect of `library` applied to `bus`, on the
+/// interleaved schedule of `online`.  Supported CampaignOptions: parallel,
+/// stats, retry_errors, cancel, progress, defect_deadline_ms, and the
+/// checkpoint_* knobs (the on-line checkpoint persists each completed
+/// outcome -- verdict, latency, and interference -- so a resumed campaign
+/// reports exactly the uninterrupted stats).  Batching, gold/run memo
+/// reuse, and sharding do not apply on-line and are ignored; ShardSpec
+/// other than {0,1} throws.
+OnlineResult run_online_detection(const soc::SystemConfig& config,
+                                  const soc::OnlineConfig& online,
+                                  const sbst::TestProgram& program,
+                                  soc::BusKind bus,
+                                  const xtalk::DefectLibrary& library,
+                                  const CampaignOptions& options);
+
+/// Multi-session on-line campaign: sessions are scheduled one after the
+/// other (the field rotates through its self-test set).  Verdicts merge
+/// with merge_verdicts; a defect's latency is the first detecting
+/// session's latency; rounds and interference counters sum over sessions.
+OnlineResult run_online_detection_sessions(
+    const soc::SystemConfig& config, const soc::OnlineConfig& online,
+    const std::vector<sbst::GenerationResult>& sessions, soc::BusKind bus,
+    const xtalk::DefectLibrary& library, const CampaignOptions& options);
+
+/// Checkpoint identity for an on-line campaign: the off-line key plus the
+/// interleaving knobs and (when not the default full-swing backend) the
+/// electrical calibration, so a resumed campaign with a different schedule
+/// or backend is rejected instead of silently mixing outcomes.
+std::string online_checkpoint_key(soc::BusKind bus,
+                                  const xtalk::DefectLibrary& library,
+                                  const soc::OnlineConfig& online,
+                                  const xtalk::ElectricalConfig& electrical);
+
+}  // namespace xtest::sim

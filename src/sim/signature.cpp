@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "sbst/slice.h"
 #include "util/fault_injector.h"
 
 namespace xtest::sim {
@@ -39,15 +40,20 @@ ResponseSnapshot run_and_capture(soc::System& system,
                                  std::uint64_t deadline_ms) {
   if (deadline_ms == 0) return run_and_capture(system, program, max_cycles);
   using Clock = std::chrono::steady_clock;
-  // Coarse enough that the time check is noise, fine enough that a wedged
-  // simulation is caught within a few slices.
+  // The watchdog is a ProgramSlice consumer: run one budget-bounded slice
+  // at a time and check the wall clock between slices.  Slicing is
+  // bitwise-exact (sbst/slice.h), so the captured snapshot is identical
+  // to the unwatched run's.  Budgets are coarse enough that the time
+  // check is noise, fine enough that a wedged simulation is caught within
+  // a few slices.
   constexpr std::uint64_t kSliceCycles = 4096;
   const auto start = Clock::now();
-  system.load_and_reset(program.image, program.entry);
+  sbst::ProgramSlice slice(program);
   soc::RunResult rr;
-  for (std::uint64_t cap = kSliceCycles;; cap += kSliceCycles) {
-    if (cap > max_cycles) cap = max_cycles;
-    rr = system.run(cap);
+  for (;;) {
+    const std::uint64_t budget =
+        std::min<std::uint64_t>(kSliceCycles, max_cycles - slice.cycles());
+    rr = slice.run(system, budget);
     if (rr.halted || rr.cycles >= max_cycles) break;
     const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
                              Clock::now() - start)

@@ -62,6 +62,11 @@ class TristateBus {
   /// Resets the held value (e.g. at system reset).
   void reset() { held_ = util::BusWord::zeros(width_); }
 
+  /// Reinstates a previously captured held word (slice restore).  The next
+  /// transfer then forms exactly the (held, driven) transition the
+  /// uninterrupted run would have formed.
+  void restore_held(util::BusWord held) { held_ = held; }
+
  private:
   BusKind kind_;
   unsigned width_;

@@ -18,9 +18,11 @@
 //     exact: decode is a pure function of the byte) and then *bails out*:
 //     the architectural state is restored into the Cpu and the reference
 //     interpreter finishes the run.
-//   * Runs the tier cannot cover at all (mid-program resumes from the
-//     watchdog slicer, attached traces, forced MAFs, MMIO windows, the
-//     reference receive path) never enter the loop.
+//   * Runs the tier cannot cover at all (attached traces, forced MAFs,
+//     MMIO windows, the reference receive path) never enter the loop.
+//     Mid-program resumes (slice boundaries) ARE covered: the per-fetch
+//     byte check above subsumes "the embedder touched memory between
+//     slices", so a resumed slice enters the tier like a fresh run.
 //
 // The JIT tier compiles straight-line micro-op runs into call-threaded
 // x86-64 blocks (cpu/jit_buffer.h): one `call` per instruction into a
@@ -444,13 +446,14 @@ RunResult System::run_tiered(std::uint64_t max_cycles) {
   // design (no counter: the tier simply does not apply).
   const bool covered = trace_ == nullptr && !forced_.has_value() &&
                        mmio_.empty() && fast_receive_;
-  // Cases that *should* have run decoded but cannot: a failed/injected
-  // pre-decode, or a mid-program resume (the watchdog slicer re-entering
-  // run() with cycles already on the clock -- the embedder may have
-  // touched memory between slices, so only the reference tier is safe).
-  const bool fresh = cpu_.cycles() == 0 && !cpu_.halted();
-  if (!covered || !fresh || micro_ == nullptr) {
-    if (covered && !cpu_.halted() && (!fresh || micro_ == nullptr))
+  // A mid-program resume (slice re-entering run() with cycles already on
+  // the clock) is fully covered: even if the embedder touched memory
+  // between slices, the loop checks every fetched byte against the
+  // pre-decoded table and bails to the reference interpreter on the first
+  // divergence, the same guard that covers self-modifying stores.  Only a
+  // failed/injected pre-decode still forces the reference path.
+  if (!covered || cpu_.halted() || micro_ == nullptr) {
+    if (covered && !cpu_.halted() && micro_ == nullptr)
       ++tier_.jit_bailouts;
     cpu_.run(max_cycles);
     return {cpu_.cycles(), cpu_.halted(), cpu_.halt_reason()};

@@ -24,6 +24,11 @@ class Memory {
 
   const std::array<std::uint8_t, cpu::kMemWords>& raw() const { return data_; }
 
+  /// Reinstates a previously captured raw array (slice restore).
+  void restore_raw(const std::array<std::uint8_t, cpu::kMemWords>& raw) {
+    data_ = raw;
+  }
+
  private:
   std::array<std::uint8_t, cpu::kMemWords> data_;
 };

@@ -1,0 +1,53 @@
+#include "soc/online.h"
+
+#include "cpu/assembler.h"
+
+namespace xtest::soc {
+
+OnlineWorkload make_default_workload() {
+  // Endless service loop: strobe the heartbeat register with a running
+  // counter and touch a small scratch area, so every iteration drives
+  // address- and data-bus transitions the way real functional traffic
+  // does.  It never halts; functional windows are always budget-bounded.
+  static const char kSource[] =
+      "start:  cla\n"
+      "loop:   inc\n"
+      "        sta 0xff0\n"      // heartbeat -> DeadlineDevice
+      "        sta 0x381\n"      // scratch store
+      "        add 0x382\n"      // scratch load
+      "        lda 0x383\n"
+      "        lda 0x380\n"
+      "        add 0x381\n"
+      "        jmp loop\n"
+      "        .org 0x380\n"
+      "scratch: .byte 0x55, 0x00, 0x0f, 0xa5\n";
+  const cpu::AsmResult assembled = cpu::assemble(kSource);
+  OnlineWorkload workload;
+  workload.image = assembled.image;
+  workload.entry = assembled.entry;
+  workload.mmio_base = 0xFF0;
+  return workload;
+}
+
+void InterleavedScheduler::run_functional_window() {
+  system_.clear_mmio();
+  system_.attach_mmio(workload_->mmio_base, 1, &device_);
+  std::uint64_t start_cycles = 0;
+  if (!functional_started_) {
+    system_.load_and_reset(workload_->image, workload_->entry);
+    functional_started_ = true;
+  } else {
+    system_.restore_slice(functional_state_);
+    start_cycles = functional_state_.cpu.cycles;
+  }
+  // Heartbeat timestamps live on the global clock: the workload context's
+  // own cycle counter keeps running across windows, so the device offset
+  // is the global time at which this window's counter origin sits.
+  device_.begin_window(&system_.processor(), global_cycles_ - start_cycles);
+  const RunResult result = system_.run(start_cycles + config_.workload_cycles);
+  functional_state_ = system_.save_slice();
+  global_cycles_ += result.cycles - start_cycles;
+  system_.clear_mmio();
+}
+
+}  // namespace xtest::soc

@@ -18,12 +18,14 @@ constexpr std::size_t kDefectPoolCap = 256;
 /// passes from spending their time first-touching cache pages.
 constexpr unsigned kPoolCacheLog2 = 8;
 
-/// Calibrated thresholds with the sampling slack stretched by the clock
-/// scale (a slower clock tolerates proportionally slower transitions).
-xtalk::ErrorModelConfig scaled_calibration(const xtalk::RcNetwork& nominal,
-                                           double cth, double clock_scale) {
+/// Backend-calibrated thresholds with the sampling slack stretched by the
+/// clock scale (a slower clock tolerates proportionally slower
+/// transitions).
+xtalk::ErrorModelConfig scaled_calibration(
+    const xtalk::ElectricalConfig& electrical, const xtalk::RcNetwork& nominal,
+    double cth, double clock_scale) {
   xtalk::ErrorModelConfig cfg =
-      xtalk::ErrorModelConfig::calibrated(nominal, cth);
+      xtalk::calibrate_electrical(electrical, nominal, cth);
   cfg.delay_slack_ns *= clock_scale;
   return cfg;
 }
@@ -58,12 +60,12 @@ System::System(const SystemConfig& config)
       addr_cth_(xtalk::recommended_cth(nominal_addr_net_, config.cth_ratio)),
       data_cth_(xtalk::recommended_cth(nominal_data_net_, config.cth_ratio)),
       ctrl_cth_(xtalk::recommended_cth(nominal_ctrl_net_, config.cth_ratio)),
-      addr_model_(scaled_calibration(nominal_addr_net_, addr_cth_,
-                                     config.clock_period_scale)),
-      data_model_(scaled_calibration(nominal_data_net_, data_cth_,
-                                     config.clock_period_scale)),
-      ctrl_model_(scaled_calibration(nominal_ctrl_net_, ctrl_cth_,
-                                     config.clock_period_scale)),
+      addr_model_(scaled_calibration(config.electrical, nominal_addr_net_,
+                                     addr_cth_, config.clock_period_scale)),
+      data_model_(scaled_calibration(config.electrical, nominal_data_net_,
+                                     data_cth_, config.clock_period_scale)),
+      ctrl_model_(scaled_calibration(config.electrical, nominal_ctrl_net_,
+                                     ctrl_cth_, config.clock_period_scale)),
       fast_receive_(config.fast_receive),
       use_cache_(config.transition_cache),
       nominal_addr_eval_(nominal_addr_net_, addr_model_.config()),
@@ -274,6 +276,30 @@ void System::load_and_reset(const cpu::MemoryImage& image, cpu::Addr entry) {
         ++tier_.decode_cache_hits;
     }
   }
+}
+
+SliceState System::save_slice() const {
+  SliceState s;
+  s.cpu = cpu_.state();
+  s.memory = memory_.raw();
+  s.addr_held = addr_bus_.held();
+  s.data_held = data_bus_.held();
+  s.ctrl_held = ctrl_bus_.held();
+  s.micro = micro_;
+  return s;
+}
+
+void System::restore_slice(const SliceState& state) {
+  memory_.restore_raw(state.memory);
+  addr_bus_.restore_held(state.addr_held);
+  data_bus_.restore_held(state.data_held);
+  ctrl_bus_.restore_held(state.ctrl_held);
+  cpu_.restore(state.cpu);
+  // Re-pin the slice's pre-decode so the resumed run stays decoded-tier
+  // eligible.  A stale table is safe: every fetched byte is checked
+  // against it at execution time (a mismatch bails to the reference
+  // interpreter), exactly as for set_micro_program.
+  if (exec_tier_ != cpu::ExecTier::kReference) micro_ = state.micro;
 }
 
 RunResult System::run(std::uint64_t max_cycles) {

@@ -15,6 +15,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -33,6 +34,7 @@
 #include "soc/mmio.h"
 #include "soc/trace.h"
 #include "xtalk/defect.h"
+#include "xtalk/electrical.h"
 #include "xtalk/error_model.h"
 #include "xtalk/maf.h"
 #include "xtalk/rc_network.h"
@@ -62,9 +64,16 @@ struct SystemConfig {
   /// additionally compiles straight-line blocks to native code.  Every
   /// tier produces bitwise-identical results (tests/test_exec_tier.cpp);
   /// runs that an accelerated tier cannot prove equivalent -- corrupted or
-  /// self-modified instruction fetches, mid-program resumes, forced MAFs,
-  /// traces, MMIO windows -- fall back to the reference interpreter.
+  /// self-modified instruction fetches, forced MAFs, traces, MMIO windows
+  /// -- fall back to the reference interpreter.  Mid-program resumes from
+  /// a SliceState stay decoded: the pre-decoded program travels with the
+  /// slice and the per-fetch guard re-validates it.
   cpu::ExecTier exec_tier = cpu::ExecTier::kDecoded;
+  /// Electrical backend of every bus receiver (xtalk/electrical.h).  The
+  /// default full-swing backend reproduces the paper's calibration
+  /// bit-for-bit; low-swing recalibrates the thresholds for a reduced
+  /// swing with a level restorer.
+  xtalk::ElectricalConfig electrical;
 
   bool operator==(const SystemConfig&) const = default;
 };
@@ -93,6 +102,21 @@ struct RunResult {
 struct ForcedMaf {
   soc::BusKind bus;
   xtalk::MafFault fault;
+};
+
+/// Complete architectural snapshot of a suspended program: CPU registers,
+/// the 4K memory, and the held word of each tri-state bus.  restore_slice
+/// reinstates all of it, so execution resumed from a SliceState forms
+/// exactly the bus transitions the uninterrupted run would have formed --
+/// the invariant the slice property tests pin down.  The pre-decoded micro
+/// program rides along so a resumed slice stays decoded-tier eligible.
+struct SliceState {
+  cpu::CpuState cpu;
+  std::array<std::uint8_t, cpu::kMemWords> memory{};
+  util::BusWord addr_held = util::BusWord::zeros(cpu::kAddrBits);
+  util::BusWord data_held = util::BusWord::zeros(cpu::kDataBits);
+  util::BusWord ctrl_held = util::BusWord::zeros(kControlBits);
+  std::shared_ptr<const cpu::MicroProgram> micro;
 };
 
 class System : public cpu::BusPort {
@@ -157,7 +181,24 @@ class System : public cpu::BusPort {
   /// memory for CPU accesses.
   void attach_mmio(cpu::Addr base, cpu::Addr size, MmioDevice* device);
 
+  /// Detaches every MMIO window (the interleaved scheduler swaps windows
+  /// between the functional and the test context).  Detaching makes a
+  /// traceless run decoded-tier eligible again.
+  void clear_mmio() { mmio_.clear(); }
+
   void set_trace(BusTrace* trace) { trace_ = trace; }
+
+  // --- slicing -------------------------------------------------------------
+
+  /// Captures the architectural state of the (suspended) program: CPU
+  /// registers, memory, bus held words, and the current pre-decode.
+  SliceState save_slice() const;
+
+  /// Reinstates a captured state.  Execution continued with run() is
+  /// bitwise-identical to the run that never stopped: the defect channels,
+  /// caches, and counters are deliberately NOT part of the state -- they
+  /// belong to the simulator, not to the suspended program.
+  void restore_slice(const SliceState& state);
 
   // --- operation ----------------------------------------------------------
   Memory& memory() { return memory_; }

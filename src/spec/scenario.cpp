@@ -95,6 +95,12 @@ cpu::ExecTier tier_value(const std::string& v) {
   return *tier;
 }
 
+xtalk::ElectricalBackend electrical_value(const std::string& v) {
+  // parse_electrical_backend throws invalid_argument with the expected
+  // values spelled out; parse_scenario prefixes the key name.
+  return xtalk::parse_electrical_backend(v);
+}
+
 std::string order_text(sbst::PlacementOrder o) {
   switch (o) {
     case sbst::PlacementOrder::kVictimMajor: return "victim-major";
@@ -211,6 +217,27 @@ const std::vector<KeyDef>& key_table() {
        },
        [](ScenarioSpec& s, const std::string& v) {
          s.system.exec_tier = tier_value(v);
+       }},
+      {"system.electrical",
+       [](const ScenarioSpec& s) {
+         return xtalk::to_string(s.system.electrical.backend);
+       },
+       [](ScenarioSpec& s, const std::string& v) {
+         s.system.electrical.backend = electrical_value(v);
+       }},
+      {"system.swing_ratio",
+       [](const ScenarioSpec& s) {
+         return double_text(s.system.electrical.swing_ratio);
+       },
+       [](ScenarioSpec& s, const std::string& v) {
+         s.system.electrical.swing_ratio = double_value(v);
+       }},
+      {"system.restorer_ratio",
+       [](const ScenarioSpec& s) {
+         return double_text(s.system.electrical.restorer_ratio);
+       },
+       [](ScenarioSpec& s, const std::string& v) {
+         s.system.electrical.restorer_ratio = double_value(v);
        }},
       XTEST_GEOMETRY_KEYS("address", address_geometry),
       XTEST_GEOMETRY_KEYS("data", data_geometry),
@@ -330,6 +357,26 @@ const std::vector<KeyDef>& key_table() {
              static_cast<std::size_t>(u64_value(v.substr(0, slash)));
          s.shard_count =
              static_cast<std::size_t>(u64_value(v.substr(slash + 1)));
+       }},
+      {"online.enabled",
+       [](const ScenarioSpec& s) { return bool_text(s.online.enabled); },
+       [](ScenarioSpec& s, const std::string& v) {
+         s.online.enabled = bool_value(v);
+       }},
+      {"online.slice_cycles",
+       [](const ScenarioSpec& s) { return u64_text(s.online.slice_cycles); },
+       [](ScenarioSpec& s, const std::string& v) {
+         s.online.slice_cycles = u64_value(v);
+       }},
+      {"online.workload_cycles",
+       [](const ScenarioSpec& s) { return u64_text(s.online.workload_cycles); },
+       [](ScenarioSpec& s, const std::string& v) {
+         s.online.workload_cycles = u64_value(v);
+       }},
+      {"online.deadline_cycles",
+       [](const ScenarioSpec& s) { return u64_text(s.online.deadline_cycles); },
+       [](ScenarioSpec& s, const std::string& v) {
+         s.online.deadline_cycles = u64_value(v);
        }},
   };
   return table;
@@ -461,6 +508,33 @@ void ScenarioSpec::validate() const {
     throw SpecParseError(
         0, "campaign.workers and campaign.shard are mutually exclusive (a "
            "worker process is a shard)");
+  if (system.electrical.swing_ratio <= 0.0 ||
+      system.electrical.swing_ratio > 1.0)
+    throw SpecParseError(0, "system.swing_ratio must be in (0, 1]");
+  if (system.electrical.restorer_ratio <= 0.0 ||
+      system.electrical.restorer_ratio >= 1.0)
+    throw SpecParseError(0, "system.restorer_ratio must be in (0, 1)");
+  if (online.enabled) {
+    // The on-line schedule is one in-field sequence on one chip: no
+    // multi-process supervisor, no library sharding, and the BIST baseline
+    // (a test-mode comparison) has no interleaved equivalent.
+    if (workers > 0)
+      throw SpecParseError(
+          0, "online.enabled and campaign.workers are mutually exclusive");
+    if (shard_count > 1)
+      throw SpecParseError(
+          0, "online.enabled and campaign.shard are mutually exclusive");
+    if (compare_bist)
+      throw SpecParseError(
+          0, "online.enabled and campaign.compare_bist are mutually "
+             "exclusive");
+    if (online.slice_cycles == 0)
+      throw SpecParseError(0, "online.slice_cycles must be positive");
+    if (online.workload_cycles == 0)
+      throw SpecParseError(0, "online.workload_cycles must be positive");
+    if (online.deadline_cycles == 0)
+      throw SpecParseError(0, "online.deadline_cycles must be positive");
+  }
 }
 
 namespace {
@@ -543,6 +617,34 @@ std::vector<ScenarioSpec> make_builtins() {
         "Stress sweep: the paper's full 1000-defect library through every "
         "session (campaign-engine and cache stress)";
     s.defect_count = 1000;
+    v.push_back(s);
+  }
+  {
+    // On-line in-field mode: the same self-test programs, but sliced and
+    // interleaved with a functional MMIO workload.  Reports per-defect
+    // detection latency (cycles from activation to first divergence) and
+    // the interference the test imposes on the workload's deadlines.
+    ScenarioSpec s;
+    s.name = "online-baseline";
+    s.description =
+        "On-line in-field testing: sliced SBST interleaved with a "
+        "functional MMIO workload, detection-latency and deadline "
+        "interference metrics";
+    s.defect_count = 64;
+    s.online.enabled = true;
+    v.push_back(s);
+  }
+  {
+    // Low-swing signalling on the interconnect: reduced voltage swing with
+    // a level restorer at the receiver shrinks noise margins, so the same
+    // geometric defect library yields a different (typically larger)
+    // detected set than the full-swing baseline.
+    ScenarioSpec s;
+    s.name = "low-swing-bus";
+    s.description =
+        "Low-swing interconnect signalling: reduced noise margins via the "
+        "low-swing electrical backend (off-line campaign)";
+    s.system.electrical.backend = xtalk::ElectricalBackend::kLowSwing;
     v.push_back(s);
   }
   return v;

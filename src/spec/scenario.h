@@ -36,6 +36,7 @@
 
 #include "sbst/generator.h"
 #include "sim/campaign.h"
+#include "soc/online.h"
 #include "soc/system.h"
 #include "util/parallel.h"
 #include "xtalk/defect.h"
@@ -119,6 +120,14 @@ struct ScenarioSpec {
   /// index congruent to K mod N.  The default 0/1 owns everything.
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
+
+  /// On-line in-field mode (keys `online.*`, soc::OnlineConfig): when
+  /// enabled the campaign interleaves self-test slices with a functional
+  /// workload and reports detection latency and MMIO interference
+  /// (sim/online.h).  Off by default -- the paper baseline is off-line.
+  /// Mutually exclusive with `workers` and a non-trivial shard: the
+  /// interleaved schedule is one in-field sequence.
+  soc::OnlineConfig online;
 
   bool operator==(const ScenarioSpec&) const = default;
 

@@ -128,7 +128,11 @@ std::string CampaignStats::json(const std::string& label) const {
       "\"batch_screened\":%zu,\"batched_transitions\":%llu,"
       "\"batch_lanes\":%zu,\"batch_capacity\":%zu,\"batch_fill\":%.4f,"
       "\"decoded_programs\":%llu,\"decode_cache_hits\":%llu,"
-      "\"jit_blocks\":%llu,\"jit_bailouts\":%llu}",
+      "\"jit_blocks\":%llu,\"jit_bailouts\":%llu,"
+      "\"online_rounds\":%llu,\"online_mmio_heartbeats\":%llu,"
+      "\"online_deadlines_late\":%llu,\"online_deadlines_missed\":%llu,"
+      "\"online_detection_latency_cycles\":%llu,"
+      "\"online_latency_samples\":%zu}",
       label.c_str(), threads, std::thread::hardware_concurrency(),
       build_type(), defects_simulated,
       static_cast<unsigned long long>(simulated_cycles), wall_seconds,
@@ -143,7 +147,13 @@ std::string CampaignStats::json(const std::string& label) const {
       static_cast<unsigned long long>(decoded_programs),
       static_cast<unsigned long long>(decode_cache_hits),
       static_cast<unsigned long long>(jit_blocks),
-      static_cast<unsigned long long>(jit_bailouts));
+      static_cast<unsigned long long>(jit_bailouts),
+      static_cast<unsigned long long>(online_rounds),
+      static_cast<unsigned long long>(online_mmio_heartbeats),
+      static_cast<unsigned long long>(online_deadlines_late),
+      static_cast<unsigned long long>(online_deadlines_missed),
+      static_cast<unsigned long long>(online_detection_latency_cycles),
+      online_latency_samples);
   return buf;
 }
 
@@ -174,6 +184,12 @@ void CampaignStats::merge_from(const CampaignStats& other) {
   decode_cache_hits += other.decode_cache_hits;
   jit_blocks += other.jit_blocks;
   jit_bailouts += other.jit_bailouts;
+  online_rounds += other.online_rounds;
+  online_mmio_heartbeats += other.online_mmio_heartbeats;
+  online_deadlines_late += other.online_deadlines_late;
+  online_deadlines_missed += other.online_deadlines_missed;
+  online_detection_latency_cycles += other.online_detection_latency_cycles;
+  online_latency_samples += other.online_latency_samples;
   error_log.insert(error_log.end(), other.error_log.begin(),
                    other.error_log.end());
 }
@@ -254,6 +270,16 @@ bool parse_stats_json(const std::string& line, CampaignStats& out) {
   any |= json_counter(obj, "decode_cache_hits", out.decode_cache_hits);
   any |= json_counter(obj, "jit_blocks", out.jit_blocks);
   any |= json_counter(obj, "jit_bailouts", out.jit_bailouts);
+  any |= json_counter(obj, "online_rounds", out.online_rounds);
+  any |= json_counter(obj, "online_mmio_heartbeats",
+                      out.online_mmio_heartbeats);
+  any |= json_counter(obj, "online_deadlines_late", out.online_deadlines_late);
+  any |= json_counter(obj, "online_deadlines_missed",
+                      out.online_deadlines_missed);
+  any |= json_counter(obj, "online_detection_latency_cycles",
+                      out.online_detection_latency_cycles);
+  any |= json_counter(obj, "online_latency_samples",
+                      out.online_latency_samples);
   return any;
 }
 

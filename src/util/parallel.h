@@ -151,6 +151,26 @@ struct CampaignStats {
   /// Runs degraded to a slower tier (self-modified instruction fetch,
   /// mid-program resume, unavailable jit backend).
   std::uint64_t jit_bailouts = 0;
+  // On-line interleaved campaigns (sim/online.h; all zero in off-line
+  // mode).  Pure functions of the campaign inputs, like the verdicts:
+  // identical at every thread count and across checkpoint resumes.
+  /// Interleaved rounds (functional window + test slice) executed or
+  /// restored, gold schedules included.
+  std::uint64_t online_rounds = 0;
+  /// Heartbeat writes the functional workload landed on the MMIO deadline
+  /// device across all interleaved runs.
+  std::uint64_t online_mmio_heartbeats = 0;
+  /// Heartbeats arriving later than the deadline (but within twice it).
+  std::uint64_t online_deadlines_late = 0;
+  /// Heartbeats arriving later than twice the deadline, and starvation
+  /// tails of workloads a defect derailed for good.
+  std::uint64_t online_deadlines_missed = 0;
+  /// Sum over detected defects of the global-clock cycle count from
+  /// activation (cycle 0) to the first diverging slice boundary.
+  std::uint64_t online_detection_latency_cycles = 0;
+  /// Number of defects contributing to that sum (mean latency =
+  /// cycles / samples).
+  std::size_t online_latency_samples = 0;
   /// One "defect <index>: <message>" line per quarantined simulation.
   std::vector<std::string> error_log;
 

@@ -1,0 +1,65 @@
+#include "xtalk/electrical.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace xtest::xtalk {
+
+namespace {
+constexpr double kLn2 = 0.6931471805599453;
+}  // namespace
+
+std::string to_string(ElectricalBackend backend) {
+  switch (backend) {
+    case ElectricalBackend::kFullSwing: return "full-swing";
+    case ElectricalBackend::kLowSwing: return "low-swing";
+  }
+  return "full-swing";
+}
+
+ElectricalBackend parse_electrical_backend(const std::string& text) {
+  if (text == "full-swing") return ElectricalBackend::kFullSwing;
+  if (text == "low-swing") return ElectricalBackend::kLowSwing;
+  throw std::invalid_argument("expected full-swing or low-swing, got '" +
+                              text + "'");
+}
+
+ErrorModelConfig calibrate_electrical(const ElectricalConfig& electrical,
+                                      const RcNetwork& nominal,
+                                      double cth_fF) {
+  if (electrical.backend == ElectricalBackend::kFullSwing)
+    return ErrorModelConfig::calibrated(nominal, cth_fF);
+
+  // Low-swing: the driver swings swing_ratio * Vdd, so the whole voltage
+  // axis of the model -- excursions and thresholds alike -- shrinks by
+  // that factor (glitch_amplitude scales with vdd_v).  The glitch
+  // threshold is then placed inside the corridor between the worst
+  // *nominal* excursion (noise floor: every defect-free transition stays
+  // below it, so nominal traffic is never corrupted) and the MAF boundary
+  // at Cth.  restorer_ratio = 0.5 lands exactly on the boundary, i.e. the
+  // full-swing detectability criterion at the reduced swing; smaller
+  // ratios cut the margin towards the floor, making sub-Cth defects
+  // observable -- the level-restorer testability argument.
+  ErrorModelConfig cfg;
+  const double cg = nominal.ground_cap(0);
+  const double swing =
+      electrical.swing_ratio > 0.0 ? electrical.swing_ratio : 1.0;
+  cfg.vdd_v *= swing;
+  const double c_floor = nominal.max_net_coupling();
+  const double v_floor = cfg.vdd_v * c_floor / (cg + c_floor);
+  const double v_maf = cfg.vdd_v * cth_fF / (cg + cth_fF);
+  const double fr = electrical.restorer_ratio;
+  cfg.glitch_threshold_v = v_floor + (v_maf - v_floor) * 2.0 * fr;
+  // A restorer that trips earlier on voltage also resolves transitions
+  // earlier in time: the sampling slack stretches by the time the victim
+  // RC ramp needs to cross the trip point, t = tau * ln(1 / (1 - fr)),
+  // relative to the full-swing 50% point (tau * ln 2).  fr = 0.5 keeps
+  // the full-swing slack exactly.
+  const double full_slack =
+      kLn2 * nominal.driver_resistance() * (cg + 2.0 * cth_fF) * 1e-6;
+  const double trip = fr > 0.0 && fr < 1.0 ? -std::log1p(-fr) : kLn2;
+  cfg.delay_slack_ns = full_slack * (kLn2 / trip);
+  return cfg;
+}
+
+}  // namespace xtest::xtalk

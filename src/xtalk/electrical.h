@@ -1,0 +1,72 @@
+// Pluggable electrical backend for the crosstalk receive model.
+//
+// The paper's error model assumes full-swing CMOS signalling: the receiver
+// thresholds of ErrorModelConfig::calibrated are derived from Vdd and the
+// MAF detectability boundary Cth.  Repeaterless low-swing interconnect
+// schemes (Naveen & Sharma) trade that swing for energy: the driver only
+// swings a fraction of Vdd and a level restorer at the receiver re-amplifies
+// the reduced signal.  The noise margins shrink with the swing, so the same
+// physical coupling produces receiver errors at smaller excursions -- a
+// different *electrical* detectability boundary over the same RC networks.
+//
+// ElectricalConfig is the seam: every consumer that used to call
+// ErrorModelConfig::calibrated directly now routes through
+// calibrate_electrical, and the default (kFullSwing) delegates to the
+// original calibration bit-for-bit, so off-line campaign verdicts are
+// unchanged unless a scenario opts into another backend.
+//
+// The low-swing backend keeps the corridor *nominal-safe by construction*:
+// its glitch threshold is interpolated between the worst nominal excursion
+// (the noise floor -- everything below it occurs in defect-free traffic and
+// must never flip a receiver) and the MAF boundary at Cth.  restorer_ratio
+// in (0, 1) places the level-restorer trip point inside that corridor:
+// 0.5 reproduces the full-swing boundary exactly; smaller values detect
+// weaker (sub-Cth) defects, the testability argument of the low-swing work.
+
+#pragma once
+
+#include <string>
+
+#include "xtalk/error_model.h"
+#include "xtalk/rc_network.h"
+
+namespace xtest::xtalk {
+
+/// Receiver signalling scheme of the bus corridor.
+enum class ElectricalBackend {
+  kFullSwing,  ///< classic rail-to-rail CMOS (the paper's model)
+  kLowSwing,   ///< reduced-swing driver + level restorer at the receiver
+};
+
+/// Electrical-backend selection plus the low-swing knobs (ignored by the
+/// full-swing backend).  Part of soc::SystemConfig, so it participates in
+/// simulator pooling, gold-run keys, and scenario round-trips.
+struct ElectricalConfig {
+  ElectricalBackend backend = ElectricalBackend::kFullSwing;
+  /// Low-swing drive as a fraction of Vdd (Vswing = swing_ratio * vdd).
+  double swing_ratio = 0.4;
+  /// Level-restorer trip point inside the (noise floor, MAF boundary)
+  /// corridor: 0.5 = the full-swing detectability boundary, smaller =
+  /// tighter margins (weaker defects become observable).
+  double restorer_ratio = 0.35;
+
+  bool operator==(const ElectricalConfig&) const = default;
+};
+
+/// "full-swing" / "low-swing".
+std::string to_string(ElectricalBackend backend);
+
+/// Inverse of to_string; throws std::invalid_argument naming the valid
+/// spellings (the scenario layer maps it to a usage error).
+ElectricalBackend parse_electrical_backend(const std::string& text);
+
+/// Receiver thresholds for `nominal`'s bus under the selected backend,
+/// calibrated at the MAF boundary `cth_fF`.  kFullSwing returns exactly
+/// ErrorModelConfig::calibrated(nominal, cth_fF).  kLowSwing scales Vdd to
+/// the reduced swing and derives its thresholds from restorer_ratio as
+/// documented above; thresholds always clear the nominal noise floor, so
+/// defect-free traffic is received correctly under every backend.
+ErrorModelConfig calibrate_electrical(const ElectricalConfig& electrical,
+                                      const RcNetwork& nominal, double cth_fF);
+
+}  // namespace xtest::xtalk

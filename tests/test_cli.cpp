@@ -448,6 +448,97 @@ TEST(Cli, ScenariosDumpRoundTripsTheExecTierKey) {
   EXPECT_NE(bad.err.find("exec_tier"), std::string::npos) << bad.err;
 }
 
+TEST(Cli, ScenariosDumpRoundTripsOnlineAndElectricalKeys) {
+  const CliRun dump = run_cli({"scenarios", "--dump", "online-baseline"});
+  ASSERT_EQ(dump.code, 0) << dump.err;
+  ASSERT_NE(dump.out.find("online.enabled = true"), std::string::npos)
+      << dump.out;
+  ASSERT_NE(dump.out.find("online.slice_cycles = 512"), std::string::npos)
+      << dump.out;
+  ASSERT_NE(dump.out.find("system.electrical = full-swing"),
+            std::string::npos)
+      << dump.out;
+
+  // Overriding the electrical backend and the slice budget in a scenario
+  // file survives a dump round-trip.
+  std::string text = dump.out;
+  const std::string slice_key = "online.slice_cycles = 512";
+  text.replace(text.find(slice_key), slice_key.size(),
+               "online.slice_cycles = 96");
+  const std::string elec_key = "system.electrical = full-swing";
+  text.replace(text.find(elec_key), elec_key.size(),
+               "system.electrical = low-swing");
+  const std::string path = temp_path("online.scn");
+  {
+    std::ofstream f(path);
+    f << text;
+  }
+  const CliRun redump = run_cli({"scenarios", "--dump", path});
+  ASSERT_EQ(redump.code, 0) << redump.err;
+  EXPECT_NE(redump.out.find("online.slice_cycles = 96"), std::string::npos)
+      << redump.out;
+  EXPECT_NE(redump.out.find("system.electrical = low-swing"),
+            std::string::npos)
+      << redump.out;
+
+  // The low-swing built-in dumps its backend too.
+  const CliRun low = run_cli({"scenarios", "--dump", "low-swing-bus"});
+  ASSERT_EQ(low.code, 0) << low.err;
+  EXPECT_NE(low.out.find("system.electrical = low-swing"),
+            std::string::npos)
+      << low.out;
+}
+
+TEST(Cli, UnknownElectricalBackendIsAUsageErrorNamingTheKey) {
+  const CliRun dump = run_cli({"scenarios", "--dump", "paper-baseline"});
+  ASSERT_EQ(dump.code, 0) << dump.err;
+  std::string text = dump.out;
+  const std::string key = "system.electrical = full-swing";
+  ASSERT_NE(text.find(key), std::string::npos) << text;
+  text.replace(text.find(key), key.size(),
+               "system.electrical = half-swing");
+  const std::string path = temp_path("badswing.scn");
+  {
+    std::ofstream f(path);
+    f << text;
+  }
+  const CliRun bad = run_cli({"campaign", "--scenario", path});
+  EXPECT_EQ(bad.code, kExitUsage);
+  EXPECT_NE(bad.err.find("system.electrical"), std::string::npos) << bad.err;
+  EXPECT_NE(bad.err.find("full-swing"), std::string::npos) << bad.err;
+}
+
+TEST(Cli, BadOnlineValueIsAUsageErrorNamingTheKey) {
+  const CliRun dump = run_cli({"scenarios", "--dump", "online-baseline"});
+  ASSERT_EQ(dump.code, 0) << dump.err;
+  std::string text = dump.out;
+  const std::string key = "online.deadline_cycles = 1024";
+  ASSERT_NE(text.find(key), std::string::npos) << text;
+  text.replace(text.find(key), key.size(), "online.deadline_cycles = soon");
+  const std::string path = temp_path("badonline.scn");
+  {
+    std::ofstream f(path);
+    f << text;
+  }
+  const CliRun bad = run_cli({"campaign", "--scenario", path});
+  EXPECT_EQ(bad.code, kExitUsage);
+  EXPECT_NE(bad.err.find("online.deadline_cycles"), std::string::npos)
+      << bad.err;
+}
+
+TEST(Cli, OnlineCampaignReportsLatencyAndInterference) {
+  const CliRun r = run_cli({"campaign", "--scenario", "online-baseline",
+                            "--defects", "8", "--stats-json"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("online gold: rounds="), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("online latency: samples="), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("\"online_detection_latency_cycles\":"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("\"online_rounds\":"), std::string::npos) << r.out;
+}
+
 TEST(Cli, UnknownScenarioNameIsAnIoError) {
   const CliRun r = run_cli({"campaign", "--scenario", "no-such-scenario"});
   EXPECT_EQ(r.code, kExitIo);

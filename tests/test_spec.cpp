@@ -88,6 +88,15 @@ ScenarioSpec random_spec(util::Rng& rng) {
   s.defect_deadline_ms = rng.below(100000);
   s.gold_cache_capacity = 1 + rng.below(1024);
   s.compare_bist = rng.below(2) == 0;
+  s.workers = rng.below(5);
+  s.system.electrical.backend =
+      static_cast<xtalk::ElectricalBackend>(rng.below(2));
+  s.system.electrical.swing_ratio = 0.1 + 0.9 * rng.uniform();
+  s.system.electrical.restorer_ratio = 0.05 + 0.9 * rng.uniform();
+  s.online.enabled = rng.below(2) == 0;
+  s.online.slice_cycles = 1 + rng.below(4096);
+  s.online.workload_cycles = 1 + rng.below(4096);
+  s.online.deadline_cycles = 1 + rng.below(8192);
   return s;
 }
 
@@ -146,6 +155,78 @@ TEST(ScenarioSpec, BadValueNamesKeyAndLine) {
   EXPECT_EQ(parse_error_line("campaign.retry_errors = yes\n"), 1);
   EXPECT_EQ(parse_error_line("bus = pci\n"), 1);
   EXPECT_EQ(parse_error_line("program.order = alphabetical\n"), 1);
+  EXPECT_EQ(parse_error_line("system.electrical = half-swing\n"), 1);
+  EXPECT_EQ(parse_error_line("online.enabled = maybe\n"), 1);
+  try {
+    parse_scenario("system.electrical = half-swing\n");
+    FAIL() << "expected SpecParseError";
+  } catch (const SpecParseError& e) {
+    // The error names the key AND spells out the valid values.
+    EXPECT_NE(std::string(e.what()).find("system.electrical"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("full-swing"), std::string::npos);
+  }
+}
+
+TEST(ScenarioSpec, OnlineAndElectricalKeysRoundTrip) {
+  const ScenarioSpec s = parse_scenario(
+      "online.enabled = true\n"
+      "online.slice_cycles = 96\n"
+      "online.workload_cycles = 48\n"
+      "online.deadline_cycles = 4000\n"
+      "system.electrical = low-swing\n"
+      "system.swing_ratio = 0.5\n"
+      "system.restorer_ratio = 0.25\n");
+  EXPECT_TRUE(s.online.enabled);
+  EXPECT_EQ(s.online.slice_cycles, 96u);
+  EXPECT_EQ(s.online.workload_cycles, 48u);
+  EXPECT_EQ(s.online.deadline_cycles, 4000u);
+  EXPECT_EQ(s.system.electrical.backend, xtalk::ElectricalBackend::kLowSwing);
+  EXPECT_DOUBLE_EQ(s.system.electrical.swing_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(s.system.electrical.restorer_ratio, 0.25);
+  EXPECT_EQ(parse_scenario(serialize_scenario(s)), s);
+}
+
+TEST(ScenarioSpec, OnlineValidationRules) {
+  {
+    ScenarioSpec s;
+    s.online.enabled = true;
+    EXPECT_NO_THROW(s.validate());
+    s.workers = 2;
+    EXPECT_THROW(s.validate(), SpecParseError);
+  }
+  {
+    ScenarioSpec s;
+    s.online.enabled = true;
+    s.shard_count = 2;
+    EXPECT_THROW(s.validate(), SpecParseError);
+  }
+  {
+    ScenarioSpec s;
+    s.online.enabled = true;
+    s.compare_bist = true;
+    EXPECT_THROW(s.validate(), SpecParseError);
+  }
+  {
+    ScenarioSpec s;
+    s.online.enabled = true;
+    s.online.slice_cycles = 0;
+    EXPECT_THROW(s.validate(), SpecParseError);
+  }
+  {
+    // Disabled online mode does not police its cycle knobs.
+    ScenarioSpec s;
+    s.online.slice_cycles = 0;
+    EXPECT_NO_THROW(s.validate());
+  }
+  {
+    ScenarioSpec s;
+    s.system.electrical.swing_ratio = 1.5;
+    EXPECT_THROW(s.validate(), SpecParseError);
+    s.system.electrical.swing_ratio = 0.4;
+    s.system.electrical.restorer_ratio = 1.0;
+    EXPECT_THROW(s.validate(), SpecParseError);
+  }
 }
 
 TEST(ScenarioSpec, DuplicateKeyIsAnError) {
@@ -167,7 +248,7 @@ TEST(ScenarioSpec, MissingEqualsIsAnError) {
 // --- built-ins -------------------------------------------------------------
 
 TEST(ScenarioSpec, BuiltinsResolveRoundTripAndValidate) {
-  ASSERT_GE(builtin_scenario_names().size(), 6u);
+  ASSERT_GE(builtin_scenario_names().size(), 8u);
   for (const std::string& name : builtin_scenario_names()) {
     const std::optional<ScenarioSpec> s = find_builtin(name);
     ASSERT_TRUE(s.has_value()) << name;

@@ -19,6 +19,7 @@
 #include "serve/client.h"
 #include "serve/server.h"
 #include "sim/campaign.h"
+#include "sim/online.h"
 #include "sim/serialize.h"
 #include "sim/supervisor.h"
 #include "sim/verify.h"
@@ -500,6 +501,36 @@ void print_campaign_summary(std::ostream& out, const spec::ScenarioSpec& s,
   out << buf;
 }
 
+/// On-line campaign lines: the scheduling cost of the self-test itself
+/// (the gold schedule's interference) and the detection-latency
+/// distribution over the detected defects.
+void print_online_summary(std::ostream& out, const sim::OnlineResult& r) {
+  std::size_t detected = 0;
+  std::uint64_t latency_sum = 0, latency_max = 0;
+  for (const sim::OnlineOutcome& o : r.outcomes) {
+    if (o.detection_latency_cycles == 0) continue;
+    ++detected;
+    latency_sum += o.detection_latency_cycles;
+    if (o.detection_latency_cycles > latency_max)
+      latency_max = o.detection_latency_cycles;
+  }
+  char buf[384];
+  std::snprintf(buf, sizeof buf,
+                "online gold: rounds=%llu heartbeats=%llu "
+                "deadlines_late=%llu deadlines_missed=%llu\n",
+                static_cast<unsigned long long>(r.gold.rounds),
+                static_cast<unsigned long long>(r.gold.heartbeats),
+                static_cast<unsigned long long>(r.gold.deadlines_late),
+                static_cast<unsigned long long>(r.gold.deadlines_missed));
+  out << buf;
+  std::snprintf(
+      buf, sizeof buf,
+      "online latency: samples=%zu mean=%.0f max=%llu cycles\n", detected,
+      detected > 0 ? static_cast<double>(latency_sum) / detected : 0.0,
+      static_cast<unsigned long long>(latency_max));
+  out << buf;
+}
+
 /// Section 1 comparison: a test-mode hardware BIST drives the full MA set
 /// directly on the same nominal network / error model / library.
 void print_bist_compare(std::ostream& out, const spec::ScenarioSpec& s,
@@ -692,6 +723,23 @@ int cmd_campaign(const Parsed& p, std::ostream& out, std::ostream& err) {
       (void)util::write_full(hb_fd, &beat, 1);
     };
   }
+  if (s.online.enabled) {
+    // The on-line checkpoint identity also covers the interleaving knobs
+    // and the electrical backend, so a resume with a different schedule is
+    // rejected instead of silently mixing outcomes.
+    if (!opts.checkpoint_path.empty())
+      opts.checkpoint_key = sim::online_checkpoint_key(
+          s.bus, lib, s.online, s.system.electrical);
+    const sim::OnlineResult r = sim::run_online_detection_sessions(
+        s.system, s.online, sessions, s.bus, lib, opts);
+    print_campaign_summary(out, s, lib.size(), r.verdicts, stats);
+    print_online_summary(out, r);
+    if (p.options.count("stats-json")) out << stats.json("campaign") << '\n';
+    for (const std::string& e : stats.error_log)
+      err << "warning: " << e << '\n';
+    return kExitOk;
+  }
+
   const std::vector<sim::Verdict> det =
       sim::run_detection_sessions(s.system, sessions, s.bus, lib, opts);
 
@@ -1168,6 +1216,121 @@ int cmd_chaos_serve(const Parsed& p, std::ostream& out, std::ostream& err) {
   return rc;
 }
 
+/// On-line kill/resume soak (an `online.enabled` scenario): the
+/// interleaved campaign is killed at injector-chosen outcomes, resumed
+/// from its on-line checkpoint (occasionally truncated), and must converge
+/// to per-defect outcomes -- verdict, detection latency, interference
+/// counters -- bitwise identical to an uninterrupted run.
+int cmd_chaos_online(const Parsed& p, const spec::ScenarioSpec& scn,
+                     std::ostream& out, std::ostream& err) {
+  const std::size_t cycles =
+      p.options.count("cycles")
+          ? static_cast<std::size_t>(
+                parse_u64("cycles", p.options.at("cycles")))
+          : 8;
+  std::vector<unsigned> thread_counts = {1, 4};
+  if (scn.threads != 0) thread_counts = {scn.threads};
+
+  util::FaultInjector& inj = util::FaultInjector::global();
+  struct Disarm {
+    ~Disarm() { util::FaultInjector::global().disarm(); }
+  } disarm_on_exit;
+
+  const auto sessions = scn.make_sessions();
+  std::size_t live_sessions = 0;
+  for (const auto& s : sessions) live_sessions += !s.program.tests.empty();
+  const auto lib = scn.make_library();
+  const std::size_t total_slots = live_sessions * lib.size();
+
+  util::Rng rng(scn.seed ^ 0x0417EEull);
+  util::CampaignStats stats;
+
+  inj.disarm();
+  sim::CampaignOptions ref_opts = scn.campaign_options(&stats);
+  ref_opts.parallel = {1};
+  const sim::OnlineResult reference = sim::run_online_detection_sessions(
+      scn.system, scn.online, sessions, scn.bus, lib, ref_opts);
+
+  for (const unsigned threads : thread_counts) {
+    const std::string ckpt = (std::filesystem::temp_directory_path() /
+                              ("xtest_ochaos_" + soc::to_string(scn.bus) +
+                               "_t" + std::to_string(threads) + ".ckpt"))
+                                 .string();
+    std::remove(ckpt.c_str());
+
+    sim::CampaignOptions opts = scn.campaign_options(&stats);
+    opts.parallel = {threads};
+    opts.cancel = &interrupt_flag();
+    opts.checkpoint_path = ckpt;
+    opts.checkpoint_key = sim::online_checkpoint_key(
+        scn.bus, lib, scn.online, scn.system.electrical);
+    opts.checkpoint_every = 2;  // small, so a hard crash loses little
+
+    ChaosOutcome oc;
+    while (oc.kills < cycles) {
+      const std::uint64_t at = 1 + rng.below(total_slots);
+      const bool hard = rng.below(2) == 0;
+      inj.configure((hard ? "campaign.crash@" : "campaign.kill@") +
+                    std::to_string(at) + ":" +
+                    std::to_string(rng.below(1u << 30)));
+      try {
+        const sim::OnlineResult det = sim::run_online_detection_sessions(
+            scn.system, scn.online, sessions, scn.bus, lib, opts);
+        inj.disarm();
+        if (det.verdicts != reference.verdicts ||
+            det.outcomes != reference.outcomes) {
+          err << "error: chaos: completed on-line campaign diverged from "
+                 "the uninterrupted reference (threads="
+              << threads << ")\n";
+          return kExitSim;
+        }
+        ++oc.completions;
+        std::remove(ckpt.c_str());  // start a fresh kill chain
+      } catch (const sim::CampaignInterrupted&) {
+        if (interrupt_flag().load()) throw;  // the operator, not us
+        ++oc.kills;
+        oc.crashes += hard;
+        if (oc.kills % 3 == 0) {
+          std::error_code ec;
+          const auto size = std::filesystem::file_size(ckpt, ec);
+          if (!ec && size > 0) {
+            std::filesystem::resize_file(ckpt, rng.below(size), ec);
+            if (!ec) ++oc.truncations;
+          }
+        }
+      }
+    }
+
+    inj.disarm();
+    const sim::OnlineResult finished = sim::run_online_detection_sessions(
+        scn.system, scn.online, sessions, scn.bus, lib, opts);
+    if (finished.verdicts != reference.verdicts ||
+        finished.outcomes != reference.outcomes) {
+      err << "error: chaos: resumed on-line campaign diverged from the "
+             "uninterrupted reference (threads="
+          << threads << ")\n";
+      return kExitSim;
+    }
+    std::remove(ckpt.c_str());
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "chaos online bus=%s threads=%u: %zu kills (%zu hard), "
+                  "%zu truncations, %zu clean completions, outcomes "
+                  "identical\n",
+                  soc::to_string(scn.bus).c_str(), threads, oc.kills,
+                  oc.crashes, oc.truncations, oc.completions);
+    out << buf;
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "online chaos soak passed: salvaged_sections=%zu "
+                "dropped_slots=%zu restored=%zu\n",
+                stats.salvaged_sections, stats.dropped_slots,
+                stats.restored_from_checkpoint);
+  out << buf;
+  return kExitOk;
+}
+
 int cmd_chaos(const Parsed& p, std::ostream& out, std::ostream& err) {
   if (p.options.count("serve")) return cmd_chaos_serve(p, out, err);
   if (p.options.count("workers")) return cmd_chaos_workers(p, out, err);
@@ -1180,6 +1343,7 @@ int cmd_chaos(const Parsed& p, std::ostream& out, std::ostream& err) {
   if (!has_scenario) scn.defect_count = 12;  // chaos's own small default
   apply_overrides(p, scn);
   scn.validate();
+  if (scn.online.enabled) return cmd_chaos_online(p, scn, out, err);
 
   // A scenario pins the soak to its own bus; flag-only invocations keep
   // sweeping all three.
